@@ -1,0 +1,62 @@
+// Command mdstbench regenerates the evaluation tables of EXPERIMENTS.md:
+// one table per experiment id defined in DESIGN.md §4.
+//
+// Usage:
+//
+//	mdstbench                 # run every experiment at full scale
+//	mdstbench -exp E3,E4      # run selected experiments
+//	mdstbench -quick          # reduced sizes and seeds (seconds, not minutes)
+//	mdstbench -seeds 10       # more repetitions per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mdegst/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick = flag.Bool("quick", false, "reduced scale for a fast pass")
+		seeds = flag.Int("seeds", 0, "override repetitions per cell")
+		scale = flag.Float64("scale", 0, "override size factor in (0,1]")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	if *quick {
+		cfg = exp.Quick()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+
+	ids := exp.IDs()
+	if *which != "" {
+		ids = nil
+		for _, id := range strings.Split(*which, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := exp.All()[id]; !ok {
+				fmt.Fprintf(os.Stderr, "mdstbench: unknown experiment %q (known: %s)\n",
+					id, strings.Join(exp.IDs(), ", "))
+				os.Exit(1)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl := exp.All()[id](cfg)
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("   (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,210 @@
+// Command mdstrun executes one full pipeline — build an initial spanning
+// tree, then improve it with the distributed MDegST protocol — and prints a
+// run summary.
+//
+// Usage:
+//
+//	mdstrun -graph gnp -n 64 -p 0.1 -seed 1 -initial flood -mode hybrid
+//	mdstrun -graph wheel -n 32 -initial star -mode single -engine random
+//	mdstrun -in network.edges -mode multi -verbose
+//
+// The -in flag reads an edge list (see cmd/graphgen); otherwise a generator
+// family is selected with -graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mdegst"
+	"mdegst/internal/graph"
+)
+
+func main() {
+	var (
+		family  = flag.String("graph", "gnp", "graph family: gnp|gnm|ba|geo|wheel|ring|star|complete|grid|hypercube|hamchords")
+		n       = flag.Int("n", 64, "number of nodes")
+		m       = flag.Int("m", 0, "number of edges (gnm; default 3n)")
+		p       = flag.Float64("p", 0.1, "edge probability (gnp)")
+		k       = flag.Int("k", 2, "attachment degree (ba) / chords (hamchords)")
+		seed    = flag.Int64("seed", 1, "generator and engine seed")
+		in      = flag.String("in", "", "read graph from edge-list file instead of generating")
+		initial = flag.String("initial", "flood", "initial tree: flood|dfs|ghs|election|star|random")
+		mode    = flag.String("mode", "single", "improvement mode: single|multi|hybrid")
+		engine  = flag.String("engine", "unit", "engine: unit|random|async")
+		target  = flag.Int("target", 0, "stop once the maximum degree is at most this (0: improve fully)")
+		dotOut  = flag.String("dot", "", "write the final tree (with non-tree edges dashed) as Graphviz DOT to this file")
+		verbose = flag.Bool("verbose", false, "print message breakdown by kind and round")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*in, *family, *n, *m, *p, *k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	opts := mdegst.Options{Seed: *seed, TargetDegree: *target}
+	if opts.Mode, err = parseMode(*mode); err != nil {
+		fatal(err)
+	}
+	if opts.Initial, err = parseInitial(*initial); err != nil {
+		fatal(err)
+	}
+	switch *engine {
+	case "unit":
+		opts.Engine = mdegst.NewUnitEngine()
+	case "random":
+		opts.Engine = mdegst.NewRandomDelayEngine(*seed)
+	case "async":
+		opts.Engine = mdegst.NewAsyncEngine()
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	res, err := mdegst.Run(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("graph:        n=%d m=%d maxdeg=%d diameter=%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	fmt.Printf("initial tree: %s, degree k=%d\n", *initial, res.InitialDegree)
+	fmt.Printf("final tree:   degree k*=%d (lower bound on Δ*: %d)\n", res.FinalDegree, mdegst.DegreeLowerBound(g))
+	fmt.Printf("improvement:  %d rounds, %d exchanges, %d messages, causal depth %d\n",
+		res.Rounds, res.Swaps, res.Improvement.Messages, res.Improvement.CausalDepth)
+	if res.Setup != nil {
+		fmt.Printf("setup:        %d messages, causal depth %d\n", res.Setup.Messages, res.Setup.CausalDepth)
+	}
+	fmt.Printf("total:        %d messages, %d words, max message %d words\n",
+		res.Total.Messages, res.Total.Words, res.Total.MaxWords)
+
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Final.WriteDOT(f, g); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dot:          wrote %s\n", *dotOut)
+	}
+
+	if *verbose {
+		fmt.Println("\nmessages by kind:")
+		kinds := make([]string, 0, len(res.Total.ByKind))
+		for kd := range res.Total.ByKind {
+			kinds = append(kinds, kd)
+		}
+		sort.Strings(kinds)
+		for _, kd := range kinds {
+			fmt.Printf("  %-14s %8d\n", kd, res.Total.ByKind[kd])
+		}
+		fmt.Println("\nmessages by round:")
+		rounds := make([]int, 0, len(res.Improvement.ByRound))
+		for r := range res.Improvement.ByRound {
+			rounds = append(rounds, r)
+		}
+		sort.Ints(rounds)
+		for _, r := range rounds {
+			fmt.Printf("  round %3d: %8d\n", r, res.Improvement.ByRound[r])
+		}
+		fmt.Println("\nfinal tree degree histogram:")
+		hist := res.Final.DegreeHistogram()
+		degs := make([]int, 0, len(hist))
+		for d := range hist {
+			degs = append(degs, d)
+		}
+		sort.Ints(degs)
+		for _, d := range degs {
+			fmt.Printf("  degree %2d: %5d nodes\n", d, hist[d])
+		}
+	}
+}
+
+func buildGraph(in, family string, n, m int, p float64, k int, seed int64) (*mdegst.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	if m == 0 {
+		m = 3 * n
+	}
+	switch family {
+	case "gnp":
+		return mdegst.Gnp(n, p, seed), nil
+	case "gnm":
+		return mdegst.Gnm(n, m, seed), nil
+	case "ba":
+		return mdegst.BarabasiAlbert(n, k, seed), nil
+	case "geo":
+		return mdegst.RandomGeometric(n, 0.25, seed), nil
+	case "wheel":
+		return mdegst.Wheel(n), nil
+	case "ring":
+		return mdegst.Ring(n), nil
+	case "star":
+		return mdegst.StarGraph(n), nil
+	case "complete":
+		return mdegst.Complete(n), nil
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return mdegst.Grid(side, side), nil
+	case "hypercube":
+		d := 1
+		for 1<<(d+1) <= n {
+			d++
+		}
+		return mdegst.Hypercube(d), nil
+	case "hamchords":
+		return mdegst.HamiltonianPlusChords(n, k*n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func parseMode(s string) (mdegst.Mode, error) {
+	switch s {
+	case "single":
+		return mdegst.ModeSingle, nil
+	case "multi":
+		return mdegst.ModeMulti, nil
+	case "hybrid":
+		return mdegst.ModeHybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func parseInitial(s string) (mdegst.InitialTree, error) {
+	switch s {
+	case "flood":
+		return mdegst.InitialFlood, nil
+	case "dfs":
+		return mdegst.InitialDFS, nil
+	case "ghs":
+		return mdegst.InitialGHS, nil
+	case "election":
+		return mdegst.InitialElection, nil
+	case "star":
+		return mdegst.InitialStar, nil
+	case "random":
+		return mdegst.InitialRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown initial tree %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdstrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Asyncnet: the algorithm is asynchronous and event-driven — its result may
+// not depend on message delays or scheduling. This example runs the same
+// improvement under four different adversaries (unit delays, two seeded
+// random-delay schedules, and real goroutine concurrency) and shows that
+// the final tree is identical every time, while the time-like measures vary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdegst"
+)
+
+func main() {
+	g := mdegst.Gnm(80, 240, 3)
+	t0, _, err := mdegst.BuildSpanningTree(g, mdegst.InitialStar, mdegst.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, _ := t0.MaxDegree()
+	fmt.Printf("network: n=%d m=%d, initial tree degree %d\n\n", g.N(), g.M(), k)
+
+	engines := []struct {
+		name string
+		eng  mdegst.Engine
+	}{
+		{"unit delays (paper's time model)", mdegst.NewUnitEngine()},
+		{"random delays, seed 1", mdegst.NewRandomDelayEngine(1)},
+		{"random delays, seed 2", mdegst.NewRandomDelayEngine(2)},
+		{"goroutines (true concurrency)", mdegst.NewAsyncEngine()},
+	}
+
+	var ref *mdegst.Tree
+	fmt.Printf("%-34s %9s %13s %8s\n", "engine", "messages", "causal depth", "final k")
+	for _, e := range engines {
+		res, err := mdegst.Improve(g, t0, mdegst.Options{Mode: mdegst.ModeHybrid, Engine: e.eng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %9d %13d %8d\n",
+			e.name, res.Improvement.Messages, res.Improvement.CausalDepth, res.FinalDegree)
+		if ref == nil {
+			ref = res.Final
+		} else if !res.Final.Equal(ref) {
+			log.Fatal("BUG: final tree depends on the delivery schedule")
+		}
+	}
+	fmt.Println("\nAll four executions produced the identical final tree: the")
+	fmt.Println("protocol's choices (identity tie-breaks, degree keys) are")
+	fmt.Println("delivery-order independent, as the asynchronous model demands.")
+}

@@ -1,0 +1,45 @@
+// Broadcast: the paper's motivating scenario. Broadcasting over a spanning
+// tree loads each node proportionally to its tree degree; "if the degree of
+// a node is large, it might cause an undesirable communication load in that
+// node". This example compares the broadcast hot-spot across spanning-tree
+// constructions on a hub-heavy network, before and after running the
+// improvement protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdegst"
+)
+
+func main() {
+	// A preferential-attachment network: a few hubs, many leaves — the
+	// worst case for naive spanning trees.
+	g := mdegst.BarabasiAlbert(200, 2, 7)
+	fmt.Printf("network: %d nodes, %d edges, max degree %d (hubby)\n\n", g.N(), g.M(), g.MaxDegree())
+
+	fmt.Printf("%-12s  %14s  %14s  %9s  %9s\n",
+		"initial tree", "hot-spot before", "hot-spot after", "rounds", "messages")
+	for _, method := range []mdegst.InitialTree{
+		mdegst.InitialStar, mdegst.InitialFlood, mdegst.InitialDFS,
+		mdegst.InitialGHS, mdegst.InitialRandom,
+	} {
+		res, err := mdegst.Run(g, mdegst.Options{
+			Initial: method,
+			Mode:    mdegst.ModeHybrid,
+			Seed:    11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// In a tree broadcast every inner node forwards to its children:
+		// the busiest node sends max-degree messages.
+		fmt.Printf("%-12s  %15d  %14d  %9d  %9d\n",
+			method, res.InitialDegree, res.FinalDegree, res.Rounds, res.Improvement.Messages)
+	}
+
+	fmt.Println("\nThe improvement protocol caps the broadcast hot-spot near the")
+	fmt.Println("optimum regardless of how bad the initial tree was — the paper's")
+	fmt.Println("point about reducing per-site work for broadcast.")
+}

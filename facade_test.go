@@ -1,0 +1,101 @@
+package mdegst_test
+
+import (
+	"strings"
+	"testing"
+
+	"mdegst"
+)
+
+func TestTargetDegreeOption(t *testing.T) {
+	g := mdegst.BarabasiAlbert(80, 2, 19)
+	t0, _, err := mdegst.BuildSpanningTree(g, mdegst.InitialStar, mdegst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := mdegst.Improve(g, t0, mdegst.Options{Mode: mdegst.ModeHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := mdegst.Improve(g, t0, mdegst.Options{Mode: mdegst.ModeHybrid, TargetDegree: full.FinalDegree + 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.FinalDegree > full.FinalDegree+3 {
+		t.Errorf("capped degree %d above target %d", capped.FinalDegree, full.FinalDegree+3)
+	}
+	if capped.Rounds >= full.Rounds {
+		t.Errorf("capped run took %d rounds, full %d — the cap should stop earlier", capped.Rounds, full.Rounds)
+	}
+	if capped.Improvement.Messages >= full.Improvement.Messages {
+		t.Errorf("capped run cost %d messages, full %d", capped.Improvement.Messages, full.Improvement.Messages)
+	}
+}
+
+func TestBuildSpanningTreeErrors(t *testing.T) {
+	if _, _, err := mdegst.BuildSpanningTree(mdegst.NewGraph(), mdegst.InitialFlood, mdegst.Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := mdegst.Ring(5)
+	if _, _, err := mdegst.BuildSpanningTree(g, mdegst.InitialTree(99), mdegst.Options{}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestImproveRejectsBadTree(t *testing.T) {
+	g := mdegst.Ring(6)
+	other := mdegst.Ring(8)
+	t0, _, err := mdegst.BuildSpanningTree(other, mdegst.InitialFlood, mdegst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdegst.Improve(g, t0, mdegst.Options{}); err == nil {
+		t.Error("tree of a different graph accepted")
+	}
+}
+
+func TestInitialTreeStrings(t *testing.T) {
+	names := map[mdegst.InitialTree]string{
+		mdegst.InitialFlood:    "flood",
+		mdegst.InitialDFS:      "dfs",
+		mdegst.InitialGHS:      "ghs",
+		mdegst.InitialElection: "election",
+		mdegst.InitialStar:     "star",
+		mdegst.InitialRandom:   "random",
+	}
+	for it, want := range names {
+		if it.String() != want {
+			t.Errorf("%d renders %q, want %q", int(it), it.String(), want)
+		}
+	}
+	if !strings.Contains(mdegst.InitialTree(42).String(), "42") {
+		t.Error("unknown method should render its number")
+	}
+}
+
+func TestTracingEngineFacade(t *testing.T) {
+	g := mdegst.Ring(6)
+	var events int
+	eng := mdegst.NewTracingEngine(func(mdegst.TraceEvent) { events++ })
+	if _, err := mdegst.Run(g, mdegst.Options{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Error("tracing engine reported no deliveries")
+	}
+}
+
+func TestDOTThroughFacade(t *testing.T) {
+	g := mdegst.Wheel(8)
+	res, err := mdegst.Run(g, mdegst.Options{Initial: mdegst.InitialStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Final.WriteDOT(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "spanningtree") {
+		t.Error("DOT output malformed")
+	}
+}

@@ -1,0 +1,75 @@
+package mdegst
+
+import "mdegst/internal/graph"
+
+// Graph constructors re-exported from the internal graph package so that
+// downstream users can build workloads without touching internals. All
+// generators produce connected graphs, are deterministic for a fixed seed,
+// and label nodes 0..n-1.
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Ring returns the n-cycle.
+func Ring(n int) *Graph { return graph.Ring(n) }
+
+// PathGraph returns the n-node path.
+func PathGraph(n int) *Graph { return graph.Path(n) }
+
+// Complete returns K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// StarGraph returns K_{1,n-1}, whose unique spanning tree has degree n-1.
+func StarGraph(n int) *Graph { return graph.Star(n) }
+
+// Wheel returns an (n-1)-cycle plus a hub adjacent to every cycle node.
+func Wheel(n int) *Graph { return graph.Wheel(n) }
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// Torus returns the rows x cols torus.
+func Torus(rows, cols int) *Graph { return graph.Torus(rows, cols) }
+
+// Hypercube returns the d-dimensional hypercube.
+func Hypercube(d int) *Graph { return graph.Hypercube(d) }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph { return graph.CompleteBipartite(a, b) }
+
+// Lollipop returns a k-clique with a tail path.
+func Lollipop(k, tail int) *Graph { return graph.Lollipop(k, tail) }
+
+// Caterpillar returns a spine path with pendant legs.
+func Caterpillar(spine, legs int) *Graph { return graph.Caterpillar(spine, legs) }
+
+// Gnp returns a connected Erdős–Rényi G(n,p) graph.
+func Gnp(n int, p float64, seed int64) *Graph { return graph.Gnp(n, p, seed) }
+
+// Gnm returns a uniform random connected graph with n nodes and m edges.
+func Gnm(n, m int, seed int64) *Graph { return graph.Gnm(n, m, seed) }
+
+// RandomTree returns a uniform random labelled tree.
+func RandomTree(n int, seed int64) *Graph { return graph.RandomTree(n, seed) }
+
+// TreePlusChords returns a random tree plus extra chord edges.
+func TreePlusChords(n, chords int, seed int64) *Graph { return graph.TreePlusChords(n, chords, seed) }
+
+// HamiltonianPlusChords returns a Hamiltonian path plus chords (Δ* = 2).
+func HamiltonianPlusChords(n, chords int, seed int64) *Graph {
+	return graph.HamiltonianPlusChords(n, chords, seed)
+}
+
+// RandomGeometric returns a unit-square radio-network graph.
+func RandomGeometric(n int, radius float64, seed int64) *Graph {
+	return graph.RandomGeometric(n, radius, seed)
+}
+
+// BarabasiAlbert returns a preferential-attachment graph with hubs.
+func BarabasiAlbert(n, k int, seed int64) *Graph { return graph.BarabasiAlbert(n, k, seed) }
+
+// RelabelRandom scrambles node identities, exercising the named-network
+// model; it returns the new graph and the old-to-new mapping.
+func RelabelRandom(g *Graph, seed int64) (*Graph, map[NodeID]NodeID) {
+	return graph.RelabelRandom(g, seed)
+}

@@ -1,0 +1,258 @@
+// Package exact computes ground truth for the quality experiments: the
+// optimal spanning tree degree Δ* by branch and bound (small graphs), and
+// cheap lower bounds on Δ* for graphs too large to solve exactly. The
+// paper's guarantee under scrutiny is "degree at most Δ*+1".
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"mdegst/internal/graph"
+	"mdegst/internal/tree"
+)
+
+// MaxExactNodes bounds the graph size accepted by MinDegree; beyond it the
+// search space is impractical and callers should use DegreeLowerBound.
+const MaxExactNodes = 24
+
+// MinDegree returns Δ*, the minimum over all spanning trees of the maximum
+// degree, together with one optimal tree (rooted at the smallest node).
+func MinDegree(g *graph.Graph) (int, *tree.Tree, error) {
+	if !g.IsConnected() {
+		return 0, nil, fmt.Errorf("exact: graph not connected")
+	}
+	if g.N() > MaxExactNodes {
+		return 0, nil, fmt.Errorf("exact: %d nodes exceeds limit %d", g.N(), MaxExactNodes)
+	}
+	if g.N() == 1 {
+		return 0, tree.New(g.Nodes()[0]), nil
+	}
+	lb := DegreeLowerBound(g)
+	for d := lb; d < g.N(); d++ {
+		if edges := spanningTreeWithCap(g, d); edges != nil {
+			t, err := orient(g, edges)
+			if err != nil {
+				return 0, nil, err
+			}
+			return d, t, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("exact: no spanning tree found (graph disconnected?)")
+}
+
+// HasSpanningTreeWithin reports whether g has a spanning tree of maximum
+// degree at most d.
+func HasSpanningTreeWithin(g *graph.Graph, d int) (bool, error) {
+	if !g.IsConnected() {
+		return false, fmt.Errorf("exact: graph not connected")
+	}
+	if g.N() > MaxExactNodes {
+		return false, fmt.Errorf("exact: %d nodes exceeds limit %d", g.N(), MaxExactNodes)
+	}
+	if g.N() == 1 {
+		return d >= 0, nil
+	}
+	return spanningTreeWithCap(g, d) != nil, nil
+}
+
+// DegreeLowerBound returns a lower bound on Δ*: removing any vertex v splits
+// a spanning tree into deg_T(v) subtrees, each containing a component of
+// G - v, so Δ* >= components(G-v) for every v; and any tree on n >= 3 nodes
+// has a vertex of degree at least 2.
+func DegreeLowerBound(g *graph.Graph) int {
+	lb := 1
+	if g.N() >= 3 {
+		lb = 2
+	}
+	removed := make(map[graph.NodeID]bool, 1)
+	for _, v := range g.Nodes() {
+		removed[v] = true
+		if c := len(g.ComponentsWithout(removed)); c > lb {
+			lb = c
+		}
+		delete(removed, v)
+	}
+	return lb
+}
+
+// spanningTreeWithCap searches for a spanning tree with every degree at most
+// cap, using include/exclude branch and bound over the edge list with
+// union-find components, degree budgets and connectivity pruning.
+func spanningTreeWithCap(g *graph.Graph, cap int) []graph.Edge {
+	if cap < 1 {
+		return nil
+	}
+	nodes := g.Nodes()
+	idx := make(map[graph.NodeID]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	edges := g.Edges()
+	// Order edges to find feasible trees early: prefer edges whose
+	// endpoints have few alternatives (low graph degree).
+	sort.SliceStable(edges, func(i, j int) bool {
+		di := g.Degree(edges[i].U) + g.Degree(edges[i].V)
+		dj := g.Degree(edges[j].U) + g.Degree(edges[j].V)
+		return di < dj
+	})
+
+	s := &capSearch{
+		g:      g,
+		nodes:  nodes,
+		idx:    idx,
+		edges:  edges,
+		budget: make([]int, len(nodes)),
+		uf:     newUnionFind(len(nodes)),
+		alive:  make([]bool, len(edges)),
+	}
+	for i := range s.budget {
+		s.budget[i] = cap
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	if s.search(0, len(nodes)-1) {
+		return s.chosen
+	}
+	return nil
+}
+
+type capSearch struct {
+	g      *graph.Graph
+	nodes  []graph.NodeID
+	idx    map[graph.NodeID]int
+	edges  []graph.Edge
+	budget []int
+	uf     *unionFind
+	alive  []bool
+	chosen []graph.Edge
+}
+
+// search decides edge i; need is the number of edges still required.
+func (s *capSearch) search(i, need int) bool {
+	if need == 0 {
+		return true
+	}
+	if i >= len(s.edges) || len(s.edges)-i < need {
+		return false
+	}
+	if !s.connectable(i) {
+		return false
+	}
+	e := s.edges[i]
+	ui, vi := s.idx[e.U], s.idx[e.V]
+
+	// Branch 1: include e when budgets allow and it joins two components.
+	if s.budget[ui] > 0 && s.budget[vi] > 0 && s.uf.find(ui) != s.uf.find(vi) {
+		mark := s.uf.mark()
+		s.uf.union(ui, vi)
+		s.budget[ui]--
+		s.budget[vi]--
+		s.chosen = append(s.chosen, e)
+		if s.search(i+1, need-1) {
+			return true
+		}
+		s.chosen = s.chosen[:len(s.chosen)-1]
+		s.budget[ui]++
+		s.budget[vi]++
+		s.uf.undo(mark)
+	}
+
+	// Branch 2: exclude e.
+	s.alive[i] = false
+	ok := s.search(i+1, need)
+	s.alive[i] = true
+	return ok
+}
+
+// connectable prunes branches where the remaining usable edges cannot
+// connect the current components.
+func (s *capSearch) connectable(i int) bool {
+	reach := newUnionFind(len(s.nodes))
+	for j := 0; j < len(s.nodes); j++ {
+		reach.union(s.uf.find(j), j)
+	}
+	for j := i; j < len(s.edges); j++ {
+		if !s.alive[j] {
+			continue
+		}
+		e := s.edges[j]
+		ui, vi := s.idx[e.U], s.idx[e.V]
+		if s.budget[ui] > 0 && s.budget[vi] > 0 {
+			reach.union(ui, vi)
+		}
+	}
+	r0 := reach.find(0)
+	for j := 1; j < len(s.nodes); j++ {
+		if reach.find(j) != r0 {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFind with union-by-size and an undo log (no path compression so
+// undos are exact).
+type unionFind struct {
+	parent []int
+	size   []int
+	log    []int // roots attached, for undo
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.log = append(uf.log, rb)
+}
+
+func (uf *unionFind) mark() int { return len(uf.log) }
+
+func (uf *unionFind) undo(mark int) {
+	for len(uf.log) > mark {
+		rb := uf.log[len(uf.log)-1]
+		uf.log = uf.log[:len(uf.log)-1]
+		ra := uf.parent[rb]
+		uf.size[ra] -= uf.size[rb]
+		uf.parent[rb] = rb
+	}
+}
+
+func orient(g *graph.Graph, edges []graph.Edge) (*tree.Tree, error) {
+	st := graph.New()
+	for _, v := range g.Nodes() {
+		st.AddNode(v)
+	}
+	for _, e := range edges {
+		st.MustAddEdge(e.U, e.V)
+	}
+	root := g.Nodes()[0]
+	parent := st.BFSParents(root)
+	if len(parent) != g.N() {
+		return nil, fmt.Errorf("exact: selected edges do not span")
+	}
+	return tree.FromParentMap(root, parent)
+}

@@ -1,0 +1,165 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdegst/internal/graph"
+)
+
+func TestKnownOptima(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path5", graph.Path(5), 2},
+		{"ring8", graph.Ring(8), 2},
+		{"complete6", graph.Complete(6), 2}, // Hamiltonian path
+		{"star7", graph.Star(7), 6},         // unique spanning tree
+		{"wheel8", graph.Wheel(8), 2},       // rim path + one spoke... still Hamiltonian-path-traceable
+		{"hyper3", graph.Hypercube(3), 2},   // Hamiltonian
+		// K_{2,5}: hubs split the five leaves and bridge through a shared
+		// one, e.g. a1-{b1,b2,b3}, a2-{b3,b4,b5} — degree 3.
+		{"bipartite2_5", graph.CompleteBipartite(2, 5), 3},
+		{"lollipop", graph.Lollipop(4, 3), 2},
+		{"caterpillar", graph.Caterpillar(3, 1), 3},
+		{"hamchords", graph.HamiltonianPlusChords(14, 10, 1), 2},
+		{"pair", graph.Path(2), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, tr, err := MinDegree(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Δ* = %d, want %d", got, tc.want)
+			}
+			if err := tr.Validate(tc.g); err != nil {
+				t.Fatal(err)
+			}
+			if deg, _ := tr.MaxDegree(); deg != got {
+				t.Errorf("witness tree degree %d != Δ* %d", deg, got)
+			}
+		})
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.New()
+	g.AddNode(3)
+	d, tr, err := MinDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || tr.N() != 1 {
+		t.Errorf("Δ*=%d n=%d", d, tr.N())
+	}
+}
+
+func TestHasSpanningTreeWithin(t *testing.T) {
+	g := graph.Star(6)
+	ok, err := HasSpanningTreeWithin(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("star should need degree 5")
+	}
+	ok, err = HasSpanningTreeWithin(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("star has its own spanning tree of degree 5")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := graph.New()
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if _, _, err := MinDegree(g); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, _, err := MinDegree(graph.Gnp(MaxExactNodes+5, 0.5, 1)); err == nil {
+		t.Error("oversized graph accepted")
+	}
+}
+
+func TestDegreeLowerBound(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"star", graph.Star(9), 8},
+		{"path", graph.Path(6), 2},
+		{"complete", graph.Complete(5), 2},
+		{"spider", spider(3, 4), 3},
+	}
+	for _, tc := range cases {
+		if got := DegreeLowerBound(tc.g); got != tc.want {
+			t.Errorf("%s: LB=%d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// spider returns legs paths of the given length glued at a centre.
+func spider(legs, length int) *graph.Graph {
+	g := graph.New()
+	id := graph.NodeID(1)
+	for l := 0; l < legs; l++ {
+		prev := graph.NodeID(0)
+		for s := 0; s < length; s++ {
+			g.MustAddEdge(prev, id)
+			prev = id
+			id++
+		}
+	}
+	return g
+}
+
+// Property: the lower bound never exceeds the exact optimum, and the exact
+// optimum is achieved by the witness tree.
+func TestQuickBoundsConsistent(t *testing.T) {
+	f := func(nRaw, mRaw uint8, seed int64) bool {
+		n := 4 + int(nRaw%8) // 4..11
+		m := n - 1 + int(mRaw)%n
+		g := graph.Gnm(n, m, seed)
+		lb := DegreeLowerBound(g)
+		opt, tr, err := MinDegree(g)
+		if err != nil {
+			return false
+		}
+		if lb > opt {
+			return false
+		}
+		deg, _ := tr.MaxDegree()
+		return deg == opt && tr.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no spanning tree exists below Δ*, by definition of minimum.
+func TestQuickMinimality(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := 4 + int(nRaw%7)
+		g := graph.Gnm(n, n+int(seed%int64(n)+int64(n))%n, seed)
+		opt, _, err := MinDegree(g)
+		if err != nil {
+			return false
+		}
+		if opt <= 1 {
+			return true
+		}
+		ok, err := HasSpanningTreeWithin(g, opt-1)
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package exp is the experiment harness: one driver per experiment in
+// DESIGN.md §4, each regenerating a table of the evaluation. Drivers are
+// deterministic for a fixed Config and are exercised both by cmd/mdstbench
+// and by the root-level benchmarks.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's claim this table checks
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, formatting each cell with %v (floats get %.3g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case bool:
+			if v {
+				row[i] = "yes"
+			} else {
+				row[i] = "no"
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "   claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Config scales the experiments: Seeds repetitions per cell and a size
+// factor in (0,1] to shrink workloads for quick runs.
+type Config struct {
+	Seeds int
+	Scale float64
+}
+
+// Default returns the full-size configuration used for EXPERIMENTS.md.
+func Default() Config { return Config{Seeds: 5, Scale: 1} }
+
+// Quick returns a configuration small enough for unit tests.
+func Quick() Config { return Config{Seeds: 2, Scale: 0.25} }
+
+func (c Config) seeds() int {
+	if c.Seeds <= 0 {
+		return 5
+	}
+	return c.Seeds
+}
+
+func (c Config) scale(n int) int {
+	s := c.Scale
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}

@@ -1,0 +1,140 @@
+package fr
+
+import (
+	"fmt"
+
+	"mdegst/internal/graph"
+	"mdegst/internal/tree"
+)
+
+// The classic sequential Fürer–Raghavachari local search (the paper's
+// reference [3]): starting from any spanning tree, repeatedly pick a
+// non-tree edge whose fundamental cycle passes through a maximum-degree
+// vertex while both endpoints have degree at most k-2, and exchange. The
+// sequential algorithm sees the whole graph, so unlike the distributed
+// protocol it can use any cycle, not only those through an owner's own
+// fragments — it is the quality baseline in experiment E2/A4.
+
+// Stats reports a sequential improvement run.
+type Stats struct {
+	Swaps         int
+	InitialDegree int
+	FinalDegree   int
+}
+
+// FurerRaghavachari improves the initial tree until no exchange can reduce
+// a maximum-degree vertex, returning the improved tree rooted at the
+// graph's smallest node.
+func FurerRaghavachari(g *graph.Graph, initial *tree.Tree) (*tree.Tree, Stats, error) {
+	return localSearch(g, initial, false)
+}
+
+// Strict additionally clears degree-(k-1) blockers: when no exchange helps a
+// maximum-degree vertex, it exchanges at degree-(k-1) vertices on cycles
+// whose endpoints have degree at most k-3. Every exchange strictly decreases
+// the potential sum of 3^degree, so the search terminates; the result
+// satisfies the full local optimality of FR's Theorem 1 more often than the
+// plain variant (measured in experiment A4).
+func Strict(g *graph.Graph, initial *tree.Tree) (*tree.Tree, Stats, error) {
+	return localSearch(g, initial, true)
+}
+
+func localSearch(g *graph.Graph, initial *tree.Tree, strict bool) (*tree.Tree, Stats, error) {
+	if err := initial.Validate(g); err != nil {
+		return nil, Stats{}, fmt.Errorf("fr: initial tree invalid: %w", err)
+	}
+	st := initial.ToGraph()
+	stats := Stats{}
+	stats.InitialDegree, _ = initial.MaxDegree()
+
+	for {
+		k := st.MaxDegree()
+		if k <= 2 {
+			break
+		}
+		if swapAt(g, st, k, k, k-2) {
+			stats.Swaps++
+			continue
+		}
+		if strict && k >= 3 && swapAt(g, st, k, k-1, k-3) {
+			stats.Swaps++
+			continue
+		}
+		break
+	}
+
+	root := g.Nodes()[0]
+	t, err := bfsOrient(st, root)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.FinalDegree, _ = t.MaxDegree()
+	return t, stats, nil
+}
+
+// swapAt looks for a non-tree edge (a,b) with both endpoint degrees at most
+// capDeg whose tree path contains a vertex of degree exactly targetDeg, and
+// applies the exchange at the first such vertex. Candidate edges are scanned
+// in ascending order so the search is deterministic.
+func swapAt(g, st *graph.Graph, k, targetDeg, capDeg int) bool {
+	for _, e := range g.Edges() {
+		a, b := e.U, e.V
+		if st.HasEdge(a, b) {
+			continue
+		}
+		if st.Degree(a) > capDeg || st.Degree(b) > capDeg {
+			continue
+		}
+		path := treePath(st, a, b)
+		for i := 1; i < len(path)-1; i++ {
+			if st.Degree(path[i]) == targetDeg {
+				// Exchange: remove a cycle edge at the blocked vertex,
+				// add (a,b).
+				st.RemoveEdge(path[i], path[i-1])
+				st.MustAddEdge(a, b)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// treePath returns the unique path from a to b in the tree graph st.
+func treePath(st *graph.Graph, a, b graph.NodeID) []graph.NodeID {
+	parent := map[graph.NodeID]graph.NodeID{a: a}
+	queue := []graph.NodeID{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == b {
+			break
+		}
+		for _, w := range st.Neighbors(u) {
+			if _, ok := parent[w]; !ok {
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	var rev []graph.NodeID
+	for cur := b; ; cur = parent[cur] {
+		rev = append(rev, cur)
+		if cur == a {
+			break
+		}
+	}
+	path := make([]graph.NodeID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// bfsOrient roots the undirected tree graph at root.
+func bfsOrient(st *graph.Graph, root graph.NodeID) (*tree.Tree, error) {
+	parent := st.BFSParents(root)
+	if len(parent) != st.N() {
+		return nil, fmt.Errorf("fr: tree graph not connected")
+	}
+	return tree.FromParentMap(root, parent)
+}

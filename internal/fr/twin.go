@@ -1,0 +1,274 @@
+// Package fr provides the sequential counterparts of the distributed
+// improvement protocol:
+//
+//   - Twin: a step-for-step sequential replica of internal/mdst with
+//     identical tie-breaking, used as a differential-testing oracle and to
+//     compute k*, the degree of the paper's Locally Optimal Tree, which the
+//     complexity bounds O((k-k*)·m) and O((k-k*)·n) are stated against.
+//   - FurerRaghavachari: the classic sequential local search the paper
+//     builds on (reference [3]), using global cycle information.
+//   - Strict: an extended variant that also clears degree-(k-1) blockers,
+//     reaching the local optimality condition of FR's Theorem 1.
+package fr
+
+import (
+	"fmt"
+	"sort"
+
+	"mdegst/internal/graph"
+	"mdegst/internal/mdst"
+	"mdegst/internal/tree"
+)
+
+// TwinStats mirrors the distributed run's round/exchange accounting.
+type TwinStats struct {
+	Rounds        int
+	Swaps         int
+	InitialDegree int
+	FinalDegree   int
+}
+
+// twinReport matches internal/mdst's edge report ordering exactly.
+type twinReport struct {
+	u, v   graph.NodeID
+	du, dv int
+}
+
+func (r twinReport) key() [4]int64 {
+	maxd, mind := r.du, r.dv
+	if mind > maxd {
+		maxd, mind = mind, maxd
+	}
+	minID, maxID := r.u, r.v
+	if minID > maxID {
+		minID, maxID = maxID, minID
+	}
+	return [4]int64{int64(maxd), int64(mind), int64(minID), int64(maxID)}
+}
+
+func (r twinReport) better(o twinReport) bool {
+	a, b := r.key(), o.key()
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Twin runs the sequential replica of the distributed protocol in the given
+// mode, starting from a clone of initial, and returns the improved tree.
+// For equal inputs its result tree (including root placement and edge
+// orientation) is identical to the distributed protocol's.
+func Twin(g *graph.Graph, initial *tree.Tree, mode mdst.Mode) (*tree.Tree, TwinStats, error) {
+	return TwinTarget(g, initial, mode, 0)
+}
+
+// TwinTarget is Twin with the degree-target stop used by mdst.RunTarget.
+func TwinTarget(g *graph.Graph, initial *tree.Tree, mode mdst.Mode, target int) (*tree.Tree, TwinStats, error) {
+	if err := initial.Validate(g); err != nil {
+		return nil, TwinStats{}, fmt.Errorf("fr: initial tree invalid: %w", err)
+	}
+	stop := 2
+	if target > 2 {
+		stop = target
+	}
+	t := initial.Clone()
+	stats := TwinStats{}
+	stats.InitialDegree, _ = t.MaxDegree()
+	exhausted := make(map[graph.NodeID]bool)
+	phase := mdst.Multi
+	if mode == mdst.Single {
+		phase = mdst.Single
+	}
+
+	for {
+		stats.Rounds++
+		k, maxNodes := t.MaxDegree()
+		if k <= stop {
+			break
+		}
+		if phase == mdst.Single {
+			// SearchDegree: minimum identity among eligible nodes.
+			var p graph.NodeID
+			found := false
+			for _, v := range maxNodes { // ascending
+				if !exhausted[v] {
+					p = v
+					found = true
+					break
+				}
+			}
+			if !found {
+				break // all maximum-degree nodes exhausted
+			}
+			t.Reroot(p) // MoveRoot (path reversal)
+			if twinRoundSingle(g, t, p, k) {
+				stats.Swaps++
+				for v := range exhausted {
+					delete(exhausted, v)
+				}
+			} else {
+				exhausted[p] = true
+			}
+			continue
+		}
+		// Multi phase: every maximum-degree node exchanges concurrently.
+		t.Reroot(maxNodes[0])
+		n := twinRoundMulti(g, t, k)
+		stats.Swaps += n
+		if n == 0 {
+			if mode == mdst.Hybrid {
+				phase = mdst.Single
+				continue
+			}
+			break
+		}
+	}
+	stats.FinalDegree, _ = t.MaxDegree()
+	return t, stats, nil
+}
+
+// twinRoundSingle mirrors one Single-mode round at acting root p: fragments
+// are p's child subtrees; the best usable outgoing edge (if any) is applied.
+func twinRoundSingle(g *graph.Graph, t *tree.Tree, p graph.NodeID, k int) bool {
+	// Fragment of every node = the child of p whose subtree contains it.
+	frag := make(map[graph.NodeID]graph.NodeID, t.N())
+	for _, c := range t.Children[p] {
+		for _, x := range t.SubtreeNodes(c) {
+			frag[x] = c
+		}
+	}
+	best, ok := bestUsableEdge(g, t, k, func(a, b graph.NodeID) (graph.NodeID, graph.NodeID, bool) {
+		fa, fb := frag[a], frag[b]
+		if a == p || b == p || fa == fb {
+			return 0, 0, false
+		}
+		return fa, fb, true
+	})
+	if !ok {
+		return false
+	}
+	applySwap(t, p, frag[best.u], best)
+	return true
+}
+
+// twinRoundMulti mirrors one Multi-mode round: fragments are the components
+// of T minus the maximum-degree set S, each owned by the S-node above it;
+// every owner applies its best internal edge. Returns the number of
+// exchanges applied.
+func twinRoundMulti(g *graph.Graph, t *tree.Tree, k int) int {
+	inS := make(map[graph.NodeID]bool)
+	_, maxNodes := t.MaxDegree()
+	for _, v := range maxNodes {
+		inS[v] = true
+	}
+	// Walk the tree from the root labelling fragments: a child of an
+	// S-node starts a new fragment (owner = that S-node, root = child); a
+	// child of a member inherits its fragment.
+	type fragInfo struct{ owner, root graph.NodeID }
+	frag := make(map[graph.NodeID]fragInfo, t.N())
+	var walk func(v graph.NodeID)
+	walk = func(v graph.NodeID) {
+		for _, c := range t.Children[v] {
+			if !inS[c] {
+				if inS[v] {
+					frag[c] = fragInfo{owner: v, root: c}
+				} else {
+					frag[c] = frag[v]
+				}
+			}
+			walk(c)
+		}
+	}
+	if !inS[t.Root] {
+		// The root is an owner only if it has maximum degree; otherwise its
+		// component has no owner above it and takes part in no exchange.
+		frag[t.Root] = fragInfo{owner: noOwner, root: t.Root}
+	}
+	walk(t.Root)
+
+	// Best internal edge per owner.
+	best := make(map[graph.NodeID]twinReport)
+	for _, e := range g.Edges() {
+		a, b := e.U, e.V
+		if t.HasEdge(a, b) || inS[a] || inS[b] {
+			continue
+		}
+		fa, fb := frag[a], frag[b]
+		if fa.owner != fb.owner || fa.owner == noOwner || fa.root == fb.root {
+			continue
+		}
+		da, db := t.Degree(a), t.Degree(b)
+		if da > k-2 || db > k-2 {
+			continue
+		}
+		// Recording side: the endpoint in the smaller fragment identity
+		// (owners equal, so smaller fragment root).
+		u, v := a, b
+		if fb.root < fa.root {
+			u, v = b, a
+		}
+		rep := twinReport{u: u, v: v, du: t.Degree(u), dv: t.Degree(v)}
+		if cur, ok := best[fa.owner]; !ok || rep.better(cur) {
+			best[fa.owner] = rep
+		}
+	}
+	owners := make([]graph.NodeID, 0, len(best))
+	for o := range best {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, o := range owners {
+		rep := best[o]
+		applySwap(t, o, frag[rep.u].root, rep)
+	}
+	return len(owners)
+}
+
+const noOwner graph.NodeID = -1
+
+// bestUsableEdge scans all non-tree edges, applies the degree filter and the
+// caller's fragment predicate, and returns the minimum-key report with u on
+// the smaller-fragment side.
+func bestUsableEdge(g *graph.Graph, t *tree.Tree, k int, fragOf func(a, b graph.NodeID) (graph.NodeID, graph.NodeID, bool)) (twinReport, bool) {
+	var best twinReport
+	found := false
+	for _, e := range g.Edges() {
+		a, b := e.U, e.V
+		if t.HasEdge(a, b) {
+			continue
+		}
+		fa, fb, ok := fragOf(a, b)
+		if !ok {
+			continue
+		}
+		if t.Degree(a) > k-2 || t.Degree(b) > k-2 {
+			continue
+		}
+		u, v := a, b
+		if fb < fa {
+			u, v = b, a
+		}
+		rep := twinReport{u: u, v: v, du: t.Degree(u), dv: t.Degree(v)}
+		if !found || rep.better(best) {
+			best, found = rep, true
+		}
+	}
+	return best, found
+}
+
+// applySwap performs the exchange exactly as the distributed Update/Child
+// chain does: cut the arrival child below the owner, re-root the detached
+// subtree at u, reattach under v.
+func applySwap(t *tree.Tree, owner, arrival graph.NodeID, rep twinReport) {
+	if err := t.CutChild(owner, arrival); err != nil {
+		panic(fmt.Sprintf("fr: %v", err))
+	}
+	if err := t.RerootSubtree(arrival, rep.u); err != nil {
+		panic(fmt.Sprintf("fr: %v", err))
+	}
+	if err := t.AttachExisting(rep.v, rep.u); err != nil {
+		panic(fmt.Sprintf("fr: %v", err))
+	}
+}

@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkGnp(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Gnp(n, 8.0/float64(n), int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkBarabasiAlbert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(512, 2, int64(i))
+	}
+}
+
+func BenchmarkRandomTreePrufer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RandomTree(512, int64(i))
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	g := Gnp(512, 0.01, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Components()
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := Gnm(256, 2048, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(NodeID(i%256), NodeID((i*7)%256))
+	}
+}

@@ -1,0 +1,256 @@
+// Package graph provides the undirected graph substrate used by every other
+// package in this module: a deterministic adjacency-list representation,
+// workload generators for the experiment harness, structural queries
+// (connectivity, components, degrees) and a plain-text edge-list format.
+//
+// All iteration orders are deterministic: node and neighbour lists are kept
+// sorted, so algorithms built on top of this package are reproducible for a
+// fixed seed regardless of map iteration order.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID names a processor in the network. The paper's model requires
+// distinct identities; IDs need not be contiguous.
+type NodeID int64
+
+// Edge is an undirected edge stored in normalised form (U < V).
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the normalised edge {min(a,b), max(a,b)}.
+func NewEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x NodeID) NodeID {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", x, e))
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple undirected graph (no self-loops, no multi-edges).
+// The zero value is an empty graph ready to use.
+type Graph struct {
+	adj   map[NodeID][]NodeID // sorted neighbour lists
+	nodes []NodeID            // sorted; kept in sync with adj
+	dirty bool                // nodes needs re-sorting
+	m     int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID][]NodeID)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, v := range g.Nodes() {
+		c.AddNode(v)
+	}
+	for _, e := range g.Edges() {
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// AddNode inserts an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(v NodeID) {
+	if g.adj == nil {
+		g.adj = make(map[NodeID][]NodeID)
+	}
+	if _, ok := g.adj[v]; ok {
+		return
+	}
+	g.adj[v] = nil
+	g.nodes = append(g.nodes, v)
+	g.dirty = true
+}
+
+// HasNode reports whether v is a node of g.
+func (g *Graph) HasNode(v NodeID) bool {
+	_, ok := g.adj[v]
+	return ok
+}
+
+// AddEdge inserts the undirected edge (u,v), creating missing endpoints.
+// Self-loops and duplicate edges are rejected with an error.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge %v", NewEdge(u, v))
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where duplicates are bugs.
+func (g *Graph) MustAddEdge(u, v NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the undirected edge (u,v) if present and reports
+// whether it was removed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.m--
+	return true
+}
+
+// HasEdge reports whether the undirected edge (u,v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	ns := g.adj[u]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Nodes returns the nodes in ascending order. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Nodes() []NodeID {
+	if g.dirty {
+		sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+		g.dirty = false
+	}
+	return g.nodes
+}
+
+// Neighbors returns v's neighbours in ascending order. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum node degree of g (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, v := range g.Nodes() {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum node degree of g (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	min := g.N()
+	for _, v := range g.Nodes() {
+		if d := g.Degree(v); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// DegreeHistogram returns a map degree -> number of nodes with that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, v := range g.Nodes() {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Edges returns all edges in normalised, ascending order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for _, u := range g.Nodes() {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, Edge{U: u, V: v})
+			}
+		}
+	}
+	return es
+}
+
+// IsTree reports whether g is connected and has exactly n-1 edges.
+func (g *Graph) IsTree() bool {
+	return g.N() > 0 && g.m == g.N()-1 && g.IsConnected()
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
+}
+
+// Validate checks internal invariants (sorted adjacency, symmetry, edge
+// count). It is used by tests and costs O(n+m).
+func (g *Graph) Validate() error {
+	count := 0
+	for v, ns := range g.adj {
+		if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] < ns[j] }) {
+			return fmt.Errorf("graph: neighbours of %d not sorted", v)
+		}
+		for i, w := range ns {
+			if i > 0 && ns[i-1] == w {
+				return fmt.Errorf("graph: duplicate neighbour %d of %d", w, v)
+			}
+			if w == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if !g.HasEdge(w, v) {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, w)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: have %d half-edges, want %d", count, 2*g.m)
+	}
+	return nil
+}
+
+func insertSorted(ns []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	ns = append(ns, 0)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = v
+	return ns
+}
+
+func removeSorted(ns []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i < len(ns) && ns[i] == v {
+		return append(ns[:i], ns[i+1:]...)
+	}
+	return ns
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as plain text: a header line "n m" listing node and
+// edge counts, one line per isolated node ("v ID"), and one line per edge
+// ("ID ID"). Lines starting with '#' are comments.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, v := range g.Nodes() {
+		if g.Degree(v) == 0 {
+			if _, err := fmt.Fprintf(bw, "v %d\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	g := New()
+	header := false
+	wantN, wantM := -1, -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case !header:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want header \"n m\", got %q", line, text)
+			}
+			var err error
+			if wantN, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node count: %v", line, err)
+			}
+			if wantM, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", line, err)
+			}
+			header = true
+		case fields[0] == "v":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"v ID\", got %q", line, text)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node ID: %v", line, err)
+			}
+			g.AddNode(NodeID(id))
+		default:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"ID ID\", got %q", line, text)
+			}
+			u, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %v", line, err)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %v", line, err)
+			}
+			if err := g.AddEdge(NodeID(u), NodeID(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if g.N() != wantN || g.M() != wantM {
+		return nil, fmt.Errorf("graph: header promises n=%d m=%d, body has n=%d m=%d", wantN, wantM, g.N(), g.M())
+	}
+	return g, nil
+}

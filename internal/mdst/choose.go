@@ -1,0 +1,65 @@
+package mdst
+
+import (
+	"fmt"
+
+	"mdegst/internal/sim"
+)
+
+// Exchange application: Update travels the via chain reversing the path,
+// Child performs the reattachment, RoundDone tells the owner (paper §3.2.5).
+
+func (n *Node) onUpdate(ctx sim.Context, from sim.NodeID, msg mUpdate) {
+	// On every hop after the first, the sender (our former parent) has
+	// reversed its pointer and is now our child; on the first hop the
+	// sender is the owner that just cut us.
+	if n.id == msg.u {
+		// "If e is an outgoing edge of x: the node at the next extremity
+		// of e becomes the parent of x."
+		if !msg.first {
+			n.addChild(from)
+		}
+		n.parent = msg.v
+		n.hasParent = true
+		ctx.Send(msg.v, mChild{round: n.round})
+		return
+	}
+	// "Else: the identity found in its via variable becomes its parent and
+	// the same identity is suppressed from the set of its children."
+	if !n.hasReport || n.report.u != msg.u || n.report.v != msg.v {
+		panic(fmt.Sprintf("mdst: node %d got update for edge (%d,%d) it did not report", n.id, msg.u, msg.v))
+	}
+	via := n.reportVia
+	if via == n.id {
+		panic(fmt.Sprintf("mdst: node %d is not %d yet has a self via", n.id, msg.u))
+	}
+	if !msg.first {
+		n.addChild(from)
+	}
+	n.removeChild(via)
+	n.parent = via
+	n.hasParent = true
+	ctx.Send(via, mUpdate{round: n.round, u: msg.u, v: msg.v, first: false})
+}
+
+func (n *Node) onChild(ctx sim.Context, from sim.NodeID, msg mChild) {
+	// "Upon receipt of the child message from x, the node y adds x to its
+	// children set." The round is complete; tell the waiting owner.
+	n.addChild(from)
+	if !n.hasParent {
+		panic(fmt.Sprintf("mdst: reattachment endpoint %d has no parent", n.id))
+	}
+	ctx.Send(n.parent, mRoundDone{round: n.round})
+}
+
+func (n *Node) onRoundDone(ctx sim.Context, from sim.NodeID, msg mRoundDone) {
+	if n.isOwner && n.awaitingDone {
+		n.awaitingDone = false
+		n.finishOwner(ctx)
+		return
+	}
+	if !n.hasParent {
+		panic(fmt.Sprintf("mdst: root %d received round-done it was not awaiting", n.id))
+	}
+	ctx.Send(n.parent, mRoundDone{round: n.round})
+}

@@ -1,0 +1,183 @@
+package mdst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdegst/internal/sim"
+)
+
+// White-box tests of the protocol's pure pieces: the SearchDegree aggregate,
+// the edge-report total order and the fragment-identity order. These are the
+// three places where determinism and delivery-order independence are decided.
+
+func TestMergeAggLattice(t *testing.T) {
+	cases := []struct {
+		a, b, want degAgg
+	}{
+		{degAgg{5, 3}, degAgg{4, 1}, degAgg{5, 3}},           // higher degree wins
+		{degAgg{4, 1}, degAgg{5, 3}, degAgg{5, 3}},           // commutes
+		{degAgg{5, 7}, degAgg{5, 3}, degAgg{5, 3}},           // same degree: min id
+		{degAgg{5, noCand}, degAgg{5, 3}, degAgg{5, 3}},      // candidate beats none
+		{degAgg{5, 3}, degAgg{5, noCand}, degAgg{5, 3}},      // either side
+		{degAgg{5, noCand}, degAgg{4, 2}, degAgg{5, noCand}}, // degree still dominates
+		{degAgg{3, noCand}, degAgg{3, noCand}, degAgg{3, noCand}},
+	}
+	for _, tc := range cases {
+		if got := mergeAgg(tc.a, tc.b); got != tc.want {
+			t.Errorf("merge(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: mergeAgg is commutative and associative — the requirement for
+// the convergecast to be delivery-order independent.
+func TestQuickMergeAggAlgebra(t *testing.T) {
+	gen := func(k uint8, cand int16) degAgg {
+		c := noCand
+		if cand >= 0 {
+			c = sim.NodeID(cand)
+		}
+		return degAgg{k: int(k % 16), cand: c}
+	}
+	f := func(k1, k2, k3 uint8, c1, c2, c3 int16) bool {
+		a, b, c := gen(k1, c1), gen(k2, c2), gen(k3, c3)
+		if mergeAgg(a, b) != mergeAgg(b, a) {
+			return false
+		}
+		return mergeAgg(mergeAgg(a, b), c) == mergeAgg(a, mergeAgg(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeReportOrder(t *testing.T) {
+	low := edgeReport{u: 1, v: 2, du: 2, dv: 2}
+	highDeg := edgeReport{u: 1, v: 2, du: 2, dv: 5}
+	if !low.better(highDeg) {
+		t.Error("smaller max endpoint degree must win (the paper's Choose rule)")
+	}
+	tieSmallerIDs := edgeReport{u: 0, v: 9, du: 2, dv: 2}
+	if !tieSmallerIDs.better(low) {
+		t.Error("equal degrees: smaller min endpoint id must win")
+	}
+	if low.better(low) {
+		t.Error("irreflexive")
+	}
+	// Symmetric endpoints must not affect the key.
+	a := edgeReport{u: 3, v: 7, du: 4, dv: 2}
+	b := edgeReport{u: 7, v: 3, du: 2, dv: 4}
+	if a.key() != b.key() {
+		t.Error("key must be endpoint-order invariant")
+	}
+}
+
+// Property: better is a strict total order on distinct keys.
+func TestQuickEdgeReportTotalOrder(t *testing.T) {
+	gen := func(u, v uint8, du, dv uint8) edgeReport {
+		return edgeReport{u: sim.NodeID(u), v: sim.NodeID(v) + 256, du: int(du % 8), dv: int(dv % 8)}
+	}
+	f := func(x1, x2, x3, x4, y1, y2, y3, y4 uint8) bool {
+		a, b := gen(x1, x2, x3, x4), gen(y1, y2, y3, y4)
+		if a.key() == b.key() {
+			return !a.better(b) && !b.better(a)
+		}
+		return a.better(b) != b.better(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFragIDOrderOwnerMajor(t *testing.T) {
+	// The paper's "(r,r') < (p,p')" comparison: owner id dominates.
+	a := fragID{owner: 1, root: 9}
+	b := fragID{owner: 2, root: 0}
+	if !a.less(b) || b.less(a) {
+		t.Error("owner must dominate the comparison")
+	}
+	c := fragID{owner: 1, root: 3}
+	if !c.less(a) || a.less(c) {
+		t.Error("equal owners: fragment root decides")
+	}
+	if a.less(a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Single.String() != "single" || Multi.String() != "multi" || Hybrid.String() != "hybrid" {
+		t.Error("mode names wrong")
+	}
+	if Mode(42).String() != "Mode(42)" {
+		t.Errorf("unknown mode renders %q", Mode(42).String())
+	}
+	if Single.initialPhase() != Single || Multi.initialPhase() != Multi || Hybrid.initialPhase() != Multi {
+		t.Error("initial phases wrong")
+	}
+}
+
+func TestStopDegree(t *testing.T) {
+	n := &Node{}
+	if n.stopDegree() != 2 {
+		t.Errorf("default stop = %d", n.stopDegree())
+	}
+	n.target = 1
+	if n.stopDegree() != 2 {
+		t.Error("targets below 2 behave as unbounded")
+	}
+	n.target = 7
+	if n.stopDegree() != 7 {
+		t.Errorf("stop = %d, want 7", n.stopDegree())
+	}
+}
+
+func TestChildListMaintenance(t *testing.T) {
+	n := &Node{}
+	for _, c := range []sim.NodeID{5, 1, 9, 3} {
+		n.addChild(c)
+	}
+	want := []sim.NodeID{1, 3, 5, 9}
+	for i, c := range n.children {
+		if c != want[i] {
+			t.Fatalf("children %v, want %v", n.children, want)
+		}
+	}
+	n.removeChild(5)
+	if len(n.children) != 3 || n.children[2] != 9 {
+		t.Fatalf("after remove: %v", n.children)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("removing a missing child must panic (protocol invariant)")
+		}
+	}()
+	n.removeChild(42)
+}
+
+func TestMessageWords(t *testing.T) {
+	// The bit-complexity accounting depends on these sizes; pin them.
+	cases := []struct {
+		m    interface{ Words() int }
+		want int
+	}{
+		{mStart{}, 4},
+		{mDeg{}, 4},
+		{mMove{}, 4},
+		{mCut{}, 4},
+		{mBFS{}, 5},
+		{mCousin{}, 5},
+		{mBFSBack{}, 3},
+		{mBFSBack{hasReport: true}, 9},
+		{mUpdate{}, 5},
+		{mChild{}, 2},
+		{mRoundDone{}, 2},
+		{mTerm{}, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Words(); got != tc.want {
+			t.Errorf("%T words = %d, want %d", tc.m, got, tc.want)
+		}
+	}
+}

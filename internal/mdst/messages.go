@@ -1,0 +1,197 @@
+package mdst
+
+import "mdegst/internal/sim"
+
+// Message vocabulary of the improvement protocol. Every message carries its
+// round number so the engines can attribute counts per round and the nodes
+// can defer messages that arrive ahead of their local round (needed only
+// under non-FIFO delivery; under the paper's FIFO channels the round tags
+// act as assertions).
+//
+// Words counts the identities/integers carried including the kind tag,
+// implementing the paper's "at most four numbers or identities by message"
+// bit-complexity accounting (our BFSBack aggregate is larger; see DESIGN.md
+// deviation notes and experiment E6).
+
+// noCand marks the absence of an improvement candidate in the SearchDegree
+// convergecast (all maximum-degree nodes exhausted).
+const noCand sim.NodeID = -1
+
+// mStart begins a round: broadcast from the acting root down the tree.
+// clear resets the "exhausted" flags after a successful exchange; phase is
+// the round's mode (Single or Multi — Hybrid runs switch mid-algorithm).
+type mStart struct {
+	round int
+	clear bool
+	phase Mode
+}
+
+// mDeg is the SearchDegree convergecast: the maximum tree degree in the
+// sender's subtree and the minimum identity of an eligible node attaining
+// it (noCand if none).
+type mDeg struct {
+	round int
+	k     int
+	cand  sim.NodeID
+}
+
+// mMove implements MoveRoot: it travels along the stored "via" pointers
+// toward the target, reversing the root path as it goes.
+type mMove struct {
+	round  int
+	k      int
+	target sim.NodeID
+}
+
+// mCut is the paper's <cut, k, p>: the owner virtually severs its children,
+// making each the root of a fragment.
+type mCut struct {
+	round int
+	k     int
+	owner sim.NodeID
+}
+
+// mBFS is the paper's <BFS, k, p, p'> fragment wave.
+type mBFS struct {
+	round    int
+	k        int
+	owner    sim.NodeID
+	fragRoot sim.NodeID
+}
+
+// mCousin answers a BFS probe across a non-tree edge: the replier's tree
+// degree and fragment identity, from which the probing side records an
+// outgoing edge (the paper's "cousin" answer).
+type mCousin struct {
+	round    int
+	deg      int
+	owner    sim.NodeID
+	fragRoot sim.NodeID
+}
+
+// mBFSBack is the aggregate convergecast up a fragment: the best outgoing
+// edge found in the sender's subtree (the paper's "BFSBack" with the
+// parenthesised edge slot) plus the multi-root improvement flag.
+type mBFSBack struct {
+	round     int
+	hasReport bool
+	report    edgeReport
+	improved  bool
+}
+
+// mUpdate travels from the owner down the via chain to the chosen outgoing
+// edge, reversing the path (the paper's "update" message).
+type mUpdate struct {
+	round int
+	u, v  sim.NodeID
+	first bool // true on the hop leaving the owner (the cut edge)
+}
+
+// mChild is the paper's "child" message: the reattachment handshake.
+type mChild struct {
+	round int
+}
+
+// mRoundDone notifies the waiting owner that its exchange completed ("a
+// round is terminated when a node received a child message"); the paper
+// does not say how the root learns this, so we convergecast it (deviation
+// documented in DESIGN.md).
+type mRoundDone struct {
+	round int
+}
+
+// mTerm is the final broadcast: the tree is locally optimal (or a chain);
+// every node learns termination by process.
+type mTerm struct {
+	round int
+}
+
+func (m mStart) Kind() string      { return "mdst.start" }
+func (m mStart) Words() int        { return 4 }
+func (m mStart) MsgRound() int     { return m.round }
+func (m mDeg) Kind() string        { return "mdst.deg" }
+func (m mDeg) Words() int          { return 4 }
+func (m mDeg) MsgRound() int       { return m.round }
+func (m mMove) Kind() string       { return "mdst.move" }
+func (m mMove) Words() int         { return 4 }
+func (m mMove) MsgRound() int      { return m.round }
+func (m mCut) Kind() string        { return "mdst.cut" }
+func (m mCut) Words() int          { return 4 }
+func (m mCut) MsgRound() int       { return m.round }
+func (m mBFS) Kind() string        { return "mdst.bfs" }
+func (m mBFS) Words() int          { return 5 }
+func (m mBFS) MsgRound() int       { return m.round }
+func (m mCousin) Kind() string     { return "mdst.cousin" }
+func (m mCousin) Words() int       { return 5 }
+func (m mCousin) MsgRound() int    { return m.round }
+func (m mBFSBack) Kind() string    { return "mdst.bfsback" }
+func (m mBFSBack) MsgRound() int   { return m.round }
+func (m mUpdate) Kind() string     { return "mdst.update" }
+func (m mUpdate) Words() int       { return 5 }
+func (m mUpdate) MsgRound() int    { return m.round }
+func (m mChild) Kind() string      { return "mdst.child" }
+func (m mChild) Words() int        { return 2 }
+func (m mChild) MsgRound() int     { return m.round }
+func (m mRoundDone) Kind() string  { return "mdst.rounddone" }
+func (m mRoundDone) Words() int    { return 2 }
+func (m mRoundDone) MsgRound() int { return m.round }
+func (m mTerm) Kind() string       { return "mdst.term" }
+func (m mTerm) Words() int         { return 2 }
+func (m mTerm) MsgRound() int      { return m.round }
+
+func (m mBFSBack) Words() int {
+	if m.hasReport {
+		return 9
+	}
+	return 3
+}
+
+// edgeReport describes a recorded outgoing edge: u is the endpoint on the
+// recording (smaller fragment identity) side, v the far endpoint, du/dv
+// their tree degrees at recording time, vroot the far fragment's root (the
+// owner is implied: reports never cross owners).
+type edgeReport struct {
+	u, v   sim.NodeID
+	du, dv int
+	vroot  sim.NodeID
+}
+
+// key is the total order used everywhere an edge is chosen: primarily the
+// paper's rule "the outgoing edge whose maximal degree of its extremities is
+// minimal", with identity tie-breaks so that every aggregation is
+// deterministic and delivery-order independent.
+func (r edgeReport) key() [4]int64 {
+	maxd, mind := r.du, r.dv
+	if mind > maxd {
+		maxd, mind = mind, maxd
+	}
+	minID, maxID := r.u, r.v
+	if minID > maxID {
+		minID, maxID = maxID, minID
+	}
+	return [4]int64{int64(maxd), int64(mind), int64(minID), int64(maxID)}
+}
+
+// better reports whether r precedes o in the choosing order.
+func (r edgeReport) better(o edgeReport) bool {
+	a, b := r.key(), o.key()
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// fragID orders fragment identities (owner-major), the paper's
+// "(r,r') < (p,p')" comparison.
+type fragID struct {
+	owner, root sim.NodeID
+}
+
+func (f fragID) less(o fragID) bool {
+	if f.owner != o.owner {
+		return f.owner < o.owner
+	}
+	return f.root < o.root
+}

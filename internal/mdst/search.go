@@ -1,0 +1,138 @@
+package mdst
+
+import (
+	"fmt"
+
+	"mdegst/internal/sim"
+)
+
+// SearchDegree and MoveRoot (paper §3.2.1, §3.2.2).
+
+// startRound is executed by the current tree root: it broadcasts mStart and
+// begins the SearchDegree convergecast.
+func (n *Node) startRound(ctx sim.Context, round int, clear bool) {
+	n.round = round
+	n.resetRound()
+	if clear {
+		n.exhausted = false
+	}
+	n.agg = n.ownContribution()
+	n.searchPending = len(n.children)
+	for _, c := range n.children {
+		ctx.Send(c, mStart{round: round, clear: clear, phase: n.phase})
+	}
+	if n.searchPending == 0 {
+		n.decide(ctx) // single-node tree
+	}
+}
+
+func (n *Node) onStart(ctx sim.Context, from sim.NodeID, msg mStart) {
+	if msg.round != n.round+1 {
+		panic(fmt.Sprintf("mdst: node %d in round %d got start of round %d", n.id, n.round, msg.round))
+	}
+	n.round = msg.round
+	n.phase = msg.phase
+	n.resetRound()
+	if msg.clear {
+		n.exhausted = false
+	}
+	n.agg = n.ownContribution()
+	n.searchPending = len(n.children)
+	for _, c := range n.children {
+		ctx.Send(c, mStart{round: msg.round, clear: msg.clear, phase: msg.phase})
+	}
+	if n.searchPending == 0 {
+		// Leaf: "every leaf of the ST sends a message with its degree".
+		ctx.Send(n.parent, mDeg{round: n.round, k: n.agg.k, cand: n.agg.cand})
+	}
+}
+
+func (n *Node) onDeg(ctx sim.Context, from sim.NodeID, msg mDeg) {
+	child := degAgg{k: msg.k, cand: msg.cand}
+	// Any change to the aggregate means the child's subtree supplied the
+	// winning entry, so the via pointer follows it ("each node keeps, in a
+	// variable named via, by which processor arrived the maximum degree
+	// with minimum identity").
+	if merged := mergeAgg(n.agg, child); merged != n.agg {
+		n.agg = merged
+		n.via = from
+	}
+	n.searchPending--
+	if n.searchPending > 0 {
+		return
+	}
+	if n.hasParent {
+		ctx.Send(n.parent, mDeg{round: n.round, k: n.agg.k, cand: n.agg.cand})
+		return
+	}
+	n.decide(ctx)
+}
+
+// decide runs at the root once the whole tree reported: terminate, act as
+// owner, or move the root toward the chosen maximum-degree node.
+func (n *Node) decide(ctx sim.Context) {
+	n.kAll = n.agg.k
+	// "until no improvement is found or k = 2 (the tree is a chain)" —
+	// or the caller's degree target is met.
+	if n.kAll <= n.stopDegree() {
+		n.terminate(ctx)
+		return
+	}
+	if n.agg.cand == noCand {
+		// Single mode: every maximum-degree node is exhausted — the tree
+		// is locally optimal for all of them.
+		n.terminate(ctx)
+		return
+	}
+	if n.agg.cand == n.id {
+		n.becomeOwner(ctx, n.kAll)
+		return
+	}
+	// MoveRoot with path reversal: "Neighbour via becomes the parent".
+	target := n.agg.cand
+	via := n.via
+	if via == n.id {
+		panic(fmt.Sprintf("mdst: root %d has no via toward target %d", n.id, target))
+	}
+	n.removeChild(via)
+	n.parent = via
+	n.hasParent = true
+	ctx.Send(via, mMove{round: n.round, k: n.kAll, target: target})
+}
+
+func (n *Node) onMove(ctx sim.Context, from sim.NodeID, msg mMove) {
+	if !n.hasParent || n.parent != from {
+		panic(fmt.Sprintf("mdst: node %d got move from non-parent %d", n.id, from))
+	}
+	// The sender reversed its pointer: it is now our child.
+	n.addChild(from)
+	n.kAll = msg.k
+	if msg.target == n.id {
+		n.hasParent = false
+		n.becomeOwner(ctx, msg.k)
+		return
+	}
+	via := n.via
+	if via == n.id {
+		panic(fmt.Sprintf("mdst: node %d has no via toward target %d", n.id, msg.target))
+	}
+	n.removeChild(via)
+	n.parent = via
+	ctx.Send(via, mMove{round: n.round, k: msg.k, target: msg.target})
+}
+
+// terminate broadcasts mTerm: the algorithm is finished and every node
+// learns it (termination by process).
+func (n *Node) terminate(ctx sim.Context) {
+	n.terminated = true
+	for _, c := range n.children {
+		ctx.Send(c, mTerm{round: n.round})
+	}
+}
+
+func (n *Node) onTerm(ctx sim.Context, msg mTerm) {
+	n.terminated = true
+	for _, c := range n.children {
+		ctx.Send(c, mTerm{round: n.round})
+	}
+}

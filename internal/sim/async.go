@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdegst/internal/graph"
+)
+
+// AsyncEngine runs every node as a goroutine with an unbounded FIFO mailbox.
+// Message interleaving across links is decided by the Go scheduler (true
+// asynchrony); per-link FIFO order is preserved, matching the model's
+// communication channels. Optional jitter inserts random per-link forwarding
+// delays to widen the explored interleavings.
+//
+// Termination is global quiescence: a counter tracks in-flight plus
+// in-processing messages; handlers only send while processing, so when the
+// counter reaches zero no further message can ever be created.
+type AsyncEngine struct {
+	// Seed initialises the jitter RNG.
+	Seed int64
+	// Jitter, when positive, delays each hop by a random duration in
+	// (0, Jitter], applied by a per-directed-link forwarder that preserves
+	// link FIFO order.
+	Jitter time.Duration
+}
+
+type delivery struct {
+	from  NodeID
+	msg   Message
+	depth int64
+}
+
+// mailbox is an unbounded FIFO queue; unbounded so that no protocol can
+// deadlock on backpressure (the model's channels have no capacity bound).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) push(d delivery) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, d)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) pop() (delivery, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return delivery{}, false
+	}
+	d := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return d, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+type asyncRun struct {
+	wg       sync.WaitGroup // counts pending inits + unprocessed messages
+	boxes    map[NodeID]*mailbox
+	links    map[[2]NodeID]*mailbox // jitter forwarders, nil when no jitter
+	mu       sync.Mutex             // guards report maps
+	report   *Report
+	panicVal atomic.Value
+}
+
+type asyncCtx struct {
+	run       *asyncRun
+	id        NodeID
+	neighbors []NodeID
+	depth     int64 // causal depth of the message being processed
+}
+
+func (c *asyncCtx) ID() NodeID          { return c.id }
+func (c *asyncCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *asyncCtx) Send(to NodeID, m Message) {
+	checkNeighbor(c.neighbors, c.id, to)
+	r := c.run
+	r.wg.Add(1)
+	d := delivery{from: c.id, msg: m, depth: c.depth + 1}
+	if r.links != nil {
+		r.links[[2]NodeID{c.id, to}].push(d)
+		return
+	}
+	r.boxes[to].push(d)
+}
+
+func (c *asyncCtx) Logf(string, ...any) {}
+
+// Run executes the protocol to quiescence using real goroutines.
+func (e *AsyncEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error) {
+	start := time.Now()
+	nodes := g.Nodes()
+	run := &asyncRun{
+		boxes:  make(map[NodeID]*mailbox, len(nodes)),
+		report: newReport(),
+	}
+	protos := make(map[NodeID]Protocol, len(nodes))
+	ctxs := make(map[NodeID]*asyncCtx, len(nodes))
+	for _, v := range nodes {
+		run.boxes[v] = newMailbox()
+		ctx := &asyncCtx{run: run, id: v, neighbors: g.Neighbors(v)}
+		ctxs[v] = ctx
+		protos[v] = f(v, ctx.neighbors)
+	}
+
+	var forwarders sync.WaitGroup
+	if e.Jitter > 0 {
+		run.links = make(map[[2]NodeID]*mailbox)
+		for _, u := range nodes {
+			for _, v := range g.Neighbors(u) {
+				run.links[[2]NodeID{u, v}] = newMailbox()
+			}
+		}
+		var seed atomic.Int64
+		seed.Store(e.Seed)
+		for link, box := range run.links {
+			forwarders.Add(1)
+			go func(link [2]NodeID, box *mailbox) {
+				defer forwarders.Done()
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for {
+					d, ok := box.pop()
+					if !ok {
+						return
+					}
+					time.Sleep(time.Duration(rng.Int63n(int64(e.Jitter))) + 1)
+					run.boxes[link[1]].push(d)
+				}
+			}(link, box)
+		}
+	}
+
+	// Pre-count one unit per node so the quiescence counter cannot reach
+	// zero before every Init has run.
+	run.wg.Add(len(nodes))
+	var loops sync.WaitGroup
+	for _, v := range nodes {
+		loops.Add(1)
+		go func(v NodeID) {
+			defer loops.Done()
+			ctx := ctxs[v]
+			// A panicking node is marked dead but keeps draining its
+			// mailbox, so the quiescence counter still reaches zero and
+			// the panic is reported instead of hanging the run.
+			dead := false
+			safely := func(fn func()) {
+				defer func() {
+					if p := recover(); p != nil {
+						run.panicVal.CompareAndSwap(nil, fmt.Sprintf("node %d: %v", v, p))
+						dead = true
+					}
+				}()
+				fn()
+			}
+			safely(func() { protos[v].Init(ctx) })
+			run.wg.Done()
+			for {
+				d, ok := run.boxes[v].pop()
+				if !ok {
+					return
+				}
+				if !dead {
+					ctx.depth = d.depth
+					run.mu.Lock()
+					run.report.record(d.from, d.msg, d.depth)
+					run.mu.Unlock()
+					safely(func() { protos[v].Recv(ctx, d.from, d.msg) })
+				}
+				run.wg.Done()
+			}
+		}(v)
+	}
+
+	run.wg.Wait()
+	for _, mb := range run.boxes {
+		mb.close()
+	}
+	if run.links != nil {
+		for _, mb := range run.links {
+			mb.close()
+		}
+	}
+	loops.Wait()
+	forwarders.Wait()
+	if p := run.panicVal.Load(); p != nil {
+		return nil, nil, fmt.Errorf("sim: protocol panic: %v", p)
+	}
+	run.report.Wall = time.Since(start)
+	return protos, run.report, nil
+}
+
+var _ Engine = (*AsyncEngine)(nil)

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"mdegst/internal/graph"
+)
+
+// floodBench is a minimal O(m) protocol used to measure raw engine
+// throughput without algorithm cost.
+type floodBench struct {
+	id   NodeID
+	seen bool
+}
+
+type floodMsg struct{}
+
+func (floodMsg) Kind() string { return "flood" }
+func (floodMsg) Words() int   { return 1 }
+
+func (f *floodBench) Init(ctx Context) {
+	if f.id != 0 {
+		return
+	}
+	f.seen = true
+	for _, w := range ctx.Neighbors() {
+		ctx.Send(w, floodMsg{})
+	}
+}
+
+func (f *floodBench) Recv(ctx Context, from NodeID, _ Message) {
+	if f.seen {
+		return
+	}
+	f.seen = true
+	for _, w := range ctx.Neighbors() {
+		if w != from {
+			ctx.Send(w, floodMsg{})
+		}
+	}
+}
+
+func benchFactory(id NodeID, _ []NodeID) Protocol { return &floodBench{id: id} }
+
+// BenchmarkEventEngineFlood measures event-engine message throughput.
+func BenchmarkEventEngineFlood(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := graph.Gnm(n, 4*n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				_, rep, err := (&EventEngine{Delay: UnitDelay}).Run(g, benchFactory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = rep.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+		})
+	}
+}
+
+// BenchmarkEventEngineFIFORandom includes the FIFO bookkeeping and RNG cost.
+func BenchmarkEventEngineFIFORandom(b *testing.B) {
+	g := graph.Gnm(256, 1024, 1)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (&EventEngine{Delay: UniformDelay(0.05), FIFO: true, Seed: int64(i)}).Run(g, benchFactory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncEngineFlood measures goroutine-engine throughput (mailboxes,
+// scheduling, quiescence detection).
+func BenchmarkAsyncEngineFlood(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := graph.Gnm(n, 4*n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := (&AsyncEngine{}).Run(g, benchFactory); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

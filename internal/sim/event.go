@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mdegst/internal/graph"
+)
+
+// DelayFn draws the propagation delay for one message on the directed link
+// from -> to. The paper's model bounds every delay by one time unit, so
+// delays must lie in (0, 1].
+type DelayFn func(rng *rand.Rand, from, to NodeID) float64
+
+// UnitDelay assigns every message exactly one time unit — the assumption
+// under which the paper's time complexity is stated.
+func UnitDelay(*rand.Rand, NodeID, NodeID) float64 { return 1 }
+
+// UniformDelay returns delays uniform in (lo, 1]. Use a small lo (for
+// example 0.05) as an asynchrony adversary.
+func UniformDelay(lo float64) DelayFn {
+	if lo < 0 || lo >= 1 {
+		panic(fmt.Sprintf("sim: UniformDelay lower bound %v out of range [0,1)", lo))
+	}
+	return func(rng *rand.Rand, _, _ NodeID) float64 {
+		return 1 - rng.Float64()*(1-lo)
+	}
+}
+
+// DefaultMaxMessages caps runaway protocols in the event engine.
+const DefaultMaxMessages = 200_000_000
+
+// EventEngine is a deterministic discrete-event simulator: events are
+// delivered in (time, sequence) order, delays come from a seeded RNG, and
+// the whole run is reproducible.
+type EventEngine struct {
+	// Seed initialises the delay RNG.
+	Seed int64
+	// Delay draws per-message delays; nil means UnitDelay.
+	Delay DelayFn
+	// FIFO preserves per-link delivery order even under random delays
+	// (delivery times are clamped to be non-decreasing per directed link).
+	// The paper's channels are FIFO; disable to stress protocols under
+	// reordering.
+	FIFO bool
+	// MaxMessages aborts the run when exceeded (0 means
+	// DefaultMaxMessages); it converts protocol livelock into an error.
+	MaxMessages int64
+	// Trace, when non-nil, observes every delivery and Logf note.
+	Trace func(TraceEvent)
+}
+
+type event struct {
+	t     float64
+	seq   int64
+	depth int64
+	from  NodeID
+	to    NodeID
+	msg   Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type eventCtx struct {
+	eng       *eventRun
+	id        NodeID
+	neighbors []NodeID
+	// now/depth of the message currently being processed at this node.
+	now   float64
+	depth int64
+}
+
+func (c *eventCtx) ID() NodeID          { return c.id }
+func (c *eventCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *eventCtx) Send(to NodeID, m Message) {
+	checkNeighbor(c.neighbors, c.id, to)
+	c.eng.send(c, to, m)
+}
+
+func (c *eventCtx) Logf(format string, args ...any) {
+	if c.eng.trace != nil {
+		c.eng.trace(TraceEvent{Time: c.now, Depth: c.depth, To: c.id, Note: fmt.Sprintf(format, args...)})
+	}
+}
+
+type eventRun struct {
+	rng      *rand.Rand
+	delay    DelayFn
+	fifo     bool
+	maxMsgs  int64
+	trace    func(TraceEvent)
+	queue    eventHeap
+	seq      int64
+	sent     int64
+	lastLink map[[2]NodeID]float64
+	report   *Report
+}
+
+func (er *eventRun) send(c *eventCtx, to NodeID, m Message) {
+	er.sent++
+	t := c.now + er.delay(er.rng, c.id, to)
+	if er.fifo {
+		link := [2]NodeID{c.id, to}
+		if last := er.lastLink[link]; t < last {
+			t = last
+		}
+		er.lastLink[link] = t
+	}
+	er.seq++
+	heap.Push(&er.queue, event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, msg: m})
+}
+
+// Run executes the protocol to quiescence. Protocol panics are converted to
+// errors so a buggy node cannot take down the harness.
+func (e *EventEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = fmt.Errorf("sim: protocol panic: %v", p)
+		}
+	}()
+	start := time.Now()
+	delay := e.Delay
+	if delay == nil {
+		delay = UnitDelay
+	}
+	maxMsgs := e.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = DefaultMaxMessages
+	}
+	er := &eventRun{
+		rng:      rand.New(rand.NewSource(e.Seed)),
+		delay:    delay,
+		fifo:     e.FIFO,
+		maxMsgs:  maxMsgs,
+		trace:    e.Trace,
+		lastLink: make(map[[2]NodeID]float64),
+		report:   newReport(),
+	}
+	nodes := g.Nodes()
+	protos = make(map[NodeID]Protocol, len(nodes))
+	ctxs := make(map[NodeID]*eventCtx, len(nodes))
+	for _, v := range nodes {
+		ctx := &eventCtx{eng: er, id: v, neighbors: g.Neighbors(v)}
+		ctxs[v] = ctx
+		protos[v] = f(v, ctx.neighbors)
+	}
+	// All nodes start independently; Init runs at time zero in ID order.
+	for _, v := range nodes {
+		protos[v].Init(ctxs[v])
+	}
+	for er.queue.Len() > 0 {
+		ev := heap.Pop(&er.queue).(event)
+		if er.report.Messages >= maxMsgs {
+			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+		}
+		ctx := ctxs[ev.to]
+		ctx.now = ev.t
+		ctx.depth = ev.depth
+		er.report.record(ev.from, ev.msg, ev.depth)
+		if ev.t > er.report.VirtualTime {
+			er.report.VirtualTime = ev.t
+		}
+		if er.trace != nil {
+			er.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
+		}
+		protos[ev.to].Recv(ctx, ev.from, ev.msg)
+	}
+	er.report.Wall = time.Since(start)
+	return protos, er.report, nil
+}
+
+var _ Engine = (*EventEngine)(nil)

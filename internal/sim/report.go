@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report aggregates the complexity measures of one protocol execution.
+type Report struct {
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// ByKind counts delivered messages per message kind.
+	ByKind map[string]int64
+	// ByRound counts delivered messages per algorithm round for messages
+	// implementing Rounder; round 0 collects unrounded messages.
+	ByRound map[int]int64
+	// ByKindRound refines ByKind per round, keyed "kind/round".
+	ByKindRound map[string]int64
+	// Words is the total message volume in O(log n)-bit words.
+	Words int64
+	// MaxWords is the size of the largest single message observed; the
+	// paper claims every message fits in 4 identities.
+	MaxWords int
+	// CausalDepth is the length of the longest causal message chain — the
+	// standard asynchronous time complexity (every delay at most one unit).
+	CausalDepth int64
+	// VirtualTime is the completion time of the discrete-event engine's
+	// clock (equals CausalDepth under UnitDelay); zero for AsyncEngine.
+	VirtualTime float64
+	// SentBy counts messages sent per node.
+	SentBy map[NodeID]int64
+	// Wall is the host wall-clock duration of the run.
+	Wall time.Duration
+}
+
+// NewReport returns an empty report ready for Add.
+func NewReport() *Report {
+	return &Report{
+		ByKind:      make(map[string]int64),
+		ByRound:     make(map[int]int64),
+		ByKindRound: make(map[string]int64),
+		SentBy:      make(map[NodeID]int64),
+	}
+}
+
+func newReport() *Report { return NewReport() }
+
+func (r *Report) record(from NodeID, m Message, depth int64) {
+	r.Messages++
+	r.ByKind[m.Kind()]++
+	round := 0
+	if rr, ok := m.(Rounder); ok {
+		round = rr.MsgRound()
+	}
+	r.ByRound[round]++
+	r.ByKindRound[fmt.Sprintf("%s/%d", m.Kind(), round)]++
+	w := m.Words()
+	r.Words += int64(w)
+	if w > r.MaxWords {
+		r.MaxWords = w
+	}
+	if depth > r.CausalDepth {
+		r.CausalDepth = depth
+	}
+	r.SentBy[from]++
+}
+
+// Add merges o into r (used when composing pipeline phases). Causal measures
+// are summed because the phases run back to back.
+func (r *Report) Add(o *Report) {
+	r.Messages += o.Messages
+	for k, v := range o.ByKind {
+		r.ByKind[k] += v
+	}
+	for k, v := range o.ByRound {
+		r.ByRound[k] += v
+	}
+	for k, v := range o.ByKindRound {
+		r.ByKindRound[k] += v
+	}
+	r.Words += o.Words
+	if o.MaxWords > r.MaxWords {
+		r.MaxWords = o.MaxWords
+	}
+	r.CausalDepth += o.CausalDepth
+	r.VirtualTime += o.VirtualTime
+	for k, v := range o.SentBy {
+		r.SentBy[k] += v
+	}
+	r.Wall += o.Wall
+}
+
+// Rounds returns the largest round number that carried messages.
+func (r *Report) Rounds() int {
+	max := 0
+	for round := range r.ByRound {
+		if round > max {
+			max = round
+		}
+	}
+	return max
+}
+
+// MaxSentByNode returns the largest per-node send count (hot-spot measure).
+func (r *Report) MaxSentByNode() int64 {
+	var max int64
+	for _, v := range r.SentBy {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// String renders a compact multi-line summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages=%d words=%d maxWords=%d causalDepth=%d virtualTime=%.1f rounds=%d\n",
+		r.Messages, r.Words, r.MaxWords, r.CausalDepth, r.VirtualTime, r.Rounds())
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-12s %d\n", k, r.ByKind[k])
+	}
+	return b.String()
+}

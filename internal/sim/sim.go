@@ -1,0 +1,106 @@
+// Package sim simulates the paper's network model: a static asynchronous
+// point-to-point network of named processors that communicate only along the
+// edges of an undirected graph, with no shared memory, no global clock, and
+// event-driven nodes.
+//
+// Two interchangeable engines execute a Protocol over a graph:
+//
+//   - EventEngine: a deterministic, seeded discrete-event simulator. With
+//     UnitDelay it realises exactly the paper's time-complexity measure (the
+//     longest chain of causally dependent messages, each taking one time
+//     unit); with randomised delays it acts as an asynchrony adversary while
+//     staying reproducible.
+//   - AsyncEngine: every node is a goroutine, every link a FIFO mailbox, so
+//     message interleaving comes from the Go scheduler — true concurrency
+//     for race detection and delivery-order-independence tests.
+//
+// Both engines produce a Report with message counts (total, by kind, by
+// round), message sizes in O(log n)-bit words, the causal depth (asynchronous
+// time complexity) and, for the event engine, the virtual completion time.
+package sim
+
+import (
+	"fmt"
+
+	"mdegst/internal/graph"
+)
+
+// NodeID identifies a processor; it is the graph's node identity.
+type NodeID = graph.NodeID
+
+// Message is a unit of communication. Words reports its size in abstract
+// machine words (identities, degrees, counters — each O(log n) bits), used
+// for the paper's bit-complexity accounting.
+type Message interface {
+	Kind() string
+	Words() int
+}
+
+// Rounder is implemented by messages that belong to an algorithm round;
+// engines use it to attribute message counts to rounds.
+type Rounder interface {
+	MsgRound() int
+}
+
+// Protocol is the state machine run at one node. Init fires once when the
+// node starts (the algorithm "is started independently by all nodes");
+// Recv fires for every delivered message. Both may send messages through the
+// Context. Engines guarantee that Init and all Recv calls for one node are
+// serialised.
+type Protocol interface {
+	Init(ctx Context)
+	Recv(ctx Context, from NodeID, m Message)
+}
+
+// Context is a node's interface to the network. Sends are restricted to
+// graph neighbours, enforcing the point-to-point model.
+type Context interface {
+	// ID returns this node's identity.
+	ID() NodeID
+	// Neighbors returns this node's adjacent nodes in ascending order.
+	// Nodes know their neighbours' identities, as the paper assumes.
+	Neighbors() []NodeID
+	// Send queues m for delivery to a neighbouring node. Sending to a
+	// non-neighbour panics: it is a protocol bug, not a runtime condition.
+	Send(to NodeID, m Message)
+	// Logf records a trace note if tracing is enabled, else does nothing.
+	Logf(format string, args ...any)
+}
+
+// Factory creates the protocol instance for one node. The neighbour list is
+// ascending and must not be modified.
+type Factory func(id NodeID, neighbors []NodeID) Protocol
+
+// Engine runs a protocol over a graph until global quiescence (no messages
+// in flight, all handlers idle) and returns the final protocol instance of
+// every node plus the run report.
+type Engine interface {
+	Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error)
+}
+
+// TraceEvent describes one observable simulator step for tools that render
+// waves (for example the Figure 2 reproduction).
+type TraceEvent struct {
+	Time  float64 // virtual delivery time (event engine only)
+	Depth int64   // causal depth of the delivery
+	From  NodeID
+	To    NodeID
+	Msg   Message // nil for Logf notes
+	Note  string
+}
+
+func (e TraceEvent) String() string {
+	if e.Msg == nil {
+		return fmt.Sprintf("t=%6.2f  %d: %s", e.Time, e.To, e.Note)
+	}
+	return fmt.Sprintf("t=%6.2f  %d -> %d  %s(%d words)", e.Time, e.From, e.To, e.Msg.Kind(), e.Msg.Words())
+}
+
+func checkNeighbor(neighbors []NodeID, from, to NodeID) {
+	for _, n := range neighbors {
+		if n == to {
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", from, to))
+}

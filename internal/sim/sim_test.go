@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mdegst/internal/graph"
+)
+
+// tokenMsg circulates around a ring a fixed number of hops.
+type tokenMsg struct{ hops int }
+
+func (tokenMsg) Kind() string { return "token" }
+func (tokenMsg) Words() int   { return 2 }
+
+type tokenNode struct {
+	id    NodeID
+	start bool
+	limit int
+	seen  int
+}
+
+func (n *tokenNode) Init(ctx Context) {
+	if !n.start {
+		return
+	}
+	ctx.Send(ctx.Neighbors()[len(ctx.Neighbors())-1], tokenMsg{hops: 1})
+}
+
+func (n *tokenNode) Recv(ctx Context, from NodeID, m Message) {
+	tok := m.(tokenMsg)
+	n.seen++
+	if tok.hops >= n.limit {
+		return
+	}
+	// Forward away from the sender (bounce back on a dead end).
+	ns := ctx.Neighbors()
+	next := ns[0]
+	if next == from && len(ns) > 1 {
+		next = ns[1]
+	}
+	ctx.Send(next, tokenMsg{hops: tok.hops + 1})
+}
+
+func tokenFactory(limit int) Factory {
+	return func(id NodeID, _ []NodeID) Protocol {
+		return &tokenNode{id: id, start: id == 0, limit: limit}
+	}
+}
+
+func engines() map[string]Engine {
+	return map[string]Engine{
+		"event-unit":   &EventEngine{Delay: UnitDelay},
+		"event-random": &EventEngine{Delay: UniformDelay(0.1), Seed: 7, FIFO: true},
+		"async":        &AsyncEngine{},
+	}
+}
+
+func TestTokenRing(t *testing.T) {
+	const n, hops = 10, 25
+	g := graph.Ring(n)
+	for name, eng := range engines() {
+		t.Run(name, func(t *testing.T) {
+			protos, rep, err := eng.Run(g, tokenFactory(hops))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Messages != hops {
+				t.Errorf("messages = %d, want %d", rep.Messages, hops)
+			}
+			if rep.CausalDepth != hops {
+				t.Errorf("causal depth = %d, want %d", rep.CausalDepth, hops)
+			}
+			if rep.ByKind["token"] != hops {
+				t.Errorf("ByKind[token] = %d, want %d", rep.ByKind["token"], hops)
+			}
+			if rep.Words != 2*hops {
+				t.Errorf("words = %d, want %d", rep.Words, 2*hops)
+			}
+			if rep.MaxWords != 2 {
+				t.Errorf("max words = %d, want 2", rep.MaxWords)
+			}
+			total := 0
+			for _, p := range protos {
+				total += p.(*tokenNode).seen
+			}
+			if total != hops {
+				t.Errorf("sum of received tokens = %d, want %d", total, hops)
+			}
+		})
+	}
+}
+
+func TestUnitDelayVirtualTime(t *testing.T) {
+	g := graph.Ring(8)
+	eng := &EventEngine{Delay: UnitDelay}
+	_, rep, err := eng.Run(g, tokenFactory(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VirtualTime != 20 {
+		t.Errorf("virtual time = %v, want 20", rep.VirtualTime)
+	}
+}
+
+func TestEventEngineDeterminism(t *testing.T) {
+	g := graph.Gnp(24, 0.3, 42)
+	run := func() *Report {
+		eng := &EventEngine{Delay: UniformDelay(0.05), Seed: 99, FIFO: true}
+		_, rep, err := eng.Run(g, tokenFactory(40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Messages != b.Messages || a.VirtualTime != b.VirtualTime || a.CausalDepth != b.CausalDepth {
+		t.Errorf("non-deterministic reports: %+v vs %+v", a, b)
+	}
+}
+
+// seqMsg carries a per-link sequence number for FIFO tests.
+type seqMsg struct{ seq int }
+
+func (seqMsg) Kind() string { return "seq" }
+func (seqMsg) Words() int   { return 2 }
+
+type seqSender struct {
+	id    NodeID
+	count int
+	got   []int
+}
+
+func (s *seqSender) Init(ctx Context) {
+	if s.id != 0 {
+		return
+	}
+	for i := 0; i < s.count; i++ {
+		ctx.Send(1, seqMsg{seq: i})
+	}
+}
+
+func (s *seqSender) Recv(_ Context, _ NodeID, m Message) {
+	s.got = append(s.got, m.(seqMsg).seq)
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	g := graph.Path(2)
+	const count = 64
+	factory := func(id NodeID, _ []NodeID) Protocol { return &seqSender{id: id, count: count} }
+
+	eng := &EventEngine{Delay: UniformDelay(0.01), Seed: 5, FIFO: true}
+	protos, _, err := eng.Run(g, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := protos[1].(*seqSender).got
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at position %d: got %d", i, v)
+		}
+	}
+
+	// Without FIFO the same seed must reorder at least one pair (delays are
+	// i.i.d. over 64 messages, so a monotone outcome would be astonishing).
+	eng = &EventEngine{Delay: UniformDelay(0.01), Seed: 5, FIFO: false}
+	protos, _, err = eng.Run(g, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = protos[1].(*seqSender).got
+	sorted := true
+	for i, v := range got {
+		if v != i {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Error("expected reordering without FIFO enforcement")
+	}
+}
+
+// badSender sends to a non-neighbour; both engines must surface the bug as
+// an error rather than hanging or crashing the process.
+type badSender struct{ id NodeID }
+
+func (b *badSender) Init(ctx Context) {
+	if b.id == 0 {
+		ctx.Send(99, tokenMsg{})
+	}
+}
+func (b *badSender) Recv(Context, NodeID, Message) {}
+
+func TestNonNeighborSendFails(t *testing.T) {
+	g := graph.Path(3)
+	factory := func(id NodeID, _ []NodeID) Protocol { return &badSender{id: id} }
+	for name, eng := range engines() {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := eng.Run(g, factory)
+			if err == nil || !strings.Contains(err.Error(), "non-neighbour") {
+				t.Errorf("want non-neighbour error, got %v", err)
+			}
+		})
+	}
+}
+
+// chainReaction floods to test the livelock guard.
+type chainReaction struct{}
+
+func (chainReaction) Init(ctx Context) {
+	for _, w := range ctx.Neighbors() {
+		ctx.Send(w, tokenMsg{})
+	}
+}
+func (chainReaction) Recv(ctx Context, from NodeID, _ Message) {
+	ctx.Send(from, tokenMsg{})
+}
+
+func TestLivelockGuard(t *testing.T) {
+	g := graph.Ring(4)
+	eng := &EventEngine{Delay: UnitDelay, MaxMessages: 1000}
+	_, _, err := eng.Run(g, func(NodeID, []NodeID) Protocol { return chainReaction{} })
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("want livelock error, got %v", err)
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	a, b := newReport(), newReport()
+	a.record(1, tokenMsg{}, 3)
+	b.record(2, tokenMsg{}, 5)
+	b.record(2, seqMsg{}, 1)
+	a.Add(b)
+	if a.Messages != 3 {
+		t.Errorf("messages = %d, want 3", a.Messages)
+	}
+	if a.ByKind["token"] != 2 || a.ByKind["seq"] != 1 {
+		t.Errorf("by kind = %v", a.ByKind)
+	}
+	if a.CausalDepth != 8 {
+		t.Errorf("causal depth = %d, want 8 (phases compose)", a.CausalDepth)
+	}
+	if a.SentBy[2] != 2 {
+		t.Errorf("sentBy[2] = %d, want 2", a.SentBy[2])
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	g := graph.Path(2)
+	var events []TraceEvent
+	eng := &EventEngine{Delay: UnitDelay, Trace: func(e TraceEvent) { events = append(events, e) }}
+	_, _, err := eng.Run(g, tokenFactory(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("trace events = %d, want 3", len(events))
+	}
+	if events[0].From != 0 || events[0].To != 1 {
+		t.Errorf("first event = %+v", events[0])
+	}
+}

@@ -1,0 +1,114 @@
+package spanning
+
+import "mdegst/internal/sim"
+
+// Flooding spanning tree with echo termination (Chang's echo algorithm):
+// the designated root floods Explore; a node adopts the first Explore's
+// sender as parent and re-floods; crossing Explores resolve non-tree edges;
+// Echo converges termination back to the root, which then broadcasts Done
+// down the tree so every node knows construction finished.
+//
+// Message complexity: at most 2 per edge (Explore/Explore or Explore/Echo)
+// plus n-1 Done, i.e. O(m). Time O(diameter). Under unit delays the result
+// is a BFS tree; under asynchrony an arbitrary spanning tree.
+
+type floodExplore struct{}
+type floodEcho struct{}
+type floodDone struct{}
+
+func (floodExplore) Kind() string { return "st.explore" }
+func (floodExplore) Words() int   { return 1 }
+func (floodEcho) Kind() string    { return "st.echo" }
+func (floodEcho) Words() int      { return 1 }
+func (floodDone) Kind() string    { return "st.done" }
+func (floodDone) Words() int      { return 1 }
+
+// FloodNode is one node of the flooding protocol.
+type FloodNode struct {
+	id       sim.NodeID
+	root     bool
+	started  bool
+	finished bool
+	parent   sim.NodeID
+	children []sim.NodeID
+	pending  int // unresolved neighbours (tree responses or crossing floods)
+}
+
+// NewFloodFactory returns a factory for the flooding protocol rooted at root.
+func NewFloodFactory(root sim.NodeID) sim.Factory {
+	return func(id sim.NodeID, _ []sim.NodeID) sim.Protocol {
+		return &FloodNode{id: id, root: id == root}
+	}
+}
+
+// Init starts the flood at the root; other nodes wait for an Explore.
+func (n *FloodNode) Init(ctx sim.Context) {
+	if !n.root {
+		return
+	}
+	n.started = true
+	n.pending = len(ctx.Neighbors())
+	if n.pending == 0 {
+		n.finished = true // single-node network
+		return
+	}
+	for _, w := range ctx.Neighbors() {
+		ctx.Send(w, floodExplore{})
+	}
+}
+
+// Recv drives the explore/echo state machine.
+func (n *FloodNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
+	switch m.(type) {
+	case floodExplore:
+		if !n.started {
+			n.started = true
+			n.parent = from
+			n.pending = len(ctx.Neighbors()) - 1
+			if n.pending == 0 {
+				ctx.Send(n.parent, floodEcho{})
+				return
+			}
+			for _, w := range ctx.Neighbors() {
+				if w != from {
+					ctx.Send(w, floodExplore{})
+				}
+			}
+			return
+		}
+		// Crossing explore on a non-tree edge: both sides resolve it.
+		n.resolve(ctx)
+	case floodEcho:
+		n.children = insertID(n.children, from)
+		n.resolve(ctx)
+	case floodDone:
+		n.finish(ctx)
+	}
+}
+
+func (n *FloodNode) resolve(ctx sim.Context) {
+	n.pending--
+	if n.pending > 0 {
+		return
+	}
+	if n.root {
+		n.finish(ctx)
+		return
+	}
+	ctx.Send(n.parent, floodEcho{})
+}
+
+func (n *FloodNode) finish(ctx sim.Context) {
+	n.finished = true
+	for _, c := range n.children {
+		ctx.Send(c, floodDone{})
+	}
+}
+
+// TreeInfo implements TreeNode.
+func (n *FloodNode) TreeInfo() (sim.NodeID, []sim.NodeID, bool) {
+	return n.parent, n.children, n.root
+}
+
+// Finished implements TreeNode.
+func (n *FloodNode) Finished() bool { return n.finished }

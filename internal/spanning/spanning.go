@@ -1,0 +1,108 @@
+// Package spanning builds the initial rooted spanning trees the paper's
+// improvement algorithm starts from ("we suppose a Spanning Tree already
+// constructed ... For constructing such a tree, many different distributed
+// algorithms exist").
+//
+// Distributed protocols (run on an internal/sim engine, all terminating by
+// process, i.e. every node learns that construction finished):
+//
+//   - Flood: flooding with echo termination from a designated root; under
+//     unit delays it yields a BFS tree, under asynchrony an arbitrary tree.
+//   - DFS: classic token depth-first traversal.
+//   - GHS: the Gallager–Humblet–Spira minimum-weight spanning tree protocol
+//     with lexicographic edge identities as unique weights.
+//   - Election: echo-wave extinction; elects the minimum identity and keeps
+//     the winning wave's tree, needing no designated root.
+//
+// Sequential builders (harness helpers for experiments, not protocols):
+// BFSTree, DFSTree, StarTree (adversarially high degree), RandomST (Wilson's
+// uniform spanning tree).
+package spanning
+
+import (
+	"fmt"
+
+	"mdegst/internal/graph"
+	"mdegst/internal/sim"
+	"mdegst/internal/tree"
+)
+
+// TreeNode is implemented by every spanning-tree protocol node so the final
+// tree can be read back after the run.
+type TreeNode interface {
+	// TreeInfo returns this node's view of the finished tree.
+	TreeInfo() (parent sim.NodeID, children []sim.NodeID, isRoot bool)
+	// Finished reports whether the node knows the construction terminated
+	// (termination by process, required by the paper's startup step).
+	Finished() bool
+}
+
+// Extract reads the tree out of the final protocol states and validates it
+// as a spanning tree of g.
+func Extract(g *graph.Graph, protos map[sim.NodeID]sim.Protocol) (*tree.Tree, error) {
+	var root sim.NodeID
+	roots := 0
+	parent := make(map[graph.NodeID]graph.NodeID, len(protos))
+	for id, p := range protos {
+		tn, ok := p.(TreeNode)
+		if !ok {
+			return nil, fmt.Errorf("spanning: node %d protocol %T does not expose a tree", id, p)
+		}
+		if !tn.Finished() {
+			return nil, fmt.Errorf("spanning: node %d did not learn termination", id)
+		}
+		par, _, isRoot := tn.TreeInfo()
+		if isRoot {
+			root = id
+			roots++
+			parent[id] = id
+		} else {
+			parent[id] = par
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("spanning: %d roots, want exactly 1", roots)
+	}
+	t, err := tree.FromParentMap(root, parent)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(g); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Build runs a spanning-tree protocol on the engine and extracts the tree.
+func Build(eng sim.Engine, g *graph.Graph, f sim.Factory) (*tree.Tree, *sim.Report, error) {
+	protos, rep, err := eng.Run(g, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := Extract(g, protos)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, rep, nil
+}
+
+func removeID(ns []sim.NodeID, v sim.NodeID) []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(ns))
+	for _, n := range ns {
+		if n != v {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func insertID(ns []sim.NodeID, v sim.NodeID) []sim.NodeID {
+	i := 0
+	for i < len(ns) && ns[i] < v {
+		i++
+	}
+	ns = append(ns, 0)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = v
+	return ns
+}

@@ -1,0 +1,126 @@
+package spanning
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mdegst/internal/graph"
+	"mdegst/internal/tree"
+)
+
+// Sequential spanning-tree builders. These are experiment-harness helpers —
+// they construct initial trees of controlled shape centrally, standing in
+// for whatever distributed construction a deployment would use (the paper
+// treats the initial tree as given).
+
+// BFSTree returns the breadth-first spanning tree of g rooted at root,
+// scanning neighbours in ascending order.
+func BFSTree(g *graph.Graph, root graph.NodeID) (*tree.Tree, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("spanning: BFS root %d not in graph", root)
+	}
+	parent := g.BFSParents(root)
+	if len(parent) != g.N() {
+		return nil, fmt.Errorf("spanning: graph not connected from %d", root)
+	}
+	return tree.FromParentMap(root, parent)
+}
+
+// DFSTree returns the depth-first spanning tree of g rooted at root,
+// scanning neighbours in ascending order — the same visit order as the
+// distributed token DFS, so the two produce identical trees.
+func DFSTree(g *graph.Graph, root graph.NodeID) (*tree.Tree, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("spanning: DFS root %d not in graph", root)
+	}
+	parent := map[graph.NodeID]graph.NodeID{root: root}
+	var visit func(u graph.NodeID)
+	visit = func(u graph.NodeID) {
+		for _, w := range g.Neighbors(u) {
+			if _, ok := parent[w]; !ok {
+				parent[w] = u
+				visit(w)
+			}
+		}
+	}
+	visit(root)
+	if len(parent) != g.N() {
+		return nil, fmt.Errorf("spanning: graph not connected from %d", root)
+	}
+	return tree.FromParentMap(root, parent)
+}
+
+// StarTree returns an adversarially high-degree spanning tree: it roots at a
+// maximum-degree vertex, attaches the whole neighbourhood of each processed
+// node, and processes high-degree nodes first. The root's tree degree equals
+// the graph's maximum degree — the paper's worst-case initial k.
+func StarTree(g *graph.Graph) (*tree.Tree, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("spanning: empty graph")
+	}
+	root := g.Nodes()[0]
+	for _, v := range g.Nodes() {
+		if g.Degree(v) > g.Degree(root) {
+			root = v
+		}
+	}
+	parent := map[graph.NodeID]graph.NodeID{root: root}
+	// Greedy adoption: queue ordered by graph degree descending (then ID)
+	// so hubs adopt entire neighbourhoods.
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		sort.Slice(queue, func(i, j int) bool {
+			di, dj := g.Degree(queue[i]), g.Degree(queue[j])
+			if di != dj {
+				return di > dj
+			}
+			return queue[i] < queue[j]
+		})
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if _, ok := parent[w]; !ok {
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(parent) != g.N() {
+		return nil, fmt.Errorf("spanning: graph not connected")
+	}
+	return tree.FromParentMap(root, parent)
+}
+
+// RandomST returns a uniformly random spanning tree of g (Wilson's
+// loop-erased random walk algorithm), rooted at a uniformly random node.
+func RandomST(g *graph.Graph, seed int64) (*tree.Tree, error) {
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("spanning: graph not connected")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes := g.Nodes()
+	root := nodes[rng.Intn(len(nodes))]
+	inTree := map[graph.NodeID]bool{root: true}
+	parent := map[graph.NodeID]graph.NodeID{root: root}
+	for _, start := range nodes {
+		if inTree[start] {
+			continue
+		}
+		// Random walk from start until hitting the tree, recording the
+		// successor of each visited node (loop erasure by overwriting).
+		next := make(map[graph.NodeID]graph.NodeID)
+		cur := start
+		for !inTree[cur] {
+			ns := g.Neighbors(cur)
+			step := ns[rng.Intn(len(ns))]
+			next[cur] = step
+			cur = step
+		}
+		for cur = start; !inTree[cur]; cur = next[cur] {
+			inTree[cur] = true
+			parent[cur] = next[cur]
+		}
+	}
+	return tree.FromParentMap(root, parent)
+}

@@ -1,0 +1,148 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics over repeated runs and least-squares
+// fits for scaling-law checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	P25, P75  float64
+}
+
+// Summarize computes descriptive statistics; an empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.Median = quantile(sorted, 0.5)
+	s.P25 = quantile(sorted, 0.25)
+	s.P75 = quantile(sorted, 0.75)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g std=%.3g min=%.3g med=%.3g max=%.3g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// quantile interpolates linearly on a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts integer samples for Summarize.
+func Ints[T ~int | ~int64](xs []T) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with its coefficient
+// of determination.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits y against x; it needs at least two points.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return Fit{}, fmt.Errorf("stats: need two samples of equal length, have %d and %d", len(x), len(y))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, fmt.Errorf("stats: degenerate x values")
+	}
+	f := Fit{}
+	f.Slope = (n*sxy - sx*sy) / den
+	f.Intercept = (sy - f.Slope*sx) / n
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := f.Slope*x[i] + f.Intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	if ssTot == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = 1 - ssRes/ssTot
+	}
+	return f, nil
+}
+
+// LogLogFit fits log(y) against log(x), returning the power-law exponent as
+// Slope — the tool for checking O(n^c)-style scaling claims empirically.
+func LogLogFit(x, y []float64) (Fit, error) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-log fit needs positive values")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Ratio returns element-wise y[i]/x[i] summaries, the harness's tool for
+// "measured over bound" constants.
+func Ratio(y, x []float64) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("stats: length mismatch %d vs %d", len(y), len(x))
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		if x[i] == 0 {
+			return nil, fmt.Errorf("stats: zero denominator at %d", i)
+		}
+		out[i] = y[i] / x[i]
+	}
+	return out, nil
+}

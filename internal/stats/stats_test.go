@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("n=%d", s.N)
+	}
+	if !almost(s.Mean, 5) {
+		t.Errorf("mean=%v", s.Mean)
+	}
+	// Sample standard deviation of this classic data set.
+	if !almost(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Errorf("std=%v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min=%v max=%v", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5) {
+		t.Errorf("median=%v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Median != 42 || s.Std != 0 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if !almost(s.P25, 2) || !almost(s.P75, 4) {
+		t.Errorf("p25=%v p75=%v", s.P25, s.P75)
+	}
+}
+
+func TestInts(t *testing.T) {
+	xs := Ints([]int64{1, 2, 3})
+	if len(xs) != 3 || xs[2] != 3 {
+		t.Errorf("Ints = %v", xs)
+	}
+	ys := Ints([]int{4, 5})
+	if ys[0] != 4 {
+		t.Errorf("Ints = %v", ys)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Slope, 2) || !almost(f.Intercept, 3) || !almost(f.R2, 1) {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	// y = 4 x^1.5
+	var x, y []float64
+	for _, v := range []float64{2, 4, 8, 16, 32} {
+		x = append(x, v)
+		y = append(y, 4*math.Pow(v, 1.5))
+	}
+	f, err := LogLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Slope, 1.5) {
+		t.Errorf("exponent = %v, want 1.5", f.Slope)
+	}
+	if _, err := LogLogFit([]float64{0, 1}, []float64{1, 1}); err == nil {
+		t.Error("non-positive value accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r, err := Ratio([]float64{4, 9}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 2 || r[1] != 3 {
+		t.Errorf("ratio = %v", r)
+	}
+	if _, err := Ratio([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if _, err := Ratio([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: mean is within [min,max], std is non-negative, median between
+// quartiles.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Std >= 0 && s.P25 <= s.Median+1e-9 && s.Median <= s.P75+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LinearFit recovers a noiseless line exactly (R2 = 1).
+func TestQuickLinearRecovery(t *testing.T) {
+	f := func(a, b float64, n uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e3)
+		b = math.Mod(b, 1e3)
+		count := 3 + int(n%20)
+		var xs, ys []float64
+		for i := 0; i < count; i++ {
+			xs = append(xs, float64(i))
+			ys = append(ys, a*float64(i)+b)
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-a) < 1e-6 && math.Abs(fit.Intercept-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mdegst/internal/graph"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format, highlighting the root
+// and the maximum-degree nodes, optionally drawing the host graph's
+// non-tree edges dashed (pass nil to omit them).
+func (t *Tree) WriteDOT(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintln(w, "graph spanningtree {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=circle];")
+	maxDeg, maxNodes := t.MaxDegree()
+	hot := make(map[graph.NodeID]bool, len(maxNodes))
+	for _, v := range maxNodes {
+		hot[v] = true
+	}
+	for _, v := range t.Nodes() {
+		attrs := ""
+		switch {
+		case v == t.Root && hot[v]:
+			attrs = ` [style=filled fillcolor=red label="` + fmt.Sprintf("%d*", v) + `"]`
+		case v == t.Root:
+			attrs = " [style=filled fillcolor=lightblue]"
+		case hot[v]:
+			attrs = " [style=filled fillcolor=salmon]"
+		}
+		fmt.Fprintf(w, "  %d%s;\n", v, attrs)
+	}
+	for _, e := range t.Edges() {
+		fmt.Fprintf(w, "  %d -- %d [penwidth=2];\n", e.U, e.V)
+	}
+	if g != nil {
+		var rest []graph.Edge
+		for _, e := range g.Edges() {
+			if !t.HasEdge(e.U, e.V) {
+				rest = append(rest, e)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].U != rest[j].U {
+				return rest[i].U < rest[j].U
+			}
+			return rest[i].V < rest[j].V
+		})
+		for _, e := range rest {
+			fmt.Fprintf(w, "  %d -- %d [style=dashed color=gray];\n", e.U, e.V)
+		}
+	}
+	fmt.Fprintf(w, "  label=\"max degree %d\";\n", maxDeg)
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

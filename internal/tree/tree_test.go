@@ -1,0 +1,318 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdegst/internal/graph"
+)
+
+// buildSample returns the graph/tree pair used across tests:
+//
+//	    0
+//	   / \
+//	  1   2
+//	 / \   \
+//	3   4   5
+//
+// plus non-tree graph edges (3,4) and (4,5).
+func buildSample(t *testing.T) (*graph.Graph, *Tree) {
+	t.Helper()
+	g := graph.New()
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {3, 4}, {4, 5}} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	tr, err := FromParentMap(0, map[graph.NodeID]graph.NodeID{0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func TestFromParentMapValidation(t *testing.T) {
+	if _, err := FromParentMap(0, map[graph.NodeID]graph.NodeID{0: 1, 1: 0}); err == nil {
+		t.Error("root with foreign parent accepted")
+	}
+	if _, err := FromParentMap(0, map[graph.NodeID]graph.NodeID{1: 2, 2: 1}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestDegreesAndQueries(t *testing.T) {
+	g, tr := buildSample(t)
+	if err := tr.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := map[graph.NodeID]int{0: 2, 1: 3, 2: 2, 3: 1, 4: 1, 5: 1}
+	for v, d := range wantDeg {
+		if tr.Degree(v) != d {
+			t.Errorf("deg(%d)=%d, want %d", v, tr.Degree(v), d)
+		}
+	}
+	max, at := tr.MaxDegree()
+	if max != 3 || len(at) != 1 || at[0] != 1 {
+		t.Errorf("max degree %d at %v, want 3 at [1]", max, at)
+	}
+	if tr.Depth(4) != 2 || tr.Height() != 2 {
+		t.Errorf("depth(4)=%d height=%d", tr.Depth(4), tr.Height())
+	}
+	h := tr.DegreeHistogram()
+	if h[1] != 3 || h[2] != 2 || h[3] != 1 {
+		t.Errorf("histogram %v", h)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	_, tr := buildSample(t)
+	p := tr.PathToRoot(4)
+	want := []graph.NodeID{4, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path to root %v, want %v", p, want)
+		}
+	}
+	pb := tr.PathBetween(3, 5)
+	wantB := []graph.NodeID{3, 1, 0, 2, 5}
+	if len(pb) != len(wantB) {
+		t.Fatalf("path %v, want %v", pb, wantB)
+	}
+	for i := range wantB {
+		if pb[i] != wantB[i] {
+			t.Fatalf("path %v, want %v", pb, wantB)
+		}
+	}
+	if got := tr.PathBetween(4, 4); len(got) != 1 || got[0] != 4 {
+		t.Errorf("self path = %v", got)
+	}
+}
+
+func TestSubtreeNodes(t *testing.T) {
+	_, tr := buildSample(t)
+	got := tr.SubtreeNodes(1)
+	want := []graph.NodeID{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("subtree = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subtree = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReroot(t *testing.T) {
+	g, tr := buildSample(t)
+	edgesBefore := tr.Edges()
+	tr.Reroot(4)
+	if tr.Root != 4 {
+		t.Fatalf("root = %d", tr.Root)
+	}
+	if err := tr.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	edgesAfter := tr.Edges()
+	for i := range edgesBefore {
+		if edgesBefore[i] != edgesAfter[i] {
+			t.Fatal("reroot changed the edge set")
+		}
+	}
+	// Degrees are invariant under rerooting.
+	if tr.Degree(1) != 3 || tr.Degree(4) != 1 {
+		t.Errorf("degrees changed: deg(1)=%d deg(4)=%d", tr.Degree(1), tr.Degree(4))
+	}
+	if tr.Parent[0] != 1 || tr.Parent[1] != 4 {
+		t.Errorf("path reversal wrong: parent[0]=%d parent[1]=%d", tr.Parent[0], tr.Parent[1])
+	}
+}
+
+func TestSwapPrimitives(t *testing.T) {
+	g, tr := buildSample(t)
+	// Exchange: remove (0,2), re-root the detached subtree {2,5} at 5,
+	// attach 5 under 4 via graph edge (4,5).
+	if err := tr.CutChild(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RerootSubtree(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AttachExisting(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree(0) != 1 || tr.Degree(4) != 2 {
+		t.Errorf("post-swap degrees wrong: deg(0)=%d deg(4)=%d", tr.Degree(0), tr.Degree(4))
+	}
+	max, _ := tr.MaxDegree()
+	if max != 3 {
+		t.Errorf("max degree %d", max)
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	_, tr := buildSample(t)
+	if err := tr.CutChild(0, 5); err == nil {
+		t.Error("cut of non-child accepted")
+	}
+	if err := tr.AttachExisting(0, 5); err == nil {
+		t.Error("attach of still-attached node accepted")
+	}
+	if err := tr.RerootSubtree(1, 5); err == nil {
+		t.Error("reroot of attached subtree accepted")
+	}
+}
+
+func TestAttach(t *testing.T) {
+	tr := New(0)
+	if err := tr.Attach(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(9, 10); err == nil {
+		t.Error("attach below missing parent accepted")
+	}
+	if err := tr.Attach(0, 2); err == nil {
+		t.Error("re-attach of existing node accepted")
+	}
+	if tr.N() != 3 || tr.Depth(2) != 2 {
+		t.Errorf("n=%d depth(2)=%d", tr.N(), tr.Depth(2))
+	}
+}
+
+func TestEqualAndSameEdges(t *testing.T) {
+	_, a := buildSample(t)
+	_, b := buildSample(t)
+	if !a.Equal(b) {
+		t.Error("identical trees not equal")
+	}
+	b.Reroot(4)
+	if a.Equal(b) {
+		t.Error("rerooted tree equal to original")
+	}
+	if !a.SameEdges(b) {
+		t.Error("rerooted tree must keep the same edges")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g, tr := buildSample(t)
+	tr.Parent[5] = 1 // edge (1,5) is not in g... and children list now lies
+	if err := tr.Validate(g); err == nil {
+		t.Error("corrupted tree passed validation")
+	}
+}
+
+func TestToGraphAndClone(t *testing.T) {
+	g, tr := buildSample(t)
+	tg := tr.ToGraph()
+	if !tg.IsTree() {
+		t.Error("ToGraph not a tree")
+	}
+	c := tr.Clone()
+	c.Reroot(5)
+	if tr.Root != 0 {
+		t.Error("clone shares state")
+	}
+	_ = g
+}
+
+// Property: re-rooting at a random sequence of nodes never changes the edge
+// set or degrees, and always validates.
+func TestQuickRerootInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.Gnm(n, n-1+rng.Intn(2*n), seed)
+		parent := g.BFSParents(g.Nodes()[0])
+		tr, err := FromParentMap(g.Nodes()[0], parent)
+		if err != nil {
+			return false
+		}
+		degrees := make(map[graph.NodeID]int)
+		for _, v := range tr.Nodes() {
+			degrees[v] = tr.Degree(v)
+		}
+		for i := 0; i < 8; i++ {
+			target := tr.Nodes()[rng.Intn(n)]
+			tr.Reroot(target)
+			if tr.Root != target || tr.Validate(g) != nil {
+				return false
+			}
+			for _, v := range tr.Nodes() {
+				if tr.Degree(v) != degrees[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cut + subtree-reroot + attach along a random non-tree edge keeps
+// a valid spanning tree (the improvement swap safety argument).
+func TestQuickSwapKeepsSpanningTree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := graph.Gnm(n, n+rng.Intn(2*n), seed)
+		tr, err := FromParentMap(g.Nodes()[0], g.BFSParents(g.Nodes()[0]))
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			edges := g.Edges()
+			e := edges[rng.Intn(len(edges))]
+			if tr.HasEdge(e.U, e.V) {
+				continue
+			}
+			// Cut the topmost edge on U's root path that keeps V outside
+			// the detached subtree, then re-root at U and attach to V.
+			path := tr.PathToRoot(e.U)
+			if len(path) < 2 {
+				continue
+			}
+			// Find the highest ancestor a of U such that V is not below a.
+			cut := -1
+			for i := len(path) - 2; i >= 0; i-- {
+				below := false
+				for _, x := range tr.SubtreeNodes(path[i]) {
+					if x == e.V {
+						below = true
+						break
+					}
+				}
+				if !below {
+					cut = i
+					break
+				}
+			}
+			if cut < 0 {
+				continue
+			}
+			top := path[cut]
+			if err := tr.CutChild(path[cut+1], top); err != nil {
+				return false
+			}
+			if err := tr.RerootSubtree(top, e.U); err != nil {
+				return false
+			}
+			if err := tr.AttachExisting(e.V, e.U); err != nil {
+				return false
+			}
+			if err := tr.Validate(g); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+package mdegst
+
+import (
+	"fmt"
+
+	"mdegst/internal/exact"
+	"mdegst/internal/fr"
+	"mdegst/internal/graph"
+	"mdegst/internal/mdst"
+	"mdegst/internal/sim"
+	"mdegst/internal/spanning"
+	"mdegst/internal/tree"
+)
+
+// Re-exported fundamental types. Aliases (not definitions) so values move
+// freely between the façade and the internal packages.
+type (
+	// Graph is an undirected graph of named nodes.
+	Graph = graph.Graph
+	// NodeID names a processor; identities are distinct but arbitrary.
+	NodeID = graph.NodeID
+	// Edge is an undirected edge in normalised (U < V) form.
+	Edge = graph.Edge
+	// Tree is a rooted spanning tree.
+	Tree = tree.Tree
+	// Mode selects the improvement protocol variant.
+	Mode = mdst.Mode
+	// Report is the message/time accounting of one protocol execution.
+	Report = sim.Report
+	// Engine executes protocols over a simulated network.
+	Engine = sim.Engine
+)
+
+// Protocol modes.
+const (
+	// ModeSingle is the paper's base algorithm: one exchange per round by
+	// the minimum-identity maximum-degree node.
+	ModeSingle = mdst.Single
+	// ModeMulti is paper §3.2.6: every maximum-degree node exchanges
+	// concurrently in each round.
+	ModeMulti = mdst.Multi
+	// ModeHybrid runs Multi rounds until they stall, then Single rounds to
+	// full local optimality (recommended default).
+	ModeHybrid = mdst.Hybrid
+)
+
+// InitialTree selects how the startup spanning tree is built.
+type InitialTree int
+
+const (
+	// InitialFlood uses distributed flooding with echo termination from
+	// the minimum-identity node (a BFS tree under unit delays).
+	InitialFlood InitialTree = iota
+	// InitialDFS uses the distributed token depth-first search.
+	InitialDFS
+	// InitialGHS uses the Gallager–Humblet–Spira protocol over
+	// lexicographic edge weights.
+	InitialGHS
+	// InitialElection uses echo-wave extinction (no designated root).
+	InitialElection
+	// InitialStar uses the adversarial sequential builder rooting at a
+	// maximum-degree hub — the paper's worst case (harness helper, not a
+	// distributed protocol).
+	InitialStar
+	// InitialRandom uses a uniformly random spanning tree (Wilson's
+	// algorithm; harness helper, not a distributed protocol).
+	InitialRandom
+)
+
+func (it InitialTree) String() string {
+	switch it {
+	case InitialFlood:
+		return "flood"
+	case InitialDFS:
+		return "dfs"
+	case InitialGHS:
+		return "ghs"
+	case InitialElection:
+		return "election"
+	case InitialStar:
+		return "star"
+	case InitialRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("InitialTree(%d)", int(it))
+	}
+}
+
+// Options configures Run and Improve. The zero value is a sensible default:
+// flooding initial tree, Single mode, deterministic unit-delay engine.
+type Options struct {
+	// Mode is the improvement variant (default ModeSingle, the paper's
+	// base algorithm).
+	Mode Mode
+	// Initial selects the startup spanning-tree construction (default
+	// InitialFlood). Ignored by Improve.
+	Initial InitialTree
+	// Engine executes both phases (default deterministic event engine
+	// with unit delays). Use NewAsyncEngine for true concurrency or
+	// NewRandomDelayEngine for a seeded asynchrony adversary.
+	Engine Engine
+	// Seed feeds the sequential helpers (InitialRandom) and defaults any
+	// seeded engine construction.
+	Seed int64
+	// TargetDegree, when positive, stops the improvement as soon as the
+	// tree's maximum degree is at most this value — the paper's "degree
+	// cannot exceed a given value k" variant. Zero improves to local
+	// optimality.
+	TargetDegree int
+}
+
+func (o Options) engine() Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return NewUnitEngine()
+}
+
+// NewUnitEngine returns the deterministic discrete-event engine with unit
+// delays — the paper's time-complexity model.
+func NewUnitEngine() Engine {
+	return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true}
+}
+
+// NewRandomDelayEngine returns a seeded discrete-event engine whose delays
+// are uniform in (0.05, 1] over FIFO links — a reproducible asynchrony
+// adversary.
+func NewRandomDelayEngine(seed int64) Engine {
+	return &sim.EventEngine{Delay: sim.UniformDelay(0.05), Seed: seed, FIFO: true}
+}
+
+// NewAsyncEngine returns the goroutine-per-node engine: real concurrency,
+// scheduling decided by the Go runtime.
+func NewAsyncEngine() Engine {
+	return &sim.AsyncEngine{}
+}
+
+// TraceEvent describes one observable simulator step (a message delivery).
+type TraceEvent = sim.TraceEvent
+
+// NewTracingEngine returns a unit-delay deterministic engine that reports
+// every delivery to fn — the tool behind the Figure 2 wave visualisation.
+func NewTracingEngine(fn func(TraceEvent)) Engine {
+	return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true, Trace: fn}
+}
+
+// Result reports a full pipeline run.
+type Result struct {
+	// Initial is the startup spanning tree, Final the improved one.
+	Initial, Final *Tree
+	// InitialDegree and FinalDegree are their maximum degrees (the paper's
+	// k and k*).
+	InitialDegree, FinalDegree int
+	// Rounds and Swaps count improvement rounds and applied exchanges.
+	Rounds, Swaps int
+	// Setup accounts the spanning-tree construction (nil when the initial
+	// tree was built sequentially or supplied by the caller); Improvement
+	// accounts the improvement protocol; Total merges both.
+	Setup, Improvement, Total *Report
+}
+
+// BuildSpanningTree constructs the startup spanning tree of g per the
+// selected method. Distributed methods run on the engine and return their
+// message report; sequential helpers return a nil report.
+func BuildSpanningTree(g *Graph, method InitialTree, opts Options) (*Tree, *Report, error) {
+	if g.N() == 0 {
+		return nil, nil, fmt.Errorf("mdegst: empty graph")
+	}
+	switch method {
+	case InitialFlood:
+		return spanning.Build(opts.engine(), g, spanning.NewFloodFactory(g.Nodes()[0]))
+	case InitialDFS:
+		return spanning.Build(opts.engine(), g, spanning.NewDFSFactory(g.Nodes()[0]))
+	case InitialGHS:
+		return spanning.Build(opts.engine(), g, spanning.NewGHSFactory())
+	case InitialElection:
+		return spanning.Build(opts.engine(), g, spanning.NewElectionFactory())
+	case InitialStar:
+		t, err := spanning.StarTree(g)
+		return t, nil, err
+	case InitialRandom:
+		t, err := spanning.RandomST(g, opts.Seed)
+		return t, nil, err
+	default:
+		return nil, nil, fmt.Errorf("mdegst: unknown initial tree method %v", method)
+	}
+}
+
+// Run executes the full pipeline: build the startup spanning tree, then
+// improve it with the paper's protocol.
+func Run(g *Graph, opts Options) (*Result, error) {
+	initial, setup, err := BuildSpanningTree(g, opts.Initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Improve(g, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Setup = setup
+	if setup != nil {
+		res.Total.Add(setup)
+	}
+	return res, nil
+}
+
+// Improve runs the improvement protocol from the caller's spanning tree.
+func Improve(g *Graph, initial *Tree, opts Options) (*Result, error) {
+	r, err := mdst.RunTarget(opts.engine(), g, initial, opts.Mode, opts.TargetDegree)
+	if err != nil {
+		return nil, err
+	}
+	total := sim.NewReport()
+	total.Add(r.Report)
+	return &Result{
+		Initial:       initial,
+		Final:         r.Tree,
+		InitialDegree: r.InitialDegree,
+		FinalDegree:   r.FinalDegree,
+		Rounds:        r.Rounds,
+		Swaps:         r.Swaps,
+		Improvement:   r.Report,
+		Total:         total,
+	}, nil
+}
+
+// ImproveSequential runs the sequential twin of the distributed protocol —
+// identical result, no simulation — and returns the improved tree with its
+// round/exchange counts. It is the fast path for large parameter sweeps and
+// the oracle the distributed runs are tested against.
+func ImproveSequential(g *Graph, initial *Tree, mode Mode) (*Tree, int, int, error) {
+	t, stats, err := fr.Twin(g, initial, mode)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return t, stats.Rounds, stats.Swaps, nil
+}
+
+// FurerRaghavachari runs the classic sequential local search (the paper's
+// reference [3]) and returns the improved tree and its exchange count.
+func FurerRaghavachari(g *Graph, initial *Tree) (*Tree, int, error) {
+	t, stats, err := fr.FurerRaghavachari(g, initial)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, stats.Swaps, nil
+}
+
+// ExactMinDegree returns Δ*, the optimal spanning tree degree, with a
+// witness tree. Exponential: limited to small graphs (see exact package).
+func ExactMinDegree(g *Graph) (int, *Tree, error) {
+	return exact.MinDegree(g)
+}
+
+// DegreeLowerBound returns a cheap lower bound on Δ* valid for any size.
+func DegreeLowerBound(g *Graph) int {
+	return exact.DegreeLowerBound(g)
+}
