@@ -1,17 +1,24 @@
 // Command mdstbench regenerates the evaluation tables of EXPERIMENTS.md:
-// one table per experiment id defined in DESIGN.md §4.
+// one table per experiment id defined in DESIGN.md §4. Trials are fanned
+// across a worker pool; for a fixed -seeds/-scale the tables are
+// bit-identical at any -parallel value.
 //
 // Usage:
 //
-//	mdstbench                 # run every experiment at full scale
-//	mdstbench -exp E3,E4      # run selected experiments
-//	mdstbench -quick          # reduced sizes and seeds (seconds, not minutes)
-//	mdstbench -seeds 10       # more repetitions per cell
+//	mdstbench                   # run every experiment on GOMAXPROCS workers
+//	mdstbench -exp E3,E4        # run selected experiments
+//	mdstbench -quick            # reduced sizes and seeds (seconds, not minutes)
+//	mdstbench -seeds 10         # more repetitions per cell
+//	mdstbench -parallel 1       # sequential execution
+//	mdstbench -progress         # live per-trial progress on stderr
+//	mdstbench -json out.json    # machine-readable tables ("-" for stdout)
+//	mdstbench -perf bench.json  # engine/harness micro-benchmarks instead of tables
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,12 +28,27 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quick = flag.Bool("quick", false, "reduced scale for a fast pass")
-		seeds = flag.Int("seeds", 0, "override repetitions per cell")
-		scale = flag.Float64("scale", 0, "override size factor in (0,1]")
+		which    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
+		seeds    = flag.Int("seeds", 0, "override repetitions per cell")
+		scale    = flag.Float64("scale", 0, "override size factor in (0,1]")
+		parallel = flag.Int("parallel", 0, "worker count (0: GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
+		jsonOut  = flag.String("json", "", "also write tables as JSON to this file (\"-\" for stdout)")
+		perfOut  = flag.String("perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
 	)
 	flag.Parse()
+
+	if *perfOut != "" {
+		// The perf suite runs fixed workloads; only -parallel feeds into it.
+		if *which != "" || *quick || *seeds > 0 || *scale > 0 || *jsonOut != "" || *progress {
+			fatal(fmt.Errorf("-perf runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -json and -progress"))
+		}
+		if err := runPerf(*perfOut, *parallel); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := exp.Default()
 	if *quick {
@@ -39,9 +61,8 @@ func main() {
 		cfg.Scale = *scale
 	}
 
-	ids := exp.IDs()
+	var ids []string
 	if *which != "" {
-		ids = nil
 		for _, id := range strings.Split(*which, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := exp.All()[id]; !ok {
@@ -53,10 +74,52 @@ func main() {
 		}
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		tbl := exp.All()[id](cfg)
-		tbl.Fprint(os.Stdout)
-		fmt.Printf("   (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	runner := &exp.Runner{Config: cfg, Parallel: *parallel}
+	if *progress {
+		runner.Progress = func(ev exp.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "mdstbench: %-4s %3d/%3d trials (%v)\n",
+				ev.Experiment, ev.Done, ev.Total, ev.Elapsed.Round(time.Millisecond))
+		}
 	}
+	start := time.Now()
+	tables, err := runner.Run(ids)
+	if err != nil {
+		fatal(err)
+	}
+	for _, tbl := range tables {
+		tbl.Fprint(os.Stdout)
+	}
+	fmt.Fprintf(os.Stderr, "mdstbench: %d tables on %d workers in %v\n", len(tables), runner.Workers(), time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, cfg, tables); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, cfg exp.Config, tables []*exp.Table) error {
+	return writeTo(path, exp.NewResultSet(cfg, tables).WriteJSON)
+}
+
+// writeTo streams write to the named file ("-" for stdout), propagating
+// close errors so a failed flush cannot pass for success.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdstbench:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"mdegst/internal/exp"
+	"mdegst/internal/graph"
+	"mdegst/internal/mdst"
+	"mdegst/internal/sim"
+	"mdegst/internal/spanning"
+)
+
+// The perf suite behind `mdstbench -perf`: a small fixed-seed set of
+// micro-benchmarks run through testing.Benchmark, emitted as JSON. It seeds
+// and maintains BENCH_baseline.json, the repository's performance
+// trajectory: the EventEngine fast path measured against the unoptimised
+// ReferenceEngine oracle, and the parallel experiment harness measured
+// against sequential execution.
+
+type perfEntry struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type perfReport struct {
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Workloads  []perfEntry       `json:"workloads"`
+	Derived    map[string]string `json:"derived"`
+}
+
+func benchToEntry(name string, r testing.BenchmarkResult) perfEntry {
+	return perfEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchEngine runs the full improvement protocol (wheel-free Gnm workload,
+// star start, hybrid mode) on the given engine construction.
+func benchEngine(mk func() sim.Engine) testing.BenchmarkResult {
+	g := graph.Gnm(96, 288, 1)
+	t0, err := spanning.StarTree(g)
+	if err != nil {
+		panic(err)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mdst.Run(mk(), g, t0, mdst.Hybrid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchFlood runs the engine-bound spanning-tree flood on a denser graph,
+// isolating simulator overhead from protocol logic.
+func benchFlood(mk func() sim.Engine) testing.BenchmarkResult {
+	g := graph.Gnm(256, 1024, 1)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := spanning.Build(mk(), g, spanning.NewFloodFactory(g.Nodes()[0])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchHarness runs a fixed-seed quick sweep through the experiment runner
+// at the given worker count.
+func benchHarness(parallel int) testing.BenchmarkResult {
+	cfg := exp.Config{Seeds: 2, Scale: 0.25}
+	ids := []string{"E1", "E3", "E5"}
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&exp.Runner{Config: cfg, Parallel: parallel}).Run(ids); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func ratio(num, den int64) string {
+	if num == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", float64(den)/float64(num))
+}
+
+func runPerf(path string, parallel int) error {
+	unit := func() sim.Engine { return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true} }
+	ref := func() sim.Engine { return &sim.ReferenceEngine{Delay: sim.UnitDelay, FIFO: true} }
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	fmt.Fprintln(os.Stderr, "mdstbench: running perf suite (engine fast path vs reference, harness parallel vs sequential)...")
+	event := benchEngine(unit)
+	reference := benchEngine(ref)
+	eventFlood := benchFlood(unit)
+	referenceFlood := benchFlood(ref)
+	seq := benchHarness(1)
+	par := benchHarness(workers)
+
+	rep := perfReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workloads: []perfEntry{
+			benchToEntry("mdst-hybrid/gnm-96/event-engine", event),
+			benchToEntry("mdst-hybrid/gnm-96/reference-engine", reference),
+			benchToEntry("flood/gnm-256/event-engine", eventFlood),
+			benchToEntry("flood/gnm-256/reference-engine", referenceFlood),
+			benchToEntry("harness/E1,E3,E5-quick/parallel=1", seq),
+			benchToEntry(fmt.Sprintf("harness/E1,E3,E5-quick/parallel=%d", workers), par),
+		},
+		Derived: map[string]string{
+			"engine_allocs_reduction":  ratio(event.AllocsPerOp(), reference.AllocsPerOp()),
+			"engine_time_speedup":      ratio(event.NsPerOp(), reference.NsPerOp()),
+			"flood_allocs_reduction":   ratio(eventFlood.AllocsPerOp(), referenceFlood.AllocsPerOp()),
+			"flood_time_speedup":       ratio(eventFlood.NsPerOp(), referenceFlood.NsPerOp()),
+			"harness_parallel_speedup": ratio(par.NsPerOp(), seq.NsPerOp()),
+		},
+	}
+
+	if err := writeTo(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		return err
+	}
+	for k, v := range rep.Derived {
+		fmt.Fprintf(os.Stderr, "mdstbench: %-26s %s\n", k, v)
+	}
+	return nil
+}

@@ -1,22 +1,31 @@
-// Command mdstrun executes one full pipeline — build an initial spanning
+// Command mdstrun executes the full pipeline — build an initial spanning
 // tree, then improve it with the distributed MDegST protocol — and prints a
-// run summary.
+// run summary. With -trials it becomes a seeded sweep: independent trials
+// (seed, seed+1, ...) run across a worker pool and are reported
+// individually plus in aggregate.
 //
 // Usage:
 //
 //	mdstrun -graph gnp -n 64 -p 0.1 -seed 1 -initial flood -mode hybrid
 //	mdstrun -graph wheel -n 32 -initial star -mode single -engine random
 //	mdstrun -in network.edges -mode multi -verbose
+//	mdstrun -graph ba -n 128 -trials 16 -parallel 8    # parallel seed sweep
+//	mdstrun -graph gnp -n 64 -json -                   # machine-readable result
 //
 // The -in flag reads an edge list (see cmd/graphgen); otherwise a generator
 // family is selected with -graph.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mdegst"
 	"mdegst/internal/graph"
@@ -24,51 +33,223 @@ import (
 
 func main() {
 	var (
-		family  = flag.String("graph", "gnp", "graph family: gnp|gnm|ba|geo|wheel|ring|star|complete|grid|hypercube|hamchords")
-		n       = flag.Int("n", 64, "number of nodes")
-		m       = flag.Int("m", 0, "number of edges (gnm; default 3n)")
-		p       = flag.Float64("p", 0.1, "edge probability (gnp)")
-		k       = flag.Int("k", 2, "attachment degree (ba) / chords (hamchords)")
-		seed    = flag.Int64("seed", 1, "generator and engine seed")
-		in      = flag.String("in", "", "read graph from edge-list file instead of generating")
-		initial = flag.String("initial", "flood", "initial tree: flood|dfs|ghs|election|star|random")
-		mode    = flag.String("mode", "single", "improvement mode: single|multi|hybrid")
-		engine  = flag.String("engine", "unit", "engine: unit|random|async")
-		target  = flag.Int("target", 0, "stop once the maximum degree is at most this (0: improve fully)")
-		dotOut  = flag.String("dot", "", "write the final tree (with non-tree edges dashed) as Graphviz DOT to this file")
-		verbose = flag.Bool("verbose", false, "print message breakdown by kind and round")
+		family   = flag.String("graph", "gnp", "graph family: gnp|gnm|ba|geo|wheel|ring|star|complete|grid|hypercube|hamchords")
+		n        = flag.Int("n", 64, "number of nodes")
+		m        = flag.Int("m", 0, "number of edges (gnm; default 3n)")
+		p        = flag.Float64("p", 0.1, "edge probability (gnp)")
+		k        = flag.Int("k", 2, "attachment degree (ba) / chords (hamchords)")
+		seed     = flag.Int64("seed", 1, "generator and engine seed (first seed of a sweep)")
+		in       = flag.String("in", "", "read graph from edge-list file instead of generating")
+		initial  = flag.String("initial", "flood", "initial tree: flood|dfs|ghs|election|star|random")
+		mode     = flag.String("mode", "single", "improvement mode: single|multi|hybrid")
+		engine   = flag.String("engine", "unit", "engine: unit|random|async")
+		target   = flag.Int("target", 0, "stop once the maximum degree is at most this (0: improve fully)")
+		trials   = flag.Int("trials", 1, "number of independent seeded trials (seed, seed+1, ...)")
+		parallel = flag.Int("parallel", 0, "workers for -trials > 1 (0: GOMAXPROCS)")
+		jsonOut  = flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
+		dotOut   = flag.String("dot", "", "write the final tree (with non-tree edges dashed) as Graphviz DOT to this file (single trial only)")
+		verbose  = flag.Bool("verbose", false, "print message breakdown by kind and round (single trial only)")
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*in, *family, *n, *m, *p, *k, *seed)
+	if *trials < 1 {
+		fatal(fmt.Errorf("-trials must be at least 1"))
+	}
+
+	// Validate the selector flags once, before any trial pays the
+	// graph-construction cost.
+	runMode, err := parseMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
-	opts := mdegst.Options{Seed: *seed, TargetDegree: *target}
-	if opts.Mode, err = parseMode(*mode); err != nil {
-		fatal(err)
-	}
-	if opts.Initial, err = parseInitial(*initial); err != nil {
+	runInitial, err := parseInitial(*initial)
+	if err != nil {
 		fatal(err)
 	}
 	switch *engine {
-	case "unit":
-		opts.Engine = mdegst.NewUnitEngine()
-	case "random":
-		opts.Engine = mdegst.NewRandomDelayEngine(*seed)
-	case "async":
-		opts.Engine = mdegst.NewAsyncEngine()
+	case "unit", "random", "async":
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
-
-	res, err := mdegst.Run(g, opts)
-	if err != nil {
-		fatal(err)
+	// An -in file is read once; trials re-parse the in-memory bytes so they
+	// stay share-nothing without re-reading the file per worker.
+	var inData []byte
+	if *in != "" {
+		if inData, err = os.ReadFile(*in); err != nil {
+			fatal(err)
+		}
 	}
 
+	runTrial := func(s int64) (*mdegst.Graph, *mdegst.Result, error) {
+		var g *mdegst.Graph
+		var err error
+		if inData != nil {
+			g, err = graph.ReadEdgeList(bytes.NewReader(inData))
+		} else {
+			g, err = buildGraph(*family, *n, *m, *p, *k, s)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		opts := mdegst.Options{Seed: s, TargetDegree: *target, Mode: runMode, Initial: runInitial}
+		switch *engine {
+		case "unit":
+			opts.Engine = mdegst.NewUnitEngine()
+		case "random":
+			opts.Engine = mdegst.NewRandomDelayEngine(s)
+		case "async":
+			opts.Engine = mdegst.NewAsyncEngine()
+		}
+		res, err := mdegst.Run(g, opts)
+		return g, res, err
+	}
+
+	if *trials == 1 {
+		g, res, err := runTrial(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		printSingle(g, res, *initial, *verbose)
+		if *dotOut != "" {
+			writeDOT(*dotOut, g, res)
+		}
+		if *jsonOut != "" {
+			if err := writeResults(*jsonOut, []trialResult{toTrialResult(*seed, g, res)}); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	// Seeded sweep: independent trials over a worker pool; output order is
+	// by seed regardless of completion order.
+	results := make([]trialResult, *trials)
+	errs := make([]error, *trials)
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > *trials {
+		workers = *trials
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s := *seed + int64(i)
+				g, res, err := runTrial(s)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = toTrialResult(s, g, res)
+			}
+		}()
+	}
+	for i := 0; i < *trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%-6s %5s %6s %4s %4s %7s %7s %10s %12s\n",
+		"seed", "n", "m", "k", "k*", "rounds", "swaps", "messages", "causal depth")
+	var ks, kstars, msgs, depths float64
+	worst := 0
+	for _, r := range results {
+		fmt.Printf("%-6d %5d %6d %4d %4d %7d %7d %10d %12d\n",
+			r.Seed, r.N, r.M, r.InitialDegree, r.FinalDegree, r.Rounds, r.Swaps, r.TotalMessages, r.CausalDepth)
+		ks += float64(r.InitialDegree)
+		kstars += float64(r.FinalDegree)
+		msgs += float64(r.TotalMessages)
+		depths += float64(r.CausalDepth)
+		if r.FinalDegree > worst {
+			worst = r.FinalDegree
+		}
+	}
+	t := float64(*trials)
+	fmt.Printf("mean over %d trials on %d workers: k=%.2f k*=%.2f (worst k*=%d) messages=%.0f causal depth=%.0f\n",
+		*trials, workers, ks/t, kstars/t, worst, msgs/t, depths/t)
+
+	if *jsonOut != "" {
+		if err := writeResults(*jsonOut, results); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// trialResult is the machine-readable summary of one pipeline run.
+type trialResult struct {
+	Seed           int64 `json:"seed"`
+	N              int   `json:"n"`
+	M              int   `json:"m"`
+	GraphMaxDegree int   `json:"graph_max_degree"`
+	InitialDegree  int   `json:"initial_degree"`
+	FinalDegree    int   `json:"final_degree"`
+	LowerBound     int   `json:"degree_lower_bound"`
+	Rounds         int   `json:"rounds"`
+	Swaps          int   `json:"swaps"`
+	SetupMessages  int64 `json:"setup_messages"`
+	TotalMessages  int64 `json:"total_messages"`
+	TotalWords     int64 `json:"total_words"`
+	MaxWords       int   `json:"max_message_words"`
+	CausalDepth    int64 `json:"causal_depth"`
+}
+
+func toTrialResult(seed int64, g *mdegst.Graph, res *mdegst.Result) trialResult {
+	setup := int64(0)
+	if res.Setup != nil {
+		setup = res.Setup.Messages
+	}
+	return trialResult{
+		Seed:           seed,
+		N:              g.N(),
+		M:              g.M(),
+		GraphMaxDegree: g.MaxDegree(),
+		InitialDegree:  res.InitialDegree,
+		FinalDegree:    res.FinalDegree,
+		LowerBound:     mdegst.DegreeLowerBound(g),
+		Rounds:         res.Rounds,
+		Swaps:          res.Swaps,
+		SetupMessages:  setup,
+		TotalMessages:  res.Total.Messages,
+		TotalWords:     res.Total.Words,
+		MaxWords:       res.Total.MaxWords,
+		CausalDepth:    res.Improvement.CausalDepth,
+	}
+}
+
+func writeResults(path string, results []trialResult) error {
+	encode := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	if path == "-" {
+		return encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printSingle(g *mdegst.Graph, res *mdegst.Result, initial string, verbose bool) {
 	fmt.Printf("graph:        n=%d m=%d maxdeg=%d diameter=%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
-	fmt.Printf("initial tree: %s, degree k=%d\n", *initial, res.InitialDegree)
+	fmt.Printf("initial tree: %s, degree k=%d\n", initial, res.InitialDegree)
 	fmt.Printf("final tree:   degree k*=%d (lower bound on Δ*: %d)\n", res.FinalDegree, mdegst.DegreeLowerBound(g))
 	fmt.Printf("improvement:  %d rounds, %d exchanges, %d messages, causal depth %d\n",
 		res.Rounds, res.Swaps, res.Improvement.Messages, res.Improvement.CausalDepth)
@@ -78,21 +259,7 @@ func main() {
 	fmt.Printf("total:        %d messages, %d words, max message %d words\n",
 		res.Total.Messages, res.Total.Words, res.Total.MaxWords)
 
-	if *dotOut != "" {
-		f, err := os.Create(*dotOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := res.Final.WriteDOT(f, g); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("dot:          wrote %s\n", *dotOut)
-	}
-
-	if *verbose {
+	if verbose {
 		fmt.Println("\nmessages by kind:")
 		kinds := make([]string, 0, len(res.Total.ByKind))
 		for kd := range res.Total.ByKind {
@@ -124,15 +291,21 @@ func main() {
 	}
 }
 
-func buildGraph(in, family string, n, m int, p float64, k int, seed int64) (*mdegst.Graph, error) {
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadEdgeList(f)
+func writeDOT(path string, g *mdegst.Graph, res *mdegst.Result) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
 	}
+	if err := res.Final.WriteDOT(f, g); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dot:          wrote %s\n", path)
+}
+
+func buildGraph(family string, n, m int, p float64, k int, seed int64) (*mdegst.Graph, error) {
 	if m == 0 {
 		m = 3 * n
 	}

@@ -22,6 +22,21 @@
 // own spanning tree, and Options to pick the protocol mode, the initial
 // tree construction, and the simulation engine.
 //
+// # Experiments
+//
+// RunExperiments executes the paper's evaluation tables (E1..E10 plus the
+// A1..A3 ablations) by decomposing each table into independent seeded
+// trials and fanning them across a worker pool:
+//
+//	tables, err := mdegst.RunExperiments(nil, mdegst.ExperimentOptions{Parallel: 8})
+//	for _, t := range tables { t.Fprint(os.Stdout) }
+//
+// For a fixed ExperimentOptions configuration the tables are deterministic:
+// bit-identical at any Parallel value. WriteExperimentsJSON emits the same
+// tables on a machine-readable JSON surface, shared with the mdstbench
+// -json flag; mdstbench -perf records engine and harness benchmarks to seed
+// the repository's performance trajectory (BENCH_baseline.json).
+//
 // The packages under internal/ hold the implementations; this package is
 // the stable surface: Graph and Tree are aliases of the internal types, so
 // values flow freely between the façade and the internals.

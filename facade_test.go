@@ -99,3 +99,33 @@ func TestDOTThroughFacade(t *testing.T) {
 		t.Error("DOT output malformed")
 	}
 }
+
+func TestRunExperimentsFacade(t *testing.T) {
+	var events int
+	opts := mdegst.ExperimentOptions{
+		Seeds: 1, Scale: 0.1, Parallel: 4,
+		Progress: func(mdegst.ExperimentProgress) { events++ },
+	}
+	tables, err := mdegst.RunExperiments([]string{"E5", "E6"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "E5" || tables[1].ID != "E6" {
+		t.Fatalf("unexpected tables %v", tables)
+	}
+	if events == 0 {
+		t.Error("no progress callbacks")
+	}
+	var b strings.Builder
+	if err := mdegst.WriteExperimentsJSON(&b, tables, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"seeds": 1`, `"id": "E5"`, `"id": "E6"`, `"rows"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("JSON output misses %q:\n%s", want, b.String())
+		}
+	}
+	if _, err := mdegst.RunExperiments([]string{"nope"}, opts); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module mdegst
+
+go 1.24

@@ -15,7 +15,9 @@ import (
 	"mdegst/internal/tree"
 )
 
-// All returns every experiment driver keyed by id.
+// All returns every experiment driver keyed by id. Each driver runs its
+// trials sequentially on the calling goroutine; use Runner to fan the same
+// trials across a worker pool.
 func All() map[string]func(Config) *Table {
 	return map[string]func(Config) *Table{
 		"E1":  E1Rounds,
@@ -31,6 +33,26 @@ func All() map[string]func(Config) *Table {
 		"A1":  A1Modes,
 		"A2":  A2Twin,
 		"A3":  A3Engines,
+	}
+}
+
+// allSpecs returns the trial decomposition of every experiment, keyed by id —
+// the form the parallel Runner executes.
+func allSpecs() map[string]func(Config) spec {
+	return map[string]func(Config) spec{
+		"E1":  e1Spec,
+		"E2":  e2Spec,
+		"E3":  e3Spec,
+		"E4":  e4Spec,
+		"E5":  e5Spec,
+		"E6":  e6Spec,
+		"E7":  e7Spec,
+		"E8":  e8Spec,
+		"E9":  e9Spec,
+		"E10": e10Spec,
+		"A1":  a1Spec,
+		"A2":  a2Spec,
+		"A3":  a3Spec,
 	}
 }
 
@@ -127,47 +149,76 @@ func log2ceil(n int) int {
 
 // E1Rounds checks "there is k-k*+1 rounds": per family, the measured round
 // counts of the three modes against the paper's bound.
-func E1Rounds(cfg Config) *Table {
-	t := &Table{
-		ID:     "E1",
-		Title:  "rounds per run vs the paper's k-k*+1",
-		Claim:  "the algorithm performs k-k*+1 rounds (paper §4.2)",
-		Header: []string{"family", "n", "m", "k", "k*", "k-k*+1", "rounds(single)", "rounds(multi)", "rounds(hybrid)"},
-	}
-	for _, w := range sweepFamilies(cfg) {
-		var ks, kstars, bounds, rs, rm, rh []float64
-		var n, m int
-		for s := 0; s < cfg.seeds(); s++ {
-			g := w.gen(int64(s))
-			n, m = g.N(), g.M()
-			t0 := mustStar(g)
-			k, _ := t0.MaxDegree()
-			_, st1 := mustTwin(g, t0, mdst.Single)
-			_, st2 := mustTwin(g, t0, mdst.Multi)
-			_, st3 := mustTwin(g, t0, mdst.Hybrid)
-			ks = append(ks, float64(k))
-			kstars = append(kstars, float64(st1.FinalDegree))
-			bounds = append(bounds, float64(k-st1.FinalDegree+1))
-			rs = append(rs, float64(st1.Rounds))
-			rm = append(rm, float64(st2.Rounds))
-			rh = append(rh, float64(st3.Rounds))
+func E1Rounds(cfg Config) *Table { return runSeq(e1Spec(cfg)) }
+
+type e1Trial struct {
+	n, m                        int
+	k, kstar, bound, rs, rm, rh float64
+}
+
+func e1Spec(cfg Config) spec {
+	fams := sweepFamilies(cfg)
+	seeds := cfg.seeds()
+	var trials []func() any
+	for _, w := range fams {
+		for s := 0; s < seeds; s++ {
+			trials = append(trials, func() any {
+				g := w.gen(int64(s))
+				t0 := mustStar(g)
+				k, _ := t0.MaxDegree()
+				_, st1 := mustTwin(g, t0, mdst.Single)
+				_, st2 := mustTwin(g, t0, mdst.Multi)
+				_, st3 := mustTwin(g, t0, mdst.Hybrid)
+				return e1Trial{
+					n: g.N(), m: g.M(),
+					k:     float64(k),
+					kstar: float64(st1.FinalDegree),
+					bound: float64(k - st1.FinalDegree + 1),
+					rs:    float64(st1.Rounds),
+					rm:    float64(st2.Rounds),
+					rh:    float64(st3.Rounds),
+				}
+			})
 		}
-		t.Add(w.name, n, m, mean(ks), mean(kstars), mean(bounds), mean(rs), mean(rm), mean(rh))
 	}
-	t.Note("single applies one exchange per round, so its rounds exceed the bound when several nodes share the maximum degree; multi matches the spirit of §3.2.6")
-	t.Note("round counts are means over %d seeds; k* is the single-mode locally optimal degree", cfg.seeds())
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E1",
+			Title:  "rounds per run vs the paper's k-k*+1",
+			Claim:  "the algorithm performs k-k*+1 rounds (paper §4.2)",
+			Header: []string{"family", "n", "m", "k", "k*", "k-k*+1", "rounds(single)", "rounds(multi)", "rounds(hybrid)"},
+		}
+		for fi, w := range fams {
+			var ks, kstars, bounds, rs, rm, rh []float64
+			var n, m int
+			for s := 0; s < seeds; s++ {
+				tr := results[fi*seeds+s].(e1Trial)
+				n, m = tr.n, tr.m
+				ks = append(ks, tr.k)
+				kstars = append(kstars, tr.kstar)
+				bounds = append(bounds, tr.bound)
+				rs = append(rs, tr.rs)
+				rm = append(rm, tr.rm)
+				rh = append(rh, tr.rh)
+			}
+			t.Add(w.name, n, m, mean(ks), mean(kstars), mean(bounds), mean(rs), mean(rm), mean(rh))
+		}
+		t.Note("single applies one exchange per round, so its rounds exceed the bound when several nodes share the maximum degree; multi matches the spirit of §3.2.6")
+		t.Note("round counts are means over %d seeds; k* is the single-mode locally optimal degree", seeds)
+		return t
+	}
+	return spec{id: "E1", trials: trials, assemble: assemble}
 }
 
 // E2Quality checks the Δ*+1 guarantee against the exact optimum on small
 // graphs, comparing the protocol modes with the sequential baselines.
-func E2Quality(cfg Config) *Table {
-	t := &Table{
-		ID:     "E2",
-		Title:  "final degree vs exact optimum Δ*",
-		Claim:  "the algorithm gives a spanning tree of degree at most Δ*+1 (paper abstract, Thm 1)",
-		Header: []string{"family", "runs", "Δ*(mean)", "single", "multi", "hybrid", "FR", "strict", "worst gap", "gap>1 runs"},
-	}
+func E2Quality(cfg Config) *Table { return runSeq(e2Spec(cfg)) }
+
+type e2Trial struct {
+	opt, ds, dm, dh, dfr, dst, gap float64
+}
+
+func e2Spec(cfg Config) spec {
 	families := []workload{
 		{"gnm-10", func(s int64) *graph.Graph { return graph.Gnm(10, 16, s) }},
 		{"gnm-12", func(s int64) *graph.Graph { return graph.Gnm(12, 20, s) }},
@@ -176,210 +227,332 @@ func E2Quality(cfg Config) *Table {
 		{"bipart", func(s int64) *graph.Graph { return graph.CompleteBipartite(3, 8) }},
 	}
 	runs := cfg.seeds() * 4
+	var trials []func() any
 	for _, w := range families {
-		var opts, ds, dm, dh, dfr, dst, gaps []float64
-		over := 0
 		for s := 0; s < runs; s++ {
-			g := w.gen(int64(s))
-			opt, _, err := exact.MinDegree(g)
-			if err != nil {
-				panic(err)
-			}
-			t0 := mustStar(g)
-			_, s1 := mustTwin(g, t0, mdst.Single)
-			_, s2 := mustTwin(g, t0, mdst.Multi)
-			_, s3 := mustTwin(g, t0, mdst.Hybrid)
-			_, fstats, err := fr.FurerRaghavachari(g, t0)
-			if err != nil {
-				panic(err)
-			}
-			_, sstats, err := fr.Strict(g, t0)
-			if err != nil {
-				panic(err)
-			}
-			opts = append(opts, float64(opt))
-			ds = append(ds, float64(s1.FinalDegree))
-			dm = append(dm, float64(s2.FinalDegree))
-			dh = append(dh, float64(s3.FinalDegree))
-			dfr = append(dfr, float64(fstats.FinalDegree))
-			dst = append(dst, float64(sstats.FinalDegree))
-			gap := float64(s3.FinalDegree - opt)
-			gaps = append(gaps, gap)
-			if gap > 1 {
-				over++
-			}
+			trials = append(trials, func() any {
+				g := w.gen(int64(s))
+				opt, _, err := exact.MinDegree(g)
+				if err != nil {
+					panic(err)
+				}
+				t0 := mustStar(g)
+				_, s1 := mustTwin(g, t0, mdst.Single)
+				_, s2 := mustTwin(g, t0, mdst.Multi)
+				_, s3 := mustTwin(g, t0, mdst.Hybrid)
+				_, fstats, err := fr.FurerRaghavachari(g, t0)
+				if err != nil {
+					panic(err)
+				}
+				_, sstats, err := fr.Strict(g, t0)
+				if err != nil {
+					panic(err)
+				}
+				return e2Trial{
+					opt: float64(opt),
+					ds:  float64(s1.FinalDegree),
+					dm:  float64(s2.FinalDegree),
+					dh:  float64(s3.FinalDegree),
+					dfr: float64(fstats.FinalDegree),
+					dst: float64(sstats.FinalDegree),
+					gap: float64(s3.FinalDegree - opt),
+				}
+			})
 		}
-		t.Add(w.name, runs, mean(opts), mean(ds), mean(dm), mean(dh), mean(dfr), mean(dst), maxf(gaps), over)
 	}
-	t.Note("worst gap / gap>1 columns refer to hybrid mode; the paper's wave ignores edges blocked only by degree-(k-1) vertices, so gaps above 1 are possible in principle (DESIGN.md deviation 5)")
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E2",
+			Title:  "final degree vs exact optimum Δ*",
+			Claim:  "the algorithm gives a spanning tree of degree at most Δ*+1 (paper abstract, Thm 1)",
+			Header: []string{"family", "runs", "Δ*(mean)", "single", "multi", "hybrid", "FR", "strict", "worst gap", "gap>1 runs"},
+		}
+		for fi, w := range families {
+			var opts, ds, dm, dh, dfr, dst, gaps []float64
+			over := 0
+			for s := 0; s < runs; s++ {
+				tr := results[fi*runs+s].(e2Trial)
+				opts = append(opts, tr.opt)
+				ds = append(ds, tr.ds)
+				dm = append(dm, tr.dm)
+				dh = append(dh, tr.dh)
+				dfr = append(dfr, tr.dfr)
+				dst = append(dst, tr.dst)
+				gaps = append(gaps, tr.gap)
+				if tr.gap > 1 {
+					over++
+				}
+			}
+			t.Add(w.name, runs, mean(opts), mean(ds), mean(dm), mean(dh), mean(dfr), mean(dst), maxf(gaps), over)
+		}
+		t.Note("worst gap / gap>1 columns refer to hybrid mode; the paper's wave ignores edges blocked only by degree-(k-1) vertices, so gaps above 1 are possible in principle (DESIGN.md deviation 5)")
+		return t
+	}
+	return spec{id: "E2", trials: trials, assemble: assemble}
 }
 
 // E3Messages checks O((k-k*)·m) messages: measured improvement messages over
 // the bound (k-k*+1)·m for a size sweep.
-func E3Messages(cfg Config) *Table {
-	t := &Table{
-		ID:     "E3",
-		Title:  "message complexity vs (k-k*+1)·m",
-		Claim:  "O((k-k*)·m) messages (paper §1, §4.2)",
-		Header: []string{"n", "m", "k", "k*", "messages", "(k-k*+1)·m", "ratio", "msgs/round/m"},
-	}
-	var ns, msgs []float64
-	for _, n := range []int{32, 64, 128, 256} {
-		n = cfg.scale(n)
-		var mM, kk, kks, mm, bound, ratio, perRound []float64
-		for s := 0; s < cfg.seeds(); s++ {
-			g := graph.Gnm(n, 3*n, int64(s))
-			t0 := mustStar(g)
-			// Multi mode: the paper's k-k*+1 round count presumes §3.2.6's
-			// concurrent handling of all maximum-degree nodes.
-			res := mustRun(g, t0, mdst.Multi)
-			k, ks := res.InitialDegree, res.FinalDegree
-			b := float64(k-ks+1) * float64(g.M())
-			mM = append(mM, float64(g.M()))
-			kk = append(kk, float64(k))
-			kks = append(kks, float64(ks))
-			mm = append(mm, float64(res.Report.Messages))
-			bound = append(bound, b)
-			ratio = append(ratio, float64(res.Report.Messages)/b)
-			perRound = append(perRound, float64(res.Report.Messages)/float64(res.Rounds)/float64(g.M()))
+func E3Messages(cfg Config) *Table { return runSeq(e3Spec(cfg)) }
+
+type sizeTrial struct {
+	m, k, ks, msgs, bound, ratio, perRound float64
+}
+
+func e3Spec(cfg Config) spec {
+	sizes := scaledSizes(cfg, 32, 64, 128, 256)
+	seeds := cfg.seeds()
+	var trials []func() any
+	for _, n := range sizes {
+		for s := 0; s < seeds; s++ {
+			trials = append(trials, func() any {
+				g := graph.Gnm(n, 3*n, int64(s))
+				t0 := mustStar(g)
+				// Multi mode: the paper's k-k*+1 round count presumes §3.2.6's
+				// concurrent handling of all maximum-degree nodes.
+				res := mustRun(g, t0, mdst.Multi)
+				k, ks := res.InitialDegree, res.FinalDegree
+				b := float64(k-ks+1) * float64(g.M())
+				return sizeTrial{
+					m:        float64(g.M()),
+					k:        float64(k),
+					ks:       float64(ks),
+					msgs:     float64(res.Report.Messages),
+					bound:    b,
+					ratio:    float64(res.Report.Messages) / b,
+					perRound: float64(res.Report.Messages) / float64(res.Rounds) / float64(g.M()),
+				}
+			})
 		}
-		t.Add(n, mean(mM), mean(kk), mean(kks), mean(mm), mean(bound), mean(ratio), mean(perRound))
-		ns = append(ns, float64(n))
-		msgs = append(msgs, mean(mm))
 	}
-	if len(ns) >= 2 {
-		slope := (math.Log(msgs[len(msgs)-1]) - math.Log(msgs[0])) / (math.Log(ns[len(ns)-1]) - math.Log(ns[0]))
-		t.Note("log-log slope of messages vs n at fixed density m=3n: %.2f (O((k-k*)m) with k~max degree predicts ~1.3-2)", slope)
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E3",
+			Title:  "message complexity vs (k-k*+1)·m",
+			Claim:  "O((k-k*)·m) messages (paper §1, §4.2)",
+			Header: []string{"n", "m", "k", "k*", "messages", "(k-k*+1)·m", "ratio", "msgs/round/m"},
+		}
+		var ns, msgs []float64
+		for ni, n := range sizes {
+			var mM, kk, kks, mm, bound, ratio, perRound []float64
+			for s := 0; s < seeds; s++ {
+				tr := results[ni*seeds+s].(sizeTrial)
+				mM = append(mM, tr.m)
+				kk = append(kk, tr.k)
+				kks = append(kks, tr.ks)
+				mm = append(mm, tr.msgs)
+				bound = append(bound, tr.bound)
+				ratio = append(ratio, tr.ratio)
+				perRound = append(perRound, tr.perRound)
+			}
+			t.Add(n, mean(mM), mean(kk), mean(kks), mean(mm), mean(bound), mean(ratio), mean(perRound))
+			ns = append(ns, float64(n))
+			msgs = append(msgs, mean(mm))
+		}
+		if len(ns) >= 2 {
+			slope := (math.Log(msgs[len(msgs)-1]) - math.Log(msgs[0])) / (math.Log(ns[len(ns)-1]) - math.Log(ns[0]))
+			t.Note("log-log slope of messages vs n at fixed density m=3n: %.2f (O((k-k*)m) with k~max degree predicts ~1.3-2)", slope)
+		}
+		t.Note("ratio is measured messages over the paper bound; bounded ratios across the sweep support the claim")
+		return t
 	}
-	t.Note("ratio is measured messages over the paper bound; bounded ratios across the sweep support the claim")
-	return t
+	return spec{id: "E3", trials: trials, assemble: assemble}
 }
 
 // E4Time checks O((k-k*)·n) time: the causal depth under unit delays over
 // the bound (k-k*+1)·n.
-func E4Time(cfg Config) *Table {
-	t := &Table{
-		ID:     "E4",
-		Title:  "time complexity (causal depth, unit delays) vs (k-k*+1)·n",
-		Claim:  "O((k-k*)·n) time units (paper §1, §4.2)",
-		Header: []string{"n", "k", "k*", "causal depth", "(k-k*+1)·n", "ratio", "depth/round/n"},
-	}
-	for _, n := range []int{32, 64, 128, 256} {
-		n = cfg.scale(n)
-		var kk, kks, depth, bound, ratio, perRound []float64
-		for s := 0; s < cfg.seeds(); s++ {
-			g := graph.Gnm(n, 3*n, int64(s))
-			t0 := mustStar(g)
-			res := mustRun(g, t0, mdst.Multi)
-			k, ks := res.InitialDegree, res.FinalDegree
-			b := float64(k-ks+1) * float64(n)
-			kk = append(kk, float64(k))
-			kks = append(kks, float64(ks))
-			depth = append(depth, float64(res.Report.CausalDepth))
-			bound = append(bound, b)
-			ratio = append(ratio, float64(res.Report.CausalDepth)/b)
-			perRound = append(perRound, float64(res.Report.CausalDepth)/float64(res.Rounds)/float64(n))
+func E4Time(cfg Config) *Table { return runSeq(e4Spec(cfg)) }
+
+func e4Spec(cfg Config) spec {
+	sizes := scaledSizes(cfg, 32, 64, 128, 256)
+	seeds := cfg.seeds()
+	var trials []func() any
+	for _, n := range sizes {
+		for s := 0; s < seeds; s++ {
+			trials = append(trials, func() any {
+				g := graph.Gnm(n, 3*n, int64(s))
+				t0 := mustStar(g)
+				res := mustRun(g, t0, mdst.Multi)
+				k, ks := res.InitialDegree, res.FinalDegree
+				b := float64(k-ks+1) * float64(n)
+				return sizeTrial{
+					k:        float64(k),
+					ks:       float64(ks),
+					msgs:     float64(res.Report.CausalDepth),
+					bound:    b,
+					ratio:    float64(res.Report.CausalDepth) / b,
+					perRound: float64(res.Report.CausalDepth) / float64(res.Rounds) / float64(n),
+				}
+			})
 		}
-		t.Add(n, mean(kk), mean(kks), mean(depth), mean(bound), mean(ratio), mean(perRound))
 	}
-	t.Note("causal depth = longest chain of causally dependent messages, the standard asynchronous time measure the paper uses")
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E4",
+			Title:  "time complexity (causal depth, unit delays) vs (k-k*+1)·n",
+			Claim:  "O((k-k*)·n) time units (paper §1, §4.2)",
+			Header: []string{"n", "k", "k*", "causal depth", "(k-k*+1)·n", "ratio", "depth/round/n"},
+		}
+		for ni, n := range sizes {
+			var kk, kks, depth, bound, ratio, perRound []float64
+			for s := 0; s < seeds; s++ {
+				tr := results[ni*seeds+s].(sizeTrial)
+				kk = append(kk, tr.k)
+				kks = append(kks, tr.ks)
+				depth = append(depth, tr.msgs)
+				bound = append(bound, tr.bound)
+				ratio = append(ratio, tr.ratio)
+				perRound = append(perRound, tr.perRound)
+			}
+			t.Add(n, mean(kk), mean(kks), mean(depth), mean(bound), mean(ratio), mean(perRound))
+		}
+		t.Note("causal depth = longest chain of causally dependent messages, the standard asynchronous time measure the paper uses")
+		return t
+	}
+	return spec{id: "E4", trials: trials, assemble: assemble}
 }
 
 // E5WorstCase exercises the O(n·m) worst case: wheels started from the hub
 // star need Θ(n) exchanges over Θ(n) rounds of Θ(m) messages each.
-func E5WorstCase(cfg Config) *Table {
-	t := &Table{
-		ID:     "E5",
-		Title:  "worst case: wheel from hub star (k=n-1 down to k*)",
-		Claim:  "worst case O(n·m) messages when k=n-1 and k*=2 (paper §4.2)",
-		Header: []string{"n", "m", "k", "k*", "swaps", "messages", "n·m", "messages/(n·m)"},
+func E5WorstCase(cfg Config) *Table { return runSeq(e5Spec(cfg)) }
+
+type e5Trial struct {
+	m, k, ks, swaps int
+	msgs            int64
+	nm              float64
+}
+
+func e5Spec(cfg Config) spec {
+	sizes := scaledSizes(cfg, 16, 32, 64, 128)
+	var trials []func() any
+	for _, n := range sizes {
+		trials = append(trials, func() any {
+			g := graph.Wheel(n)
+			t0 := mustStar(g)
+			res := mustRun(g, t0, mdst.Single)
+			return e5Trial{
+				m: g.M(), k: res.InitialDegree, ks: res.FinalDegree, swaps: res.Swaps,
+				msgs: res.Report.Messages,
+				nm:   float64(g.N()) * float64(g.M()),
+			}
+		})
 	}
-	for _, n := range []int{16, 32, 64, 128} {
-		n = cfg.scale(n)
-		g := graph.Wheel(n)
-		t0 := mustStar(g)
-		res := mustRun(g, t0, mdst.Single)
-		nm := float64(g.N()) * float64(g.M())
-		t.Add(n, g.M(), res.InitialDegree, res.FinalDegree, res.Swaps,
-			res.Report.Messages, nm, float64(res.Report.Messages)/nm)
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E5",
+			Title:  "worst case: wheel from hub star (k=n-1 down to k*)",
+			Claim:  "worst case O(n·m) messages when k=n-1 and k*=2 (paper §4.2)",
+			Header: []string{"n", "m", "k", "k*", "swaps", "messages", "n·m", "messages/(n·m)"},
+		}
+		for ni, n := range sizes {
+			tr := results[ni].(e5Trial)
+			t.Add(n, tr.m, tr.k, tr.ks, tr.swaps, tr.msgs, tr.nm, float64(tr.msgs)/tr.nm)
+		}
+		t.Note("the bounded messages/(n·m) column shows the worst case is Θ(n·m) with a small constant")
+		return t
 	}
-	t.Note("the bounded messages/(n·m) column shows the worst case is Θ(n·m) with a small constant")
-	return t
+	return spec{id: "E5", trials: trials, assemble: assemble}
 }
 
 // E6Bits checks the O(log n) message size claim: the largest message in
 // words and bits per message kind.
-func E6Bits(cfg Config) *Table {
-	t := &Table{
-		ID:     "E6",
-		Title:  "message sizes (words of Θ(log n) bits)",
-		Claim:  "all messages are of size O(log n), at most four numbers or identities (paper §4.2)",
-		Header: []string{"n", "max words", "bits/word", "max bits", "words·kinds observed"},
+func E6Bits(cfg Config) *Table { return runSeq(e6Spec(cfg)) }
+
+type e6Trial struct {
+	maxWords, kinds int
+}
+
+func e6Spec(cfg Config) spec {
+	sizes := scaledSizes(cfg, 32, 128, 512)
+	var trials []func() any
+	for _, n := range sizes {
+		trials = append(trials, func() any {
+			g := graph.Gnm(n, 3*n, 1)
+			t0 := mustStar(g)
+			res := mustRun(g, t0, mdst.Hybrid)
+			return e6Trial{maxWords: res.Report.MaxWords, kinds: len(res.Report.ByKind)}
+		})
 	}
-	for _, n := range []int{32, 128, 512} {
-		n = cfg.scale(n)
-		g := graph.Gnm(n, 3*n, 1)
-		t0 := mustStar(g)
-		res := mustRun(g, t0, mdst.Hybrid)
-		kinds := len(res.Report.ByKind)
-		bits := log2ceil(n)
-		t.Add(n, res.Report.MaxWords, bits, res.Report.MaxWords*bits, kinds)
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E6",
+			Title:  "message sizes (words of Θ(log n) bits)",
+			Claim:  "all messages are of size O(log n), at most four numbers or identities (paper §4.2)",
+			Header: []string{"n", "max words", "bits/word", "max bits", "words·kinds observed"},
+		}
+		for ni, n := range sizes {
+			tr := results[ni].(e6Trial)
+			bits := log2ceil(n)
+			t.Add(n, tr.maxWords, bits, tr.maxWords*bits, tr.kinds)
+		}
+		t.Note("our BFSBack aggregate carries 9 words (edge report with degrees and fragment root) vs the paper's 4; still Θ(log n) bits per message — see DESIGN.md deviation on message width")
+		return t
 	}
-	t.Note("our BFSBack aggregate carries 9 words (edge report with degrees and fragment root) vs the paper's 4; still Θ(log n) bits per message — see DESIGN.md deviation on message width")
-	return t
+	return spec{id: "E6", trials: trials, assemble: assemble}
 }
 
 // E7Phases verifies the per-phase message budgets of one round.
-func E7Phases(cfg Config) *Table {
-	t := &Table{
-		ID:     "E7",
-		Title:  "per-phase messages in a round (wheel from hub star, single mode)",
-		Claim:  "SearchDegree ≤ n-1, MoveRoot ≤ n-1, Cut+BFS ≤ 2m, Choose ≤ n-1 per round (paper §4.2)",
-		Header: []string{"kind", "max per round", "budget", "within"},
-	}
+func E7Phases(cfg Config) *Table { return runSeq(e7Spec(cfg)) }
+
+type e7Trial struct {
+	n, m, rounds int
+	maxPerRound  map[string]int64
+}
+
+func e7Spec(cfg Config) spec {
 	n := cfg.scale(48)
-	g := graph.Wheel(n)
-	t0 := mustStar(g)
-	res := mustRun(g, t0, mdst.Single)
-	rep := res.Report
-	// Collect the per-round maximum for each kind ("kind/round" keys).
-	maxPerRound := map[string]int64{}
-	for key, count := range rep.ByKindRound {
-		i := lastSlash(key)
-		if i < 0 {
-			continue
+	trials := []func() any{func() any {
+		g := graph.Wheel(n)
+		t0 := mustStar(g)
+		res := mustRun(g, t0, mdst.Single)
+		// Collect the per-round maximum for each kind ("kind/round" keys).
+		maxPerRound := map[string]int64{}
+		for key, count := range res.Report.ByKindRound {
+			i := lastSlash(key)
+			if i < 0 {
+				continue
+			}
+			kind := key[:i]
+			if count > maxPerRound[kind] {
+				maxPerRound[kind] = count
+			}
 		}
-		kind := key[:i]
-		if count > maxPerRound[kind] {
-			maxPerRound[kind] = count
+		return e7Trial{n: g.N(), m: g.M(), rounds: res.Rounds, maxPerRound: maxPerRound}
+	}}
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E7",
+			Title:  "per-phase messages in a round (wheel from hub star, single mode)",
+			Claim:  "SearchDegree ≤ n-1, MoveRoot ≤ n-1, Cut+BFS ≤ 2m, Choose ≤ n-1 per round (paper §4.2)",
+			Header: []string{"kind", "max per round", "budget", "within"},
 		}
+		tr := results[0].(e7Trial)
+		nn, m := int64(tr.n), int64(tr.m)
+		budgets := []struct {
+			kind   string
+			budget int64
+			label  string
+		}{
+			{"mdst.start", nn - 1, "n-1"},
+			{"mdst.deg", nn - 1, "n-1"},
+			{"mdst.move", nn - 1, "n-1"},
+			{"mdst.cut", nn - 1, "n-1"},
+			{"mdst.bfs", 2 * m, "2m"},
+			{"mdst.cousin", m, "m"},
+			{"mdst.bfsback", nn - 1 + m, "n-1+m"},
+			{"mdst.update", nn, "n"},
+			{"mdst.child", 1, "1"},
+			{"mdst.rounddone", nn, "n"},
+			{"mdst.term", nn - 1, "n-1"},
+		}
+		for _, b := range budgets {
+			got := tr.maxPerRound[b.kind]
+			t.Add(b.kind, got, b.label, got <= b.budget)
+		}
+		t.Note("n=%d m=%d rounds=%d; the BFS wave costs up to 3 messages per edge in our unblocking scheme vs the paper's claimed 2 (DESIGN.md deviation 3), still O(m)", tr.n, tr.m, tr.rounds)
+		return t
 	}
-	nn, m := int64(g.N()), int64(g.M())
-	budgets := []struct {
-		kind   string
-		budget int64
-		label  string
-	}{
-		{"mdst.start", nn - 1, "n-1"},
-		{"mdst.deg", nn - 1, "n-1"},
-		{"mdst.move", nn - 1, "n-1"},
-		{"mdst.cut", nn - 1, "n-1"},
-		{"mdst.bfs", 2 * m, "2m"},
-		{"mdst.cousin", m, "m"},
-		{"mdst.bfsback", nn - 1 + m, "n-1+m"},
-		{"mdst.update", nn, "n"},
-		{"mdst.child", 1, "1"},
-		{"mdst.rounddone", nn, "n"},
-		{"mdst.term", nn - 1, "n-1"},
-	}
-	for _, b := range budgets {
-		got := maxPerRound[b.kind]
-		t.Add(b.kind, got, b.label, got <= b.budget)
-	}
-	t.Note("n=%d m=%d rounds=%d; the BFS wave costs up to 3 messages per edge in our unblocking scheme vs the paper's claimed 2 (DESIGN.md deviation 3), still O(m)", g.N(), g.M(), res.Rounds)
-	return t
+	return spec{id: "E7", trials: trials, assemble: assemble}
 }
 
 func lastSlash(s string) int {
@@ -393,70 +566,77 @@ func lastSlash(s string) int {
 
 // E8LowerBound compares against the Korach–Moran–Zaks Ω(n²/k) lower bound on
 // complete graphs.
-func E8LowerBound(cfg Config) *Table {
-	t := &Table{
-		ID:     "E8",
-		Title:  "complete graphs vs the KMZ Ω(n²/k) lower bound",
-		Claim:  "message count is 'not far from the optimal' Ω(n²/k) of [KMZ87] (paper §1, §5)",
-		Header: []string{"n", "m", "k*", "messages", "n²/k*", "ratio"},
+func E8LowerBound(cfg Config) *Table { return runSeq(e8Spec(cfg)) }
+
+type e8Trial struct {
+	m, ks int
+	msgs  int64
+}
+
+func e8Spec(cfg Config) spec {
+	sizes := scaledSizes(cfg, 8, 16, 32, 64)
+	var trials []func() any
+	for _, n := range sizes {
+		trials = append(trials, func() any {
+			g := graph.Complete(n)
+			t0 := mustStar(g)
+			res := mustRun(g, t0, mdst.Multi)
+			return e8Trial{m: g.M(), ks: res.FinalDegree, msgs: res.Report.Messages}
+		})
 	}
-	for _, n := range []int{8, 16, 32, 64} {
-		n = cfg.scale(n)
-		g := graph.Complete(n)
-		t0 := mustStar(g)
-		res := mustRun(g, t0, mdst.Multi)
-		lb := float64(n*n) / float64(res.FinalDegree)
-		t.Add(n, g.M(), res.FinalDegree, res.Report.Messages, lb, float64(res.Report.Messages)/lb)
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E8",
+			Title:  "complete graphs vs the KMZ Ω(n²/k) lower bound",
+			Claim:  "message count is 'not far from the optimal' Ω(n²/k) of [KMZ87] (paper §1, §5)",
+			Header: []string{"n", "m", "k*", "messages", "n²/k*", "ratio"},
+		}
+		for ni, n := range sizes {
+			tr := results[ni].(e8Trial)
+			lb := float64(n*n) / float64(tr.ks)
+			t.Add(n, tr.m, tr.ks, tr.msgs, lb, float64(tr.msgs)/lb)
+		}
+		t.Note("the ratio grows with n because the improvement needs k-k* rounds over m=Θ(n²) edges; the paper's own worst case is O(n·m)=O(n³) against this Ω(n²/k) bound")
+		return t
 	}
-	t.Note("the ratio grows with n because the improvement needs k-k* rounds over m=Θ(n²) edges; the paper's own worst case is O(n·m)=O(n³) against this Ω(n²/k) bound")
-	return t
+	return spec{id: "E8", trials: trials, assemble: assemble}
 }
 
 // E9InitialTree measures the sensitivity to the startup tree construction —
 // the paper's closing remark about obtaining "a not so bad k".
-func E9InitialTree(cfg Config) *Table {
-	t := &Table{
-		ID:     "E9",
-		Title:  "initial-tree sensitivity (hybrid mode)",
-		Claim:  "'we can hope to change the ST construction in order to obtain a not so bad k' (paper §4.2)",
-		Header: []string{"initial", "k", "k*", "rounds", "swaps", "improve msgs", "setup msgs"},
-	}
+func E9InitialTree(cfg Config) *Table { return runSeq(e9Spec(cfg)) }
+
+type e9Trial struct {
+	k, ks, rounds, swaps int
+	improveMsgs          int64
+	setupMsgs            int64
+}
+
+func e9Spec(cfg Config) spec {
 	n := cfg.scale(96)
-	g := graph.BarabasiAlbert(n, 2, 3)
-	builders := []struct {
+	// The workload graph is deterministic; each trial regenerates it so the
+	// trials stay share-nothing under the parallel runner.
+	gen := func() *graph.Graph { return graph.BarabasiAlbert(n, 2, 3) }
+	type builder struct {
 		name  string
-		build func() (*tree.Tree, *sim.Report)
-	}{
-		{"flood(BFS)", func() (*tree.Tree, *sim.Report) {
-			tr, rep, err := spanning.Build(unitEngine(), g, spanning.NewFloodFactory(g.Nodes()[0]))
+		build func(g *graph.Graph) (*tree.Tree, *sim.Report)
+	}
+	distributed := func(factory func(g *graph.Graph) sim.Factory) func(g *graph.Graph) (*tree.Tree, *sim.Report) {
+		return func(g *graph.Graph) (*tree.Tree, *sim.Report) {
+			tr, rep, err := spanning.Build(unitEngine(), g, factory(g))
 			if err != nil {
 				panic(err)
 			}
 			return tr, rep
-		}},
-		{"dfs", func() (*tree.Tree, *sim.Report) {
-			tr, rep, err := spanning.Build(unitEngine(), g, spanning.NewDFSFactory(g.Nodes()[0]))
-			if err != nil {
-				panic(err)
-			}
-			return tr, rep
-		}},
-		{"ghs", func() (*tree.Tree, *sim.Report) {
-			tr, rep, err := spanning.Build(unitEngine(), g, spanning.NewGHSFactory())
-			if err != nil {
-				panic(err)
-			}
-			return tr, rep
-		}},
-		{"election", func() (*tree.Tree, *sim.Report) {
-			tr, rep, err := spanning.Build(unitEngine(), g, spanning.NewElectionFactory())
-			if err != nil {
-				panic(err)
-			}
-			return tr, rep
-		}},
-		{"star(worst)", func() (*tree.Tree, *sim.Report) { return mustStar(g), nil }},
-		{"random", func() (*tree.Tree, *sim.Report) {
+		}
+	}
+	builders := []builder{
+		{"flood(BFS)", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewFloodFactory(g.Nodes()[0]) })},
+		{"dfs", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewDFSFactory(g.Nodes()[0]) })},
+		{"ghs", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewGHSFactory() })},
+		{"election", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewElectionFactory() })},
+		{"star(worst)", func(g *graph.Graph) (*tree.Tree, *sim.Report) { return mustStar(g), nil }},
+		{"random", func(g *graph.Graph) (*tree.Tree, *sim.Report) {
 			tr, err := spanning.RandomST(g, 7)
 			if err != nil {
 				panic(err)
@@ -464,121 +644,257 @@ func E9InitialTree(cfg Config) *Table {
 			return tr, nil
 		}},
 	}
+	var trials []func() any
 	for _, b := range builders {
-		t0, setup := b.build()
-		res := mustRun(g, t0, mdst.Hybrid)
-		setupMsgs := int64(0)
-		if setup != nil {
-			setupMsgs = setup.Messages
-		}
-		t.Add(b.name, res.InitialDegree, res.FinalDegree, res.Rounds, res.Swaps, res.Report.Messages, setupMsgs)
+		trials = append(trials, func() any {
+			g := gen()
+			t0, setup := b.build(g)
+			res := mustRun(g, t0, mdst.Hybrid)
+			setupMsgs := int64(0)
+			if setup != nil {
+				setupMsgs = setup.Messages
+			}
+			return e9Trial{
+				k: res.InitialDegree, ks: res.FinalDegree,
+				rounds: res.Rounds, swaps: res.Swaps,
+				improveMsgs: res.Report.Messages, setupMsgs: setupMsgs,
+			}
+		})
 	}
-	t.Note("n=%d m=%d (Barabási–Albert, hubby): a better initial k shrinks rounds and messages, exactly the paper's remark", g.N(), g.M())
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E9",
+			Title:  "initial-tree sensitivity (hybrid mode)",
+			Claim:  "'we can hope to change the ST construction in order to obtain a not so bad k' (paper §4.2)",
+			Header: []string{"initial", "k", "k*", "rounds", "swaps", "improve msgs", "setup msgs"},
+		}
+		for bi, b := range builders {
+			tr := results[bi].(e9Trial)
+			t.Add(b.name, tr.k, tr.ks, tr.rounds, tr.swaps, tr.improveMsgs, tr.setupMsgs)
+		}
+		g := gen()
+		t.Note("n=%d m=%d (Barabási–Albert, hubby): a better initial k shrinks rounds and messages, exactly the paper's remark", g.N(), g.M())
+		return t
+	}
+	return spec{id: "E9", trials: trials, assemble: assemble}
 }
 
 // E10Broadcast quantifies the intro motivation by actually running a
 // broadcast-with-ack protocol over the tree before and after improvement
 // and measuring each node's send count on the simulator.
-func E10Broadcast(cfg Config) *Table {
-	t := &Table{
-		ID:     "E10",
-		Title:  "broadcast hot-spot load before/after improvement (measured)",
-		Claim:  "a high-degree tree node 'might cause an undesirable communication load'; broadcasting on a MDegST reduces per-site work (paper §1)",
-		Header: []string{"family", "n", "k(init)", "k(final)", "hot-spot sends before", "after", "reduction", "depth before", "after"},
+func E10Broadcast(cfg Config) *Table { return runSeq(e10Spec(cfg)) }
+
+type e10Trial struct {
+	n, before, after        int
+	loadBefore, loadAfter   int64
+	depthBefore, depthAfter int
+}
+
+func e10Spec(cfg Config) spec {
+	fams := sweepFamilies(cfg)
+	var trials []func() any
+	for _, w := range fams {
+		trials = append(trials, func() any {
+			g := w.gen(1)
+			t0 := mustStar(g)
+			final, _ := mustTwin(g, t0, mdst.Hybrid)
+			before, _ := t0.MaxDegree()
+			after, _ := final.MaxDegree()
+			rb, err := apps.Run(unitEngine(), g, apps.Config{Tree: t0, Ack: true})
+			if err != nil {
+				panic(err)
+			}
+			ra, err := apps.Run(unitEngine(), g, apps.Config{Tree: final, Ack: true})
+			if err != nil {
+				panic(err)
+			}
+			return e10Trial{
+				n: g.N(), before: before, after: after,
+				loadBefore: rb.MaxLoad, loadAfter: ra.MaxLoad,
+				depthBefore: rb.Depth, depthAfter: ra.Depth,
+			}
+		})
 	}
-	for _, w := range sweepFamilies(cfg) {
-		g := w.gen(1)
-		t0 := mustStar(g)
-		final, _ := mustTwin(g, t0, mdst.Hybrid)
-		before, _ := t0.MaxDegree()
-		after, _ := final.MaxDegree()
-		rb, err := apps.Run(unitEngine(), g, apps.Config{Tree: t0, Ack: true})
-		if err != nil {
-			panic(err)
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "E10",
+			Title:  "broadcast hot-spot load before/after improvement (measured)",
+			Claim:  "a high-degree tree node 'might cause an undesirable communication load'; broadcasting on a MDegST reduces per-site work (paper §1)",
+			Header: []string{"family", "n", "k(init)", "k(final)", "hot-spot sends before", "after", "reduction", "depth before", "after"},
 		}
-		ra, err := apps.Run(unitEngine(), g, apps.Config{Tree: final, Ack: true})
-		if err != nil {
-			panic(err)
+		for fi, w := range fams {
+			tr := results[fi].(e10Trial)
+			t.Add(w.name, tr.n, tr.before, tr.after, tr.loadBefore, tr.loadAfter,
+				fmt.Sprintf("%.1fx", float64(tr.loadBefore)/float64(tr.loadAfter)),
+				tr.depthBefore, tr.depthAfter)
 		}
-		t.Add(w.name, g.N(), before, after, rb.MaxLoad, ra.MaxLoad,
-			fmt.Sprintf("%.1fx", float64(rb.MaxLoad)/float64(ra.MaxLoad)),
-			rb.Depth, ra.Depth)
+		t.Note("hot-spot sends measured by running broadcast+ack over each tree; the load equals the maximum tree degree, which the improvement minimises — at the cost of deeper trees (latency column)")
+		return t
 	}
-	t.Note("hot-spot sends measured by running broadcast+ack over each tree; the load equals the maximum tree degree, which the improvement minimises — at the cost of deeper trees (latency column)")
-	return t
+	return spec{id: "E10", trials: trials, assemble: assemble}
 }
 
 // A1Modes is the mode ablation: exchanges per round vs rounds vs quality.
-func A1Modes(cfg Config) *Table {
-	t := &Table{
-		ID:     "A1",
-		Title:  "ablation: single vs multi vs hybrid",
-		Claim:  "§3.2.6 (multi) reduces rounds; our safe reading can cost quality, hybrid repairs it (DESIGN.md deviation 4)",
-		Header: []string{"family", "mode", "k", "k*", "rounds", "swaps", "messages", "causal depth"},
-	}
-	for _, w := range sweepFamilies(cfg)[:4] {
-		g := w.gen(2)
-		t0 := mustStar(g)
-		for _, mode := range []mdst.Mode{mdst.Single, mdst.Multi, mdst.Hybrid} {
-			res := mustRun(g, t0, mode)
-			t.Add(w.name, mode.String(), res.InitialDegree, res.FinalDegree,
-				res.Rounds, res.Swaps, res.Report.Messages, res.Report.CausalDepth)
+func A1Modes(cfg Config) *Table { return runSeq(a1Spec(cfg)) }
+
+type modeTrial struct {
+	k, ks, rounds, swaps int
+	msgs, depth          int64
+}
+
+var ablationModes = []mdst.Mode{mdst.Single, mdst.Multi, mdst.Hybrid}
+
+func a1Spec(cfg Config) spec {
+	fams := sweepFamilies(cfg)[:4]
+	var trials []func() any
+	for _, w := range fams {
+		for _, mode := range ablationModes {
+			trials = append(trials, func() any {
+				g := w.gen(2)
+				t0 := mustStar(g)
+				res := mustRun(g, t0, mode)
+				return modeTrial{
+					k: res.InitialDegree, ks: res.FinalDegree,
+					rounds: res.Rounds, swaps: res.Swaps,
+					msgs: res.Report.Messages, depth: res.Report.CausalDepth,
+				}
+			})
 		}
 	}
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "A1",
+			Title:  "ablation: single vs multi vs hybrid",
+			Claim:  "§3.2.6 (multi) reduces rounds; our safe reading can cost quality, hybrid repairs it (DESIGN.md deviation 4)",
+			Header: []string{"family", "mode", "k", "k*", "rounds", "swaps", "messages", "causal depth"},
+		}
+		i := 0
+		for _, w := range fams {
+			for _, mode := range ablationModes {
+				tr := results[i].(modeTrial)
+				i++
+				t.Add(w.name, mode.String(), tr.k, tr.ks, tr.rounds, tr.swaps, tr.msgs, tr.depth)
+			}
+		}
+		return t
+	}
+	return spec{id: "A1", trials: trials, assemble: assemble}
 }
 
 // A2Twin is the oracle ablation: the distributed run must equal the
 // sequential twin exactly.
-func A2Twin(cfg Config) *Table {
-	t := &Table{
-		ID:     "A2",
-		Title:  "distributed protocol vs sequential twin (exact equality)",
-		Claim:  "the distributed protocol is a faithful distribution of the sequential improvement (correctness argument)",
-		Header: []string{"family", "mode", "identical tree", "rounds equal", "swaps equal"},
-	}
-	for _, w := range sweepFamilies(cfg)[:5] {
-		g := w.gen(3)
-		t0 := mustStar(g)
-		for _, mode := range []mdst.Mode{mdst.Single, mdst.Multi, mdst.Hybrid} {
-			res := mustRun(g, t0, mode)
-			twinTree, st := mustTwin(g, t0, mode)
-			t.Add(w.name, mode.String(), res.Tree.Equal(twinTree), res.Rounds == st.Rounds, res.Swaps == st.Swaps)
+func A2Twin(cfg Config) *Table { return runSeq(a2Spec(cfg)) }
+
+type a2Trial struct {
+	identical, roundsEq, swapsEq bool
+}
+
+func a2Spec(cfg Config) spec {
+	fams := sweepFamilies(cfg)[:5]
+	var trials []func() any
+	for _, w := range fams {
+		for _, mode := range ablationModes {
+			trials = append(trials, func() any {
+				g := w.gen(3)
+				t0 := mustStar(g)
+				res := mustRun(g, t0, mode)
+				twinTree, st := mustTwin(g, t0, mode)
+				return a2Trial{
+					identical: res.Tree.Equal(twinTree),
+					roundsEq:  res.Rounds == st.Rounds,
+					swapsEq:   res.Swaps == st.Swaps,
+				}
+			})
 		}
 	}
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "A2",
+			Title:  "distributed protocol vs sequential twin (exact equality)",
+			Claim:  "the distributed protocol is a faithful distribution of the sequential improvement (correctness argument)",
+			Header: []string{"family", "mode", "identical tree", "rounds equal", "swaps equal"},
+		}
+		i := 0
+		for _, w := range fams {
+			for _, mode := range ablationModes {
+				tr := results[i].(a2Trial)
+				i++
+				t.Add(w.name, mode.String(), tr.identical, tr.roundsEq, tr.swapsEq)
+			}
+		}
+		return t
+	}
+	return spec{id: "A2", trials: trials, assemble: assemble}
 }
 
 // A3Engines is the engine ablation: the result and message count must be
 // delivery-independent; only time-like measures may differ.
-func A3Engines(cfg Config) *Table {
-	t := &Table{
-		ID:     "A3",
-		Title:  "ablation: engines and delay models",
-		Claim:  "the algorithm is asynchronous and event-driven: its result does not depend on delays (paper §2)",
-		Header: []string{"engine", "messages", "causal depth", "final k", "same tree as unit"},
-	}
+func A3Engines(cfg Config) *Table { return runSeq(a3Spec(cfg)) }
+
+type a3Trial struct {
+	msgs, depth int64
+	ks          int
+	tree        *tree.Tree
+}
+
+func a3Spec(cfg Config) spec {
 	n := cfg.scale(64)
-	g := graph.Gnm(n, 3*n, 4)
-	t0 := mustStar(g)
-	ref := mustRun(g, t0, mdst.Hybrid)
+	gen := func() *graph.Graph { return graph.Gnm(n, 3*n, 4) }
 	engines := []struct {
 		name string
-		eng  sim.Engine
+		mk   func() sim.Engine
 	}{
-		{"event-unit", unitEngine()},
-		{"event-random-fifo", &sim.EventEngine{Delay: sim.UniformDelay(0.05), Seed: 1, FIFO: true}},
-		{"event-random-nofifo", &sim.EventEngine{Delay: sim.UniformDelay(0.05), Seed: 2, FIFO: false}},
-		{"async-goroutines", &sim.AsyncEngine{}},
+		{"event-unit", unitEngine},
+		{"event-random-fifo", func() sim.Engine { return &sim.EventEngine{Delay: sim.UniformDelay(0.05), Seed: 1, FIFO: true} }},
+		{"event-random-nofifo", func() sim.Engine { return &sim.EventEngine{Delay: sim.UniformDelay(0.05), Seed: 2, FIFO: false} }},
+		{"async-goroutines", func() sim.Engine { return &sim.AsyncEngine{} }},
 	}
+	// Trial 0 is the unit-delay reference run the other trees are compared
+	// against; trials 1..len(engines) are the engine runs.
+	trials := []func() any{func() any {
+		g := gen()
+		res := mustRun(g, mustStar(g), mdst.Hybrid)
+		return a3Trial{tree: res.Tree}
+	}}
 	for _, e := range engines {
-		res, err := mdst.Run(e.eng, g, t0, mdst.Hybrid)
-		if err != nil {
-			panic(err)
-		}
-		t.Add(e.name, res.Report.Messages, res.Report.CausalDepth, res.FinalDegree, res.Tree.Equal(ref.Tree))
+		trials = append(trials, func() any {
+			g := gen()
+			res, err := mdst.Run(e.mk(), g, mustStar(g), mdst.Hybrid)
+			if err != nil {
+				panic(err)
+			}
+			return a3Trial{msgs: res.Report.Messages, depth: res.Report.CausalDepth, ks: res.FinalDegree, tree: res.Tree}
+		})
 	}
-	t.Note("message counts are identical across engines because every send is delivery-order independent; causal depth varies with the adversary")
-	return t
+	assemble := func(results []any) *Table {
+		t := &Table{
+			ID:     "A3",
+			Title:  "ablation: engines and delay models",
+			Claim:  "the algorithm is asynchronous and event-driven: its result does not depend on delays (paper §2)",
+			Header: []string{"engine", "messages", "causal depth", "final k", "same tree as unit"},
+		}
+		ref := results[0].(a3Trial).tree
+		for ei, e := range engines {
+			tr := results[ei+1].(a3Trial)
+			// The goroutine engine's causal depth depends on the Go
+			// scheduler, so it is elided to keep the table reproducible.
+			depth := any(tr.depth)
+			if e.name == "async-goroutines" {
+				depth = "-"
+			}
+			t.Add(e.name, tr.msgs, depth, tr.ks, tr.tree.Equal(ref))
+		}
+		t.Note("message counts are identical across engines because every send is delivery-order independent; causal depth varies with the adversary (elided for the goroutine engine: it depends on the host scheduler)")
+		return t
+	}
+	return spec{id: "A3", trials: trials, assemble: assemble}
+}
+
+// scaledSizes applies cfg's size factor to a size sweep.
+func scaledSizes(cfg Config, sizes ...int) []int {
+	out := make([]int, len(sizes))
+	for i, n := range sizes {
+		out[i] = cfg.scale(n)
+	}
+	return out
 }

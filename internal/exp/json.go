@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ResultSet is the machine-readable form of an experiment run: the scaling
+// configuration plus every table. It contains no wall-clock fields, so for a
+// fixed Config the encoding is bit-identical at any worker count — the
+// property the determinism tests pin down.
+type ResultSet struct {
+	// Seeds and Scale echo the Config the tables were produced with.
+	Seeds int     `json:"seeds"`
+	Scale float64 `json:"scale"`
+	// Tables holds the experiment tables in run order.
+	Tables []*Table `json:"tables"`
+}
+
+// NewResultSet bundles tables with the configuration that produced them.
+func NewResultSet(cfg Config, tables []*Table) *ResultSet {
+	return &ResultSet{Seeds: cfg.seeds(), Scale: cfg.scaleFactor(), Tables: tables}
+}
+
+// WriteJSON encodes the result set as indented JSON.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}

@@ -1,7 +1,13 @@
 // Package exp is the experiment harness: one driver per experiment in
-// DESIGN.md §4, each regenerating a table of the evaluation. Drivers are
-// deterministic for a fixed Config and are exercised both by cmd/mdstbench
-// and by the root-level benchmarks.
+// DESIGN.md §4, each regenerating a table of the evaluation.
+//
+// Every experiment is decomposed into independent seeded trials. The
+// classic drivers (E1Rounds, ...) run them sequentially; Runner fans the
+// same trials across a worker pool and reassembles the tables
+// deterministically, so for a fixed Config the output is bit-identical at
+// any worker count. ResultSet carries the tables on a machine-readable
+// JSON surface. Both are exercised by cmd/mdstbench and by the root-level
+// benchmarks.
 package exp
 
 import (
@@ -10,14 +16,16 @@ import (
 	"strings"
 )
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The json tags define the stable
+// machine-readable surface emitted by ResultSet.WriteJSON and mdstbench
+// -json.
 type Table struct {
-	ID     string
-	Title  string
-	Claim  string // the paper's claim this table checks
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim,omitempty"` // the paper's claim this table checks
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Add appends a row, formatting each cell with %v (floats get %.3g).
@@ -114,12 +122,15 @@ func (c Config) seeds() int {
 	return c.Seeds
 }
 
-func (c Config) scale(n int) int {
-	s := c.Scale
-	if s <= 0 || s > 1 {
-		s = 1
+func (c Config) scaleFactor() float64 {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return 1
 	}
-	v := int(float64(n) * s)
+	return c.Scale
+}
+
+func (c Config) scale(n int) int {
+	v := int(float64(n) * c.scaleFactor())
 	if v < 8 {
 		v = 8
 	}

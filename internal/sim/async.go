@@ -209,6 +209,7 @@ func (e *AsyncEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Repo
 	if p := run.panicVal.Load(); p != nil {
 		return nil, nil, fmt.Errorf("sim: protocol panic: %v", p)
 	}
+	run.report.finalize()
 	run.report.Wall = time.Since(start)
 	return protos, run.report, nil
 }

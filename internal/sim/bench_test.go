@@ -43,11 +43,13 @@ func (f *floodBench) Recv(ctx Context, from NodeID, _ Message) {
 
 func benchFactory(id NodeID, _ []NodeID) Protocol { return &floodBench{id: id} }
 
-// BenchmarkEventEngineFlood measures event-engine message throughput.
+// BenchmarkEventEngineFlood measures event-engine message throughput and
+// allocations on the optimised fast path.
 func BenchmarkEventEngineFlood(b *testing.B) {
 	for _, n := range []int{64, 256, 1024} {
 		g := graph.Gnm(n, 4*n, 1)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var msgs int64
 			for i := 0; i < b.N; i++ {
 				_, rep, err := (&EventEngine{Delay: UnitDelay}).Run(g, benchFactory)
@@ -61,11 +63,40 @@ func BenchmarkEventEngineFlood(b *testing.B) {
 	}
 }
 
+// BenchmarkReferenceEngineFlood is the same workload on the unoptimised
+// oracle engine; the gap to BenchmarkEventEngineFlood is the measured win of
+// the fast path (event boxing, map FIFO clamps, per-message key formatting).
+func BenchmarkReferenceEngineFlood(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := graph.Gnm(n, 4*n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := (&ReferenceEngine{Delay: UnitDelay}).Run(g, benchFactory); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEventEngineFIFORandom includes the FIFO bookkeeping and RNG cost.
 func BenchmarkEventEngineFIFORandom(b *testing.B) {
 	g := graph.Gnm(256, 1024, 1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := (&EventEngine{Delay: UniformDelay(0.05), FIFO: true, Seed: int64(i)}).Run(g, benchFactory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceEngineFIFORandom is the oracle-engine counterpart.
+func BenchmarkReferenceEngineFIFORandom(b *testing.B) {
+	g := graph.Gnm(256, 1024, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (&ReferenceEngine{Delay: UniformDelay(0.05), FIFO: true, Seed: int64(i)}).Run(g, benchFactory); err != nil {
 			b.Fatal(err)
 		}
 	}

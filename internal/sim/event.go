@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"mdegst/internal/graph"
@@ -35,6 +35,15 @@ const DefaultMaxMessages = 200_000_000
 // EventEngine is a deterministic discrete-event simulator: events are
 // delivered in (time, sequence) order, delays come from a seeded RNG, and
 // the whole run is reproducible.
+//
+// The engine is the hot path of the experiment harness, so it avoids
+// per-message allocations: the event queue is a specialised binary heap of
+// event values (no container/heap interface boxing), per-link FIFO clamp
+// state lives in one preallocated slice indexed by neighbour position rather
+// than a map keyed by node pairs, and the queue, contexts and clamp backing
+// arrays are pooled and reused across runs. ReferenceEngine keeps the
+// straightforward implementation as the delivery-order oracle; the two are
+// checked equivalent by tests and compared by the allocation benchmarks.
 type EventEngine struct {
 	// Seed initialises the delay RNG.
 	Seed int64
@@ -61,23 +70,68 @@ type event struct {
 	msg   Message
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// eventQueue is a binary min-heap of events ordered by (time, sequence).
+// It is hand-rolled instead of container/heap because the interface-based
+// Push/Pop box every event into an `any`, costing one heap allocation per
+// message — the single largest allocation source in the seed profile.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the Message reference so the pooled array does not pin it
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l].before(h[s]) {
+			s = l
+		}
+		if r < n && h[r].before(h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	*q = h
+	return top
+}
 
 type eventCtx struct {
 	eng       *eventRun
 	id        NodeID
 	neighbors []NodeID
+	// clamp holds, per neighbour (same index as neighbors), the latest
+	// delivery time already scheduled on the directed link id->neighbor.
+	// FIFO order is enforced by clamping new delivery times to it.
+	clamp []float64
 	// now/depth of the message currently being processed at this node.
 	now   float64
 	depth int64
@@ -87,8 +141,11 @@ func (c *eventCtx) ID() NodeID          { return c.id }
 func (c *eventCtx) Neighbors() []NodeID { return c.neighbors }
 
 func (c *eventCtx) Send(to NodeID, m Message) {
-	checkNeighbor(c.neighbors, c.id, to)
-	c.eng.send(c, to, m)
+	i := neighborIndex(c.neighbors, to)
+	if i < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
+	}
+	c.eng.send(c, i, to, m)
 }
 
 func (c *eventCtx) Logf(format string, args ...any) {
@@ -97,31 +154,83 @@ func (c *eventCtx) Logf(format string, args ...any) {
 	}
 }
 
-type eventRun struct {
-	rng      *rand.Rand
-	delay    DelayFn
-	fifo     bool
-	maxMsgs  int64
-	trace    func(TraceEvent)
-	queue    eventHeap
-	seq      int64
-	sent     int64
-	lastLink map[[2]NodeID]float64
-	report   *Report
+// neighborIndex returns the position of `to` in the ascending neighbour list,
+// or -1. Linear scan: degrees are small and the scan doubles as the
+// point-to-point model check that used to be a separate pass.
+func neighborIndex(neighbors []NodeID, to NodeID) int {
+	for i, n := range neighbors {
+		if n == to {
+			return i
+		}
+	}
+	return -1
 }
 
-func (er *eventRun) send(c *eventCtx, to NodeID, m Message) {
-	er.sent++
+type eventRun struct {
+	rng    *rand.Rand
+	delay  DelayFn
+	fifo   bool
+	trace  func(TraceEvent)
+	queue  eventQueue
+	seq    int64
+	report *Report
+}
+
+func (er *eventRun) send(c *eventCtx, ni int, to NodeID, m Message) {
 	t := c.now + er.delay(er.rng, c.id, to)
 	if er.fifo {
-		link := [2]NodeID{c.id, to}
-		if last := er.lastLink[link]; t < last {
+		if last := c.clamp[ni]; t < last {
 			t = last
 		}
-		er.lastLink[link] = t
+		c.clamp[ni] = t
 	}
 	er.seq++
-	heap.Push(&er.queue, event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, msg: m})
+	er.queue.push(event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, msg: m})
+}
+
+// eventScratch is the reusable per-run state: the queue's backing array, the
+// node contexts, the FIFO clamp backing array and the node index. Pooled so
+// repeated runs — the parallel experiment harness executes thousands —
+// allocate it once per worker instead of once per run.
+type eventScratch struct {
+	queue eventQueue
+	ctxs  []eventCtx
+	clamp []float64
+	index map[NodeID]int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(eventScratch) }}
+
+func (s *eventScratch) reset(n, halfEdges int) {
+	if cap(s.ctxs) < n {
+		s.ctxs = make([]eventCtx, n)
+	}
+	s.ctxs = s.ctxs[:n]
+	if cap(s.clamp) < halfEdges {
+		s.clamp = make([]float64, halfEdges)
+	}
+	s.clamp = s.clamp[:halfEdges]
+	clear(s.clamp)
+	if s.index == nil {
+		s.index = make(map[NodeID]int32, n)
+	} else {
+		clear(s.index)
+	}
+	s.queue = s.queue[:0]
+}
+
+func (s *eventScratch) release() {
+	// Zero any events left in the queue backing (abnormal exits) and the
+	// contexts so pooled memory does not pin messages or neighbour slices.
+	q := s.queue[:cap(s.queue)]
+	for i := range q {
+		q[i] = event{}
+	}
+	s.queue = s.queue[:0]
+	for i := range s.ctxs {
+		s.ctxs[i] = eventCtx{}
+	}
+	scratchPool.Put(s)
 }
 
 // Run executes the protocol to quiescence. Protocol panics are converted to
@@ -143,32 +252,43 @@ func (e *EventEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol
 		maxMsgs = DefaultMaxMessages
 	}
 	er := &eventRun{
-		rng:      rand.New(rand.NewSource(e.Seed)),
-		delay:    delay,
-		fifo:     e.FIFO,
-		maxMsgs:  maxMsgs,
-		trace:    e.Trace,
-		lastLink: make(map[[2]NodeID]float64),
-		report:   newReport(),
+		rng:    rand.New(rand.NewSource(e.Seed)),
+		delay:  delay,
+		fifo:   e.FIFO,
+		trace:  e.Trace,
+		report: newReport(),
 	}
 	nodes := g.Nodes()
+	scratch := scratchPool.Get().(*eventScratch)
+	defer scratch.release()
+	scratch.reset(len(nodes), 2*g.M())
+	er.queue = scratch.queue
+	defer func() { scratch.queue = er.queue }()
+
 	protos = make(map[NodeID]Protocol, len(nodes))
-	ctxs := make(map[NodeID]*eventCtx, len(nodes))
-	for _, v := range nodes {
-		ctx := &eventCtx{eng: er, id: v, neighbors: g.Neighbors(v)}
-		ctxs[v] = ctx
-		protos[v] = f(v, ctx.neighbors)
+	clampAt := 0
+	for i, v := range nodes {
+		neighbors := g.Neighbors(v)
+		scratch.ctxs[i] = eventCtx{
+			eng:       er,
+			id:        v,
+			neighbors: neighbors,
+			clamp:     scratch.clamp[clampAt : clampAt+len(neighbors)],
+		}
+		clampAt += len(neighbors)
+		scratch.index[v] = int32(i)
+		protos[v] = f(v, neighbors)
 	}
 	// All nodes start independently; Init runs at time zero in ID order.
-	for _, v := range nodes {
-		protos[v].Init(ctxs[v])
+	for i, v := range nodes {
+		protos[v].Init(&scratch.ctxs[i])
 	}
-	for er.queue.Len() > 0 {
-		ev := heap.Pop(&er.queue).(event)
+	for len(er.queue) > 0 {
+		ev := er.queue.pop()
 		if er.report.Messages >= maxMsgs {
 			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
 		}
-		ctx := ctxs[ev.to]
+		ctx := &scratch.ctxs[scratch.index[ev.to]]
 		ctx.now = ev.t
 		ctx.depth = ev.depth
 		er.report.record(ev.from, ev.msg, ev.depth)
@@ -180,6 +300,7 @@ func (e *EventEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol
 		}
 		protos[ev.to].Recv(ctx, ev.from, ev.msg)
 	}
+	er.report.finalize()
 	er.report.Wall = time.Since(start)
 	return protos, er.report, nil
 }

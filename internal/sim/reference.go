@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mdegst/internal/graph"
+)
+
+// ReferenceEngine is the straightforward discrete-event simulator that
+// EventEngine started from: container/heap over boxed events, a map keyed by
+// directed node pairs for the FIFO clamp, and fresh state every run. It is
+// kept as the delivery-order oracle for EventEngine's optimised fast path —
+// tests assert the two produce identical reports and trees for identical
+// seeds — and as the baseline the allocation benchmarks measure the fast
+// path against. Do not use it in the harness hot path.
+type ReferenceEngine struct {
+	// Seed initialises the delay RNG.
+	Seed int64
+	// Delay draws per-message delays; nil means UnitDelay.
+	Delay DelayFn
+	// FIFO preserves per-link delivery order under random delays.
+	FIFO bool
+	// MaxMessages aborts the run when exceeded (0 means DefaultMaxMessages).
+	MaxMessages int64
+	// Trace, when non-nil, observes every delivery and Logf note.
+	Trace func(TraceEvent)
+}
+
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type refCtx struct {
+	run       *refRun
+	id        NodeID
+	neighbors []NodeID
+	now       float64
+	depth     int64
+}
+
+func (c *refCtx) ID() NodeID          { return c.id }
+func (c *refCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *refCtx) Send(to NodeID, m Message) {
+	checkNeighbor(c.neighbors, c.id, to)
+	c.run.send(c, to, m)
+}
+
+func (c *refCtx) Logf(format string, args ...any) {
+	if c.run.trace != nil {
+		c.run.trace(TraceEvent{Time: c.now, Depth: c.depth, To: c.id, Note: fmt.Sprintf(format, args...)})
+	}
+}
+
+type refRun struct {
+	rng      *rand.Rand
+	delay    DelayFn
+	fifo     bool
+	trace    func(TraceEvent)
+	queue    refHeap
+	seq      int64
+	lastLink map[[2]NodeID]float64
+	report   *Report
+}
+
+func (rr *refRun) send(c *refCtx, to NodeID, m Message) {
+	t := c.now + rr.delay(rr.rng, c.id, to)
+	if rr.fifo {
+		link := [2]NodeID{c.id, to}
+		if last := rr.lastLink[link]; t < last {
+			t = last
+		}
+		rr.lastLink[link] = t
+	}
+	rr.seq++
+	heap.Push(&rr.queue, event{t: t, seq: rr.seq, depth: c.depth + 1, from: c.id, to: to, msg: m})
+}
+
+// Run executes the protocol to quiescence, mirroring EventEngine.Run with
+// the unoptimised data structures.
+func (e *ReferenceEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = fmt.Errorf("sim: protocol panic: %v", p)
+		}
+	}()
+	start := time.Now()
+	delay := e.Delay
+	if delay == nil {
+		delay = UnitDelay
+	}
+	maxMsgs := e.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = DefaultMaxMessages
+	}
+	rr := &refRun{
+		rng:      rand.New(rand.NewSource(e.Seed)),
+		delay:    delay,
+		fifo:     e.FIFO,
+		trace:    e.Trace,
+		lastLink: make(map[[2]NodeID]float64),
+		report:   newReport(),
+	}
+	nodes := g.Nodes()
+	protos = make(map[NodeID]Protocol, len(nodes))
+	ctxs := make(map[NodeID]*refCtx, len(nodes))
+	for _, v := range nodes {
+		ctx := &refCtx{run: rr, id: v, neighbors: g.Neighbors(v)}
+		ctxs[v] = ctx
+		protos[v] = f(v, ctx.neighbors)
+	}
+	for _, v := range nodes {
+		protos[v].Init(ctxs[v])
+	}
+	for rr.queue.Len() > 0 {
+		ev := heap.Pop(&rr.queue).(event)
+		if rr.report.Messages >= maxMsgs {
+			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+		}
+		ctx := ctxs[ev.to]
+		ctx.now = ev.t
+		ctx.depth = ev.depth
+		rr.report.record(ev.from, ev.msg, ev.depth)
+		if ev.t > rr.report.VirtualTime {
+			rr.report.VirtualTime = ev.t
+		}
+		if rr.trace != nil {
+			rr.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
+		}
+		protos[ev.to].Recv(ctx, ev.from, ev.msg)
+	}
+	rr.report.finalize()
+	rr.report.Wall = time.Since(start)
+	return protos, rr.report, nil
+}
+
+var _ Engine = (*ReferenceEngine)(nil)

@@ -33,6 +33,18 @@ type Report struct {
 	SentBy map[NodeID]int64
 	// Wall is the host wall-clock duration of the run.
 	Wall time.Duration
+
+	// kindRound accumulates per-(kind, round) counts during the run without
+	// building a "kind/round" string per message; finalize materialises the
+	// public ByKind, ByRound and ByKindRound maps from it once at the end.
+	kindRound map[kindRoundKey]int64
+	finalized bool
+}
+
+// kindRoundKey is the allocation-free composite key of the hot-path counter.
+type kindRoundKey struct {
+	kind  string
+	round int
 }
 
 // NewReport returns an empty report ready for Add.
@@ -42,20 +54,22 @@ func NewReport() *Report {
 		ByRound:     make(map[int]int64),
 		ByKindRound: make(map[string]int64),
 		SentBy:      make(map[NodeID]int64),
+		kindRound:   make(map[kindRoundKey]int64),
 	}
 }
 
 func newReport() *Report { return NewReport() }
 
+// record accounts one delivery. It is the per-message hot path: two map
+// increments on composite keys and a handful of scalar updates, no
+// allocations. Engines must call finalize before handing the report out.
 func (r *Report) record(from NodeID, m Message, depth int64) {
 	r.Messages++
-	r.ByKind[m.Kind()]++
 	round := 0
 	if rr, ok := m.(Rounder); ok {
 		round = rr.MsgRound()
 	}
-	r.ByRound[round]++
-	r.ByKindRound[fmt.Sprintf("%s/%d", m.Kind(), round)]++
+	r.kindRound[kindRoundKey{m.Kind(), round}]++
 	w := m.Words()
 	r.Words += int64(w)
 	if w > r.MaxWords {
@@ -67,9 +81,27 @@ func (r *Report) record(from NodeID, m Message, depth int64) {
 	r.SentBy[from]++
 }
 
+// finalize materialises the public breakdown maps from the hot-path
+// accumulator: one string formatting per distinct (kind, round) pair instead
+// of one per message. Idempotent; engines call it once per run.
+func (r *Report) finalize() {
+	if r.finalized {
+		return
+	}
+	r.finalized = true
+	for k, v := range r.kindRound {
+		r.ByKind[k.kind] += v
+		r.ByRound[k.round] += v
+		r.ByKindRound[fmt.Sprintf("%s/%d", k.kind, k.round)] += v
+	}
+}
+
 // Add merges o into r (used when composing pipeline phases). Causal measures
-// are summed because the phases run back to back.
+// are summed because the phases run back to back. Both reports are finalized
+// first so the public breakdown maps are materialised before merging.
 func (r *Report) Add(o *Report) {
+	r.finalize()
+	o.finalize()
 	r.Messages += o.Messages
 	for k, v := range o.ByKind {
 		r.ByKind[k] += v
@@ -94,6 +126,7 @@ func (r *Report) Add(o *Report) {
 
 // Rounds returns the largest round number that carried messages.
 func (r *Report) Rounds() int {
+	r.finalize()
 	max := 0
 	for round := range r.ByRound {
 		if round > max {
@@ -116,6 +149,7 @@ func (r *Report) MaxSentByNode() int64 {
 
 // String renders a compact multi-line summary.
 func (r *Report) String() string {
+	r.finalize()
 	var b strings.Builder
 	fmt.Fprintf(&b, "messages=%d words=%d maxWords=%d causalDepth=%d virtualTime=%.1f rounds=%d\n",
 		r.Messages, r.Words, r.MaxWords, r.CausalDepth, r.VirtualTime, r.Rounds())

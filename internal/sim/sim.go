@@ -3,13 +3,18 @@
 // edges of an undirected graph, with no shared memory, no global clock, and
 // event-driven nodes.
 //
-// Two interchangeable engines execute a Protocol over a graph:
+// Three interchangeable engines execute a Protocol over a graph:
 //
 //   - EventEngine: a deterministic, seeded discrete-event simulator. With
 //     UnitDelay it realises exactly the paper's time-complexity measure (the
 //     longest chain of causally dependent messages, each taking one time
 //     unit); with randomised delays it acts as an asynchrony adversary while
-//     staying reproducible.
+//     staying reproducible. Its hot path is allocation-free (specialised
+//     event heap, pooled scratch, slice-indexed FIFO clamps) because the
+//     experiment harness runs it thousands of times per sweep.
+//   - ReferenceEngine: the straightforward implementation EventEngine is
+//     differentially tested and benchmarked against; same semantics, none
+//     of the optimisations.
 //   - AsyncEngine: every node is a goroutine, every link a FIFO mailbox, so
 //     message interleaving comes from the Go scheduler — true concurrency
 //     for race detection and delivery-order-independence tests.

@@ -2,8 +2,10 @@ package mdegst
 
 import (
 	"fmt"
+	"io"
 
 	"mdegst/internal/exact"
+	"mdegst/internal/exp"
 	"mdegst/internal/fr"
 	"mdegst/internal/graph"
 	"mdegst/internal/mdst"
@@ -255,4 +257,58 @@ func ExactMinDegree(g *Graph) (int, *Tree, error) {
 // DegreeLowerBound returns a cheap lower bound on Δ* valid for any size.
 func DegreeLowerBound(g *Graph) int {
 	return exact.DegreeLowerBound(g)
+}
+
+// ExperimentTable is one rendered experiment table of the evaluation
+// harness: header, formatted rows and footnotes, printable with Fprint and
+// JSON-encodable.
+type ExperimentTable = exp.Table
+
+// ExperimentProgress reports trial completion while RunExperiments executes.
+type ExperimentProgress = exp.ProgressEvent
+
+// ExperimentOptions configures RunExperiments. The zero value runs the
+// full-size evaluation on GOMAXPROCS workers.
+type ExperimentOptions struct {
+	// Seeds is the repetitions per table cell (0: the full-size default).
+	Seeds int
+	// Scale shrinks workload sizes by a factor in (0,1] (0: full size).
+	Scale float64
+	// Parallel is the worker count (<= 0: GOMAXPROCS). Tables are
+	// bit-identical at any worker count for fixed Seeds and Scale.
+	Parallel int
+	// Progress, when non-nil, receives one serialised callback per
+	// completed trial.
+	Progress func(ExperimentProgress)
+}
+
+func (o ExperimentOptions) config() exp.Config {
+	cfg := exp.Default()
+	if o.Seeds > 0 {
+		cfg.Seeds = o.Seeds
+	}
+	if o.Scale > 0 {
+		cfg.Scale = o.Scale
+	}
+	return cfg
+}
+
+// ExperimentIDs returns the experiment table ids (E1..E10, A1..A3) in
+// canonical order.
+func ExperimentIDs() []string { return exp.IDs() }
+
+// RunExperiments executes the named experiment tables of the paper's
+// evaluation (nil or empty means all) by fanning their independent seeded
+// trials across a worker pool. For a fixed configuration the returned
+// tables are deterministic — bit-identical at any Parallel value.
+func RunExperiments(ids []string, opts ExperimentOptions) ([]*ExperimentTable, error) {
+	r := &exp.Runner{Config: opts.config(), Parallel: opts.Parallel, Progress: opts.Progress}
+	return r.Run(ids)
+}
+
+// WriteExperimentsJSON encodes tables produced by RunExperiments, together
+// with the configuration that produced them, as indented JSON — the same
+// machine-readable surface as `mdstbench -json`.
+func WriteExperimentsJSON(w io.Writer, tables []*ExperimentTable, opts ExperimentOptions) error {
+	return exp.NewResultSet(opts.config(), tables).WriteJSON(w)
 }
