@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"mdegst"
 	"mdegst/internal/graph"
@@ -109,16 +110,51 @@ func inspectFile(path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("nodes:      %d\n", g.N())
-	fmt.Printf("edges:      %d\n", g.M())
+	c := g.Compile()
+	fmt.Printf("nodes:      %d\n", c.N())
+	fmt.Printf("edges:      %d\n", c.M())
 	fmt.Printf("connected:  %v\n", g.IsConnected())
-	fmt.Printf("max degree: %d\n", g.MaxDegree())
+	fmt.Printf("max degree: %d\n", c.MaxDegree())
 	fmt.Printf("min degree: %d\n", g.MinDegree())
+	printDegreeTail(c)
 	if g.IsConnected() {
 		fmt.Printf("diameter:   %d\n", g.Diameter())
 		fmt.Printf("Δ* lower bound: %d\n", mdegst.DegreeLowerBound(g))
 	}
 	return nil
+}
+
+// printDegreeTail summarises the degree distribution — the interesting part
+// of heavy-tailed (preferential-attachment) workloads: the mean, the top
+// degrees, and how much of the edge mass the top 1% of nodes carries.
+func printDegreeTail(c *mdegst.CompiledGraph) {
+	n := c.N()
+	if n == 0 {
+		return
+	}
+	degs := make([]int, n)
+	for i := range degs {
+		degs[i] = c.Degree(int32(i))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := n / 100
+	if top < 1 {
+		top = 1
+	}
+	sum := 0
+	for _, d := range degs[:top] {
+		sum += d
+	}
+	half := 2 * c.M()
+	fmt.Printf("mean degree: %.2f\n", float64(half)/float64(n))
+	show := top
+	if show > 5 {
+		show = 5
+	}
+	fmt.Printf("top degrees: %v\n", degs[:show])
+	if half > 0 {
+		fmt.Printf("top 1%% of nodes carry %.1f%% of edge endpoints\n", 100*float64(sum)/float64(half))
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The benchmark regression gate behind `mdstbench -perf out.json -compare
+// baseline.json`: the fresh perf suite is diffed against a recorded
+// trajectory file (BENCH_baseline.json, BENCH_csr.json, ...) workload by
+// workload, and the process exits non-zero when any shared workload
+// regressed past the thresholds. Time comparisons get a generous multiplier
+// because wall time is machine- and load-dependent; allocation counts are
+// deterministic for a fixed workload, so their threshold is tight.
+
+// allocThreshold flags an allocation regression: new allocs/op must stay
+// below old * allocThreshold.
+const allocThreshold = 1.10
+
+type comparison struct {
+	name          string
+	oldNs, newNs  int64
+	oldAl, newAl  int64
+	nsRatio       float64
+	allocRatio    float64
+	nsRegressed   bool
+	allocRegessed bool
+}
+
+func loadPerf(path string) (*perfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep perfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// comparePerf diffs fresh against the recorded baseline. nsThreshold is the
+// allowed ns/op growth factor (e.g. 1.25 = 25% slower fails the gate).
+// Workloads present in only one report (renamed suites, different worker
+// counts) are skipped.
+func comparePerf(baseline *perfReport, fresh *perfReport, nsThreshold float64) (regressed bool) {
+	old := make(map[string]perfEntry, len(baseline.Workloads))
+	for _, w := range baseline.Workloads {
+		old[w.Name] = w
+	}
+	fmt.Fprintf(os.Stderr, "mdstbench: comparing against baseline (ns/op threshold %.2fx, allocs/op threshold %.2fx)\n",
+		nsThreshold, allocThreshold)
+	seen := make(map[string]bool)
+	for _, w := range fresh.Workloads {
+		o, ok := old[w.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdstbench: %-44s no baseline entry — skipped\n", w.Name)
+			continue
+		}
+		if seen[w.Name] {
+			continue
+		}
+		seen[w.Name] = true
+		c := comparison{
+			name:  w.Name,
+			oldNs: o.NsPerOp, newNs: w.NsPerOp,
+			oldAl: o.AllocsPerOp, newAl: w.AllocsPerOp,
+			nsRatio:    ratioF(w.NsPerOp, o.NsPerOp),
+			allocRatio: ratioF(w.AllocsPerOp, o.AllocsPerOp),
+		}
+		c.nsRegressed = c.nsRatio > nsThreshold
+		c.allocRegessed = c.allocRatio > allocThreshold
+		status := "ok"
+		if c.nsRegressed || c.allocRegessed {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "mdstbench: %-44s ns/op %12d -> %12d (%.2fx)  allocs/op %8d -> %8d (%.2fx)  %s\n",
+			c.name, c.oldNs, c.newNs, c.nsRatio, c.oldAl, c.newAl, c.allocRatio, status)
+	}
+	return regressed
+}
+
+// ratioF returns new/old, treating a zero or missing old value as 1x so a
+// baseline without the measurement can never fail the gate.
+func ratioF(newV, oldV int64) float64 {
+	if oldV <= 0 {
+		return 1
+	}
+	return float64(newV) / float64(oldV)
+}

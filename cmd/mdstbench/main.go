@@ -13,6 +13,8 @@
 //	mdstbench -progress         # live per-trial progress on stderr
 //	mdstbench -json out.json    # machine-readable tables ("-" for stdout)
 //	mdstbench -perf bench.json  # engine/harness micro-benchmarks instead of tables
+//	mdstbench -perf bench.json -compare BENCH_baseline.json
+//	                            # ... and fail (exit 1) on regression vs the recorded trajectory
 package main
 
 import (
@@ -36,16 +38,32 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
 		jsonOut  = flag.String("json", "", "also write tables as JSON to this file (\"-\" for stdout)")
 		perfOut  = flag.String("perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
+		compare  = flag.String("compare", "", "with -perf: diff the fresh suite against this recorded baseline (e.g. BENCH_baseline.json) and exit non-zero on regression")
+		nsThresh = flag.Float64("threshold", 1.25, "with -compare: allowed ns/op growth factor before the gate fails")
 	)
 	flag.Parse()
 
+	if *compare != "" && *perfOut == "" {
+		fatal(fmt.Errorf("-compare requires -perf"))
+	}
 	if *perfOut != "" {
 		// The perf suite runs fixed workloads; only -parallel feeds into it.
 		if *which != "" || *quick || *seeds > 0 || *scale > 0 || *jsonOut != "" || *progress {
 			fatal(fmt.Errorf("-perf runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -json and -progress"))
 		}
-		if err := runPerf(*perfOut, *parallel); err != nil {
+		fresh, err := runPerf(*perfOut, *parallel)
+		if err != nil {
 			fatal(err)
+		}
+		if *compare != "" {
+			baseline, err := loadPerf(*compare)
+			if err != nil {
+				fatal(err)
+			}
+			if comparePerf(baseline, fresh, *nsThresh) {
+				fatal(fmt.Errorf("performance regressed against %s", *compare))
+			}
+			fmt.Fprintf(os.Stderr, "mdstbench: no regression against %s\n", *compare)
 		}
 		return
 	}

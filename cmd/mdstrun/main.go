@@ -71,25 +71,39 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
-	// An -in file is read once; trials re-parse the in-memory bytes so they
-	// stay share-nothing without re-reading the file per worker.
-	var inData []byte
+	// A graph that does not depend on the trial seed — an -in file or a
+	// deterministic family (buildGraph reports which) — is built and
+	// compiled exactly once; the immutable snapshot is shared by every
+	// trial and worker. Seeded families compile per trial.
+	var shared *mdegst.CompiledGraph
 	if *in != "" {
-		if inData, err = os.ReadFile(*in); err != nil {
+		data, err := os.ReadFile(*in)
+		if err != nil {
 			fatal(err)
+		}
+		g, err := graph.ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			fatal(err)
+		}
+		shared = mdegst.Compile(g)
+	} else {
+		g, seeded, err := buildGraph(*family, *n, *m, *p, *k, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if !seeded {
+			shared = mdegst.Compile(g)
 		}
 	}
 
 	runTrial := func(s int64) (*mdegst.Graph, *mdegst.Result, error) {
-		var g *mdegst.Graph
-		var err error
-		if inData != nil {
-			g, err = graph.ReadEdgeList(bytes.NewReader(inData))
-		} else {
-			g, err = buildGraph(*family, *n, *m, *p, *k, s)
-		}
-		if err != nil {
-			return nil, nil, err
+		c := shared
+		if c == nil {
+			g, _, err := buildGraph(*family, *n, *m, *p, *k, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			c = mdegst.Compile(g)
 		}
 		opts := mdegst.Options{Seed: s, TargetDegree: *target, Mode: runMode, Initial: runInitial}
 		switch *engine {
@@ -100,8 +114,8 @@ func main() {
 		case "async":
 			opts.Engine = mdegst.NewAsyncEngine()
 		}
-		res, err := mdegst.Run(g, opts)
-		return g, res, err
+		res, err := mdegst.RunCompiled(c, opts)
+		return c.Source(), res, err
 	}
 
 	if *trials == 1 {
@@ -305,43 +319,46 @@ func writeDOT(path string, g *mdegst.Graph, res *mdegst.Result) {
 	fmt.Printf("dot:          wrote %s\n", path)
 }
 
-func buildGraph(family string, n, m int, p float64, k int, seed int64) (*mdegst.Graph, error) {
+// buildGraph constructs the selected family. The second result reports
+// whether the construction consumed the seed: deterministic families return
+// false, letting a sweep share one compiled snapshot across all trials.
+func buildGraph(family string, n, m int, p float64, k int, seed int64) (*mdegst.Graph, bool, error) {
 	if m == 0 {
 		m = 3 * n
 	}
 	switch family {
 	case "gnp":
-		return mdegst.Gnp(n, p, seed), nil
+		return mdegst.Gnp(n, p, seed), true, nil
 	case "gnm":
-		return mdegst.Gnm(n, m, seed), nil
+		return mdegst.Gnm(n, m, seed), true, nil
 	case "ba":
-		return mdegst.BarabasiAlbert(n, k, seed), nil
+		return mdegst.BarabasiAlbert(n, k, seed), true, nil
 	case "geo":
-		return mdegst.RandomGeometric(n, 0.25, seed), nil
+		return mdegst.RandomGeometric(n, 0.25, seed), true, nil
 	case "wheel":
-		return mdegst.Wheel(n), nil
+		return mdegst.Wheel(n), false, nil
 	case "ring":
-		return mdegst.Ring(n), nil
+		return mdegst.Ring(n), false, nil
 	case "star":
-		return mdegst.StarGraph(n), nil
+		return mdegst.StarGraph(n), false, nil
 	case "complete":
-		return mdegst.Complete(n), nil
+		return mdegst.Complete(n), false, nil
 	case "grid":
 		side := 1
 		for (side+1)*(side+1) <= n {
 			side++
 		}
-		return mdegst.Grid(side, side), nil
+		return mdegst.Grid(side, side), false, nil
 	case "hypercube":
 		d := 1
 		for 1<<(d+1) <= n {
 			d++
 		}
-		return mdegst.Hypercube(d), nil
+		return mdegst.Hypercube(d), false, nil
 	case "hamchords":
-		return mdegst.HamiltonianPlusChords(n, k*n, seed), nil
+		return mdegst.HamiltonianPlusChords(n, k*n, seed), true, nil
 	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
+		return nil, false, fmt.Errorf("unknown graph family %q", family)
 	}
 }
 

@@ -1,0 +1,55 @@
+package mdegst_test
+
+import (
+	"testing"
+
+	"mdegst"
+)
+
+// TestCompiledPipelineMatchesPlain pins the facade contract of the
+// dense-index core: compiling once and running over the snapshot is
+// exactly the plain pipeline, and one snapshot can back many runs.
+func TestCompiledPipelineMatchesPlain(t *testing.T) {
+	g := mdegst.Gnm(48, 144, 5)
+	opts := mdegst.Options{Mode: mdegst.ModeHybrid, Initial: mdegst.InitialStar}
+
+	plain, err := mdegst.Run(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mdegst.Compile(g)
+	if c.N() != g.N() || c.M() != g.M() || c.Source() != g {
+		t.Fatalf("snapshot mismatch: n=%d m=%d", c.N(), c.M())
+	}
+	for i := 0; i < 3; i++ {
+		compiled, err := mdegst.RunCompiled(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !compiled.Final.Equal(plain.Final) {
+			t.Fatalf("run %d: compiled pipeline produced a different tree", i)
+		}
+		if compiled.FinalDegree != plain.FinalDegree ||
+			compiled.Rounds != plain.Rounds ||
+			compiled.Total.Messages != plain.Total.Messages {
+			t.Fatalf("run %d: compiled accounting diverged: %+v vs %+v", i, compiled, plain)
+		}
+	}
+
+	// ImproveCompiled from a caller-built tree matches Improve.
+	initial, _, err := mdegst.BuildSpanningTreeCompiled(c, mdegst.InitialFlood, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mdegst.Improve(g, initial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mdegst.ImproveCompiled(c, initial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Final.Equal(b.Final) || a.Total.Messages != b.Total.Messages {
+		t.Fatal("ImproveCompiled diverged from Improve")
+	}
+}

@@ -22,6 +22,13 @@
 // own spanning tree, and Options to pick the protocol mode, the initial
 // tree construction, and the simulation engine.
 //
+// Graph is the mutable builder representation; Compile freezes it into an
+// immutable dense-index snapshot (CompiledGraph) that engines and
+// algorithms execute over. When running many pipelines over one topology,
+// compile once and use the *Compiled entry points (RunCompiled,
+// ImproveCompiled, BuildSpanningTreeCompiled) — the plain functions are
+// equivalent but recompile per call. See DESIGN.md §5.
+//
 // # Experiments
 //
 // RunExperiments executes the paper's evaluation tables (E1..E10 plus the
@@ -34,8 +41,10 @@
 // For a fixed ExperimentOptions configuration the tables are deterministic:
 // bit-identical at any Parallel value. WriteExperimentsJSON emits the same
 // tables on a machine-readable JSON surface, shared with the mdstbench
-// -json flag; mdstbench -perf records engine and harness benchmarks to seed
-// the repository's performance trajectory (BENCH_baseline.json).
+// -json flag; mdstbench -perf records engine and harness benchmarks on the
+// repository's performance trajectory (BENCH_baseline.json,
+// BENCH_csr.json), and mdstbench -perf -compare gates regressions against
+// a recorded file.
 //
 // The packages under internal/ hold the implementations; this package is
 // the stable surface: Graph and Tree are aliases of the internal types, so

@@ -36,9 +36,22 @@ func main() {
 	fmt.Println("=== Figure 1: the tree before improvement ===")
 	fmt.Print(t0)
 
-	var events []mdegst.TraceEvent
+	// A TraceEvent's Msg is only valid during the callback (protocols may
+	// recycle message objects after processing), so everything the timeline
+	// needs is extracted here and the Msg pointer is not retained.
+	type step struct {
+		time     float64
+		from, to mdegst.NodeID
+		kind     string
+	}
+	var events []step
 	res, err := mdegst.Improve(g, t0, mdegst.Options{
-		Engine: mdegst.NewTracingEngine(func(e mdegst.TraceEvent) { events = append(events, e) }),
+		Engine: mdegst.NewTracingEngine(func(e mdegst.TraceEvent) {
+			if e.Msg == nil {
+				return
+			}
+			events = append(events, step{time: e.Time, from: e.From, to: e.To, kind: e.Msg.Kind()})
+		}),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -48,19 +61,15 @@ func main() {
 	byTime := map[int][]string{}
 	var times []int
 	for _, e := range events {
-		if e.Msg == nil {
+		if !strings.HasPrefix(e.kind, "mdst.") {
 			continue
 		}
-		kind := e.Msg.Kind()
-		if !strings.HasPrefix(kind, "mdst.") {
-			continue
-		}
-		short := strings.TrimPrefix(kind, "mdst.")
-		tm := int(e.Time)
+		short := strings.TrimPrefix(e.kind, "mdst.")
+		tm := int(e.time)
 		if len(byTime[tm]) == 0 {
 			times = append(times, tm)
 		}
-		byTime[tm] = append(byTime[tm], fmt.Sprintf("%d->%d %s", e.From, e.To, short))
+		byTime[tm] = append(byTime[tm], fmt.Sprintf("%d->%d %s", e.from, e.to, short))
 	}
 	sort.Ints(times)
 	for _, tm := range times {

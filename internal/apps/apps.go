@@ -156,10 +156,15 @@ type Result struct {
 
 // Run broadcasts over cfg.Tree on the engine and gathers the result.
 func Run(eng sim.Engine, g *graph.Graph, cfg Config) (*Result, error) {
-	if err := cfg.Tree.Validate(g); err != nil {
+	return RunCompiled(eng, g.Compile(), cfg)
+}
+
+// RunCompiled is Run over a pre-compiled snapshot shared across runs.
+func RunCompiled(eng sim.Engine, c *graph.CSR, cfg Config) (*Result, error) {
+	if err := cfg.Tree.Validate(c.Source()); err != nil {
 		return nil, fmt.Errorf("apps: tree invalid: %w", err)
 	}
-	protos, rep, err := eng.Run(g, NewFactory(cfg))
+	protos, rep, err := sim.RunCompiled(eng, c, NewFactory(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -28,9 +28,10 @@ func MinDegree(g *graph.Graph) (int, *tree.Tree, error) {
 	if g.N() == 1 {
 		return 0, tree.New(g.Nodes()[0]), nil
 	}
-	lb := DegreeLowerBound(g)
+	c := g.Compile()
+	lb := degreeLowerBound(c)
 	for d := lb; d < g.N(); d++ {
-		if edges := spanningTreeWithCap(g, d); edges != nil {
+		if edges := spanningTreeWithCap(c, d); edges != nil {
 			t, err := orient(g, edges)
 			if err != nil {
 				return 0, nil, err
@@ -53,7 +54,7 @@ func HasSpanningTreeWithin(g *graph.Graph, d int) (bool, error) {
 	if g.N() == 1 {
 		return d >= 0, nil
 	}
-	return spanningTreeWithCap(g, d) != nil, nil
+	return spanningTreeWithCap(g.Compile(), d) != nil, nil
 }
 
 // DegreeLowerBound returns a lower bound on Δ*: removing any vertex v splits
@@ -61,49 +62,74 @@ func HasSpanningTreeWithin(g *graph.Graph, d int) (bool, error) {
 // G - v, so Δ* >= components(G-v) for every v; and any tree on n >= 3 nodes
 // has a vertex of degree at least 2.
 func DegreeLowerBound(g *graph.Graph) int {
+	return degreeLowerBound(g.Compile())
+}
+
+// degreeLowerBound is DegreeLowerBound over a snapshot: n dense BFS sweeps
+// sharing one visited array, no maps.
+func degreeLowerBound(c *graph.CSR) int {
+	n := c.N()
 	lb := 1
-	if g.N() >= 3 {
+	if n >= 3 {
 		lb = 2
 	}
-	removed := make(map[graph.NodeID]bool, 1)
-	for _, v := range g.Nodes() {
-		removed[v] = true
-		if c := len(g.ComponentsWithout(removed)); c > lb {
-			lb = c
+	visited := make([]bool, n)
+	stack := make([]int32, 0, n)
+	for v := int32(0); int(v) < n; v++ {
+		clear(visited)
+		visited[v] = true
+		comps := 0
+		for s := int32(0); int(s) < n; s++ {
+			if visited[s] {
+				continue
+			}
+			comps++
+			visited[s] = true
+			stack = append(stack[:0], s)
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range c.Neighbors(u) {
+					if !visited[w] {
+						visited[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
 		}
-		delete(removed, v)
+		if comps > lb {
+			lb = comps
+		}
 	}
 	return lb
 }
 
 // spanningTreeWithCap searches for a spanning tree with every degree at most
 // cap, using include/exclude branch and bound over the edge list with
-// union-find components, degree budgets and connectivity pruning.
-func spanningTreeWithCap(g *graph.Graph, cap int) []graph.Edge {
+// union-find components, degree budgets and connectivity pruning. Endpoints
+// are addressed through the snapshot's dense index.
+func spanningTreeWithCap(c *graph.CSR, cap int) []graph.Edge {
 	if cap < 1 {
 		return nil
 	}
-	nodes := g.Nodes()
-	idx := make(map[graph.NodeID]int, len(nodes))
-	for i, v := range nodes {
-		idx[v] = i
-	}
-	edges := g.Edges()
+	ix := c.Index()
+	n := c.N()
+	edges := c.Edges()
+	deg := func(v graph.NodeID) int { return c.Degree(ix.MustOf(v)) }
 	// Order edges to find feasible trees early: prefer edges whose
 	// endpoints have few alternatives (low graph degree).
 	sort.SliceStable(edges, func(i, j int) bool {
-		di := g.Degree(edges[i].U) + g.Degree(edges[i].V)
-		dj := g.Degree(edges[j].U) + g.Degree(edges[j].V)
+		di := deg(edges[i].U) + deg(edges[i].V)
+		dj := deg(edges[j].U) + deg(edges[j].V)
 		return di < dj
 	})
 
 	s := &capSearch{
-		g:      g,
-		nodes:  nodes,
-		idx:    idx,
+		n:      n,
+		idx:    ix,
 		edges:  edges,
-		budget: make([]int, len(nodes)),
-		uf:     newUnionFind(len(nodes)),
+		budget: make([]int, n),
+		uf:     newUnionFind(n),
 		alive:  make([]bool, len(edges)),
 	}
 	for i := range s.budget {
@@ -112,16 +138,15 @@ func spanningTreeWithCap(g *graph.Graph, cap int) []graph.Edge {
 	for i := range s.alive {
 		s.alive[i] = true
 	}
-	if s.search(0, len(nodes)-1) {
+	if s.search(0, n-1) {
 		return s.chosen
 	}
 	return nil
 }
 
 type capSearch struct {
-	g      *graph.Graph
-	nodes  []graph.NodeID
-	idx    map[graph.NodeID]int
+	n      int
+	idx    *graph.Index
 	edges  []graph.Edge
 	budget []int
 	uf     *unionFind
@@ -141,7 +166,7 @@ func (s *capSearch) search(i, need int) bool {
 		return false
 	}
 	e := s.edges[i]
-	ui, vi := s.idx[e.U], s.idx[e.V]
+	ui, vi := int(s.idx.MustOf(e.U)), int(s.idx.MustOf(e.V))
 
 	// Branch 1: include e when budgets allow and it joins two components.
 	if s.budget[ui] > 0 && s.budget[vi] > 0 && s.uf.find(ui) != s.uf.find(vi) {
@@ -169,8 +194,8 @@ func (s *capSearch) search(i, need int) bool {
 // connectable prunes branches where the remaining usable edges cannot
 // connect the current components.
 func (s *capSearch) connectable(i int) bool {
-	reach := newUnionFind(len(s.nodes))
-	for j := 0; j < len(s.nodes); j++ {
+	reach := newUnionFind(s.n)
+	for j := 0; j < s.n; j++ {
 		reach.union(s.uf.find(j), j)
 	}
 	for j := i; j < len(s.edges); j++ {
@@ -178,13 +203,13 @@ func (s *capSearch) connectable(i int) bool {
 			continue
 		}
 		e := s.edges[j]
-		ui, vi := s.idx[e.U], s.idx[e.V]
+		ui, vi := int(s.idx.MustOf(e.U)), int(s.idx.MustOf(e.V))
 		if s.budget[ui] > 0 && s.budget[vi] > 0 {
 			reach.union(ui, vi)
 		}
 	}
 	r0 := reach.find(0)
-	for j := 1; j < len(s.nodes); j++ {
+	for j := 1; j < s.n; j++ {
 		if reach.find(j) != r0 {
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mdegst/internal/apps"
 	"mdegst/internal/exact"
@@ -85,36 +86,69 @@ func mustStar(g *graph.Graph) *tree.Tree {
 	return t
 }
 
-func mustRun(g *graph.Graph, t0 *tree.Tree, mode mdst.Mode) *mdst.Result {
-	res, err := mdst.Run(unitEngine(), g, t0, mode)
+func mustRun(c *graph.CSR, t0 *tree.Tree, mode mdst.Mode) *mdst.Result {
+	res, err := mdst.RunSnapshot(unitEngine(), c, t0, mode)
 	if err != nil {
 		panic(fmt.Sprintf("exp: %v", err))
 	}
 	return res
 }
 
-func mustTwin(g *graph.Graph, t0 *tree.Tree, mode mdst.Mode) (*tree.Tree, fr.TwinStats) {
-	t, st, err := fr.Twin(g, t0, mode)
+func mustTwin(c *graph.CSR, t0 *tree.Tree, mode mdst.Mode) (*tree.Tree, fr.TwinStats) {
+	t, st, err := fr.TwinSnapshot(c, t0, mode)
 	if err != nil {
 		panic(fmt.Sprintf("exp: %v", err))
 	}
 	return t, st
 }
 
-type workload struct {
-	name string
-	gen  func(seed int64) *graph.Graph
+// snapCache memoizes compiled workload snapshots by seed. A CSR is
+// immutable, so one compilation per (workload, seed) is shared by every
+// trial — and every worker — of the table that owns the cache; the trials
+// stay deterministic because generation itself is a pure function of the
+// seed.
+type snapCache struct {
+	mu sync.Mutex
+	m  map[int64]*graph.CSR
 }
+
+func (sc *snapCache) get(seed int64, gen func(int64) *graph.Graph) *graph.CSR {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if c, ok := sc.m[seed]; ok {
+		return c
+	}
+	c := gen(seed).Compile()
+	if sc.m == nil {
+		sc.m = make(map[int64]*graph.CSR)
+	}
+	sc.m[seed] = c
+	return c
+}
+
+type workload struct {
+	name  string
+	gen   func(seed int64) *graph.Graph
+	snaps *snapCache
+}
+
+func newWorkload(name string, gen func(seed int64) *graph.Graph) workload {
+	return workload{name: name, gen: gen, snaps: &snapCache{}}
+}
+
+// snap returns the workload's compiled snapshot at seed, compiling once per
+// table (each spec constructs its own workload set, hence its own caches).
+func (w workload) snap(seed int64) *graph.CSR { return w.snaps.get(seed, w.gen) }
 
 func sweepFamilies(cfg Config) []workload {
 	return []workload{
-		{"gnp-sparse", func(s int64) *graph.Graph { return graph.Gnp(cfg.scale(96), 0.08, s) }},
-		{"gnp-dense", func(s int64) *graph.Graph { return graph.Gnp(cfg.scale(64), 0.3, s) }},
-		{"ba-hubs", func(s int64) *graph.Graph { return graph.BarabasiAlbert(cfg.scale(96), 2, s) }},
-		{"geometric", func(s int64) *graph.Graph { return graph.RandomGeometric(cfg.scale(80), 0.22, s) }},
-		{"hamchords", func(s int64) *graph.Graph { return graph.HamiltonianPlusChords(cfg.scale(96), cfg.scale(96), s) }},
-		{"wheel", func(s int64) *graph.Graph { return graph.Wheel(cfg.scale(64)) }},
-		{"hypercube", func(s int64) *graph.Graph { return graph.Hypercube(6) }},
+		newWorkload("gnp-sparse", func(s int64) *graph.Graph { return graph.Gnp(cfg.scale(96), 0.08, s) }),
+		newWorkload("gnp-dense", func(s int64) *graph.Graph { return graph.Gnp(cfg.scale(64), 0.3, s) }),
+		newWorkload("ba-hubs", func(s int64) *graph.Graph { return graph.BarabasiAlbert(cfg.scale(96), 2, s) }),
+		newWorkload("geometric", func(s int64) *graph.Graph { return graph.RandomGeometric(cfg.scale(80), 0.22, s) }),
+		newWorkload("hamchords", func(s int64) *graph.Graph { return graph.HamiltonianPlusChords(cfg.scale(96), cfg.scale(96), s) }),
+		newWorkload("wheel", func(s int64) *graph.Graph { return graph.Wheel(cfg.scale(64)) }),
+		newWorkload("hypercube", func(s int64) *graph.Graph { return graph.Hypercube(6) }),
 	}
 }
 
@@ -163,14 +197,14 @@ func e1Spec(cfg Config) spec {
 	for _, w := range fams {
 		for s := 0; s < seeds; s++ {
 			trials = append(trials, func() any {
-				g := w.gen(int64(s))
-				t0 := mustStar(g)
+				c := w.snap(int64(s))
+				t0 := mustStar(c.Source())
 				k, _ := t0.MaxDegree()
-				_, st1 := mustTwin(g, t0, mdst.Single)
-				_, st2 := mustTwin(g, t0, mdst.Multi)
-				_, st3 := mustTwin(g, t0, mdst.Hybrid)
+				_, st1 := mustTwin(c, t0, mdst.Single)
+				_, st2 := mustTwin(c, t0, mdst.Multi)
+				_, st3 := mustTwin(c, t0, mdst.Hybrid)
 				return e1Trial{
-					n: g.N(), m: g.M(),
+					n: c.N(), m: c.M(),
 					k:     float64(k),
 					kstar: float64(st1.FinalDegree),
 					bound: float64(k - st1.FinalDegree + 1),
@@ -220,26 +254,27 @@ type e2Trial struct {
 
 func e2Spec(cfg Config) spec {
 	families := []workload{
-		{"gnm-10", func(s int64) *graph.Graph { return graph.Gnm(10, 16, s) }},
-		{"gnm-12", func(s int64) *graph.Graph { return graph.Gnm(12, 20, s) }},
-		{"gnp-11", func(s int64) *graph.Graph { return graph.Gnp(11, 0.35, s) }},
-		{"ba-12", func(s int64) *graph.Graph { return graph.BarabasiAlbert(12, 2, s) }},
-		{"bipart", func(s int64) *graph.Graph { return graph.CompleteBipartite(3, 8) }},
+		newWorkload("gnm-10", func(s int64) *graph.Graph { return graph.Gnm(10, 16, s) }),
+		newWorkload("gnm-12", func(s int64) *graph.Graph { return graph.Gnm(12, 20, s) }),
+		newWorkload("gnp-11", func(s int64) *graph.Graph { return graph.Gnp(11, 0.35, s) }),
+		newWorkload("ba-12", func(s int64) *graph.Graph { return graph.BarabasiAlbert(12, 2, s) }),
+		newWorkload("bipart", func(s int64) *graph.Graph { return graph.CompleteBipartite(3, 8) }),
 	}
 	runs := cfg.seeds() * 4
 	var trials []func() any
 	for _, w := range families {
 		for s := 0; s < runs; s++ {
 			trials = append(trials, func() any {
-				g := w.gen(int64(s))
+				c := w.snap(int64(s))
+				g := c.Source()
 				opt, _, err := exact.MinDegree(g)
 				if err != nil {
 					panic(err)
 				}
 				t0 := mustStar(g)
-				_, s1 := mustTwin(g, t0, mdst.Single)
-				_, s2 := mustTwin(g, t0, mdst.Multi)
-				_, s3 := mustTwin(g, t0, mdst.Hybrid)
+				_, s1 := mustTwin(c, t0, mdst.Single)
+				_, s2 := mustTwin(c, t0, mdst.Multi)
+				_, s3 := mustTwin(c, t0, mdst.Hybrid)
 				_, fstats, err := fr.FurerRaghavachari(g, t0)
 				if err != nil {
 					panic(err)
@@ -306,21 +341,21 @@ func e3Spec(cfg Config) spec {
 	for _, n := range sizes {
 		for s := 0; s < seeds; s++ {
 			trials = append(trials, func() any {
-				g := graph.Gnm(n, 3*n, int64(s))
-				t0 := mustStar(g)
+				c := graph.Gnm(n, 3*n, int64(s)).Compile()
+				t0 := mustStar(c.Source())
 				// Multi mode: the paper's k-k*+1 round count presumes §3.2.6's
 				// concurrent handling of all maximum-degree nodes.
-				res := mustRun(g, t0, mdst.Multi)
+				res := mustRun(c, t0, mdst.Multi)
 				k, ks := res.InitialDegree, res.FinalDegree
-				b := float64(k-ks+1) * float64(g.M())
+				b := float64(k-ks+1) * float64(c.M())
 				return sizeTrial{
-					m:        float64(g.M()),
+					m:        float64(c.M()),
 					k:        float64(k),
 					ks:       float64(ks),
 					msgs:     float64(res.Report.Messages),
 					bound:    b,
 					ratio:    float64(res.Report.Messages) / b,
-					perRound: float64(res.Report.Messages) / float64(res.Rounds) / float64(g.M()),
+					perRound: float64(res.Report.Messages) / float64(res.Rounds) / float64(c.M()),
 				}
 			})
 		}
@@ -370,9 +405,9 @@ func e4Spec(cfg Config) spec {
 	for _, n := range sizes {
 		for s := 0; s < seeds; s++ {
 			trials = append(trials, func() any {
-				g := graph.Gnm(n, 3*n, int64(s))
-				t0 := mustStar(g)
-				res := mustRun(g, t0, mdst.Multi)
+				c := graph.Gnm(n, 3*n, int64(s)).Compile()
+				t0 := mustStar(c.Source())
+				res := mustRun(c, t0, mdst.Multi)
 				k, ks := res.InitialDegree, res.FinalDegree
 				b := float64(k-ks+1) * float64(n)
 				return sizeTrial{
@@ -427,13 +462,13 @@ func e5Spec(cfg Config) spec {
 	var trials []func() any
 	for _, n := range sizes {
 		trials = append(trials, func() any {
-			g := graph.Wheel(n)
-			t0 := mustStar(g)
-			res := mustRun(g, t0, mdst.Single)
+			c := graph.Wheel(n).Compile()
+			t0 := mustStar(c.Source())
+			res := mustRun(c, t0, mdst.Single)
 			return e5Trial{
-				m: g.M(), k: res.InitialDegree, ks: res.FinalDegree, swaps: res.Swaps,
+				m: c.M(), k: res.InitialDegree, ks: res.FinalDegree, swaps: res.Swaps,
 				msgs: res.Report.Messages,
-				nm:   float64(g.N()) * float64(g.M()),
+				nm:   float64(c.N()) * float64(c.M()),
 			}
 		})
 	}
@@ -467,9 +502,9 @@ func e6Spec(cfg Config) spec {
 	var trials []func() any
 	for _, n := range sizes {
 		trials = append(trials, func() any {
-			g := graph.Gnm(n, 3*n, 1)
-			t0 := mustStar(g)
-			res := mustRun(g, t0, mdst.Hybrid)
+			c := graph.Gnm(n, 3*n, 1).Compile()
+			t0 := mustStar(c.Source())
+			res := mustRun(c, t0, mdst.Hybrid)
 			return e6Trial{maxWords: res.Report.MaxWords, kinds: len(res.Report.ByKind)}
 		})
 	}
@@ -502,9 +537,10 @@ type e7Trial struct {
 func e7Spec(cfg Config) spec {
 	n := cfg.scale(48)
 	trials := []func() any{func() any {
-		g := graph.Wheel(n)
+		c := graph.Wheel(n).Compile()
+		g := c.Source()
 		t0 := mustStar(g)
-		res := mustRun(g, t0, mdst.Single)
+		res := mustRun(c, t0, mdst.Single)
 		// Collect the per-round maximum for each kind ("kind/round" keys).
 		maxPerRound := map[string]int64{}
 		for key, count := range res.Report.ByKindRound {
@@ -578,10 +614,10 @@ func e8Spec(cfg Config) spec {
 	var trials []func() any
 	for _, n := range sizes {
 		trials = append(trials, func() any {
-			g := graph.Complete(n)
-			t0 := mustStar(g)
-			res := mustRun(g, t0, mdst.Multi)
-			return e8Trial{m: g.M(), ks: res.FinalDegree, msgs: res.Report.Messages}
+			c := graph.Complete(n).Compile()
+			t0 := mustStar(c.Source())
+			res := mustRun(c, t0, mdst.Multi)
+			return e8Trial{m: c.M(), ks: res.FinalDegree, msgs: res.Report.Messages}
 		})
 	}
 	assemble := func(results []any) *Table {
@@ -614,16 +650,16 @@ type e9Trial struct {
 
 func e9Spec(cfg Config) spec {
 	n := cfg.scale(96)
-	// The workload graph is deterministic; each trial regenerates it so the
-	// trials stay share-nothing under the parallel runner.
-	gen := func() *graph.Graph { return graph.BarabasiAlbert(n, 2, 3) }
+	// The workload graph is deterministic; the snapshot cache compiles it
+	// once and every builder trial shares the immutable result.
+	w := newWorkload("e9", func(int64) *graph.Graph { return graph.BarabasiAlbert(n, 2, 3) })
 	type builder struct {
 		name  string
-		build func(g *graph.Graph) (*tree.Tree, *sim.Report)
+		build func(c *graph.CSR) (*tree.Tree, *sim.Report)
 	}
-	distributed := func(factory func(g *graph.Graph) sim.Factory) func(g *graph.Graph) (*tree.Tree, *sim.Report) {
-		return func(g *graph.Graph) (*tree.Tree, *sim.Report) {
-			tr, rep, err := spanning.Build(unitEngine(), g, factory(g))
+	distributed := func(factory func(g *graph.Graph) sim.Factory) func(c *graph.CSR) (*tree.Tree, *sim.Report) {
+		return func(c *graph.CSR) (*tree.Tree, *sim.Report) {
+			tr, rep, err := spanning.BuildCompiled(unitEngine(), c, factory(c.Source()))
 			if err != nil {
 				panic(err)
 			}
@@ -635,9 +671,9 @@ func e9Spec(cfg Config) spec {
 		{"dfs", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewDFSFactory(g.Nodes()[0]) })},
 		{"ghs", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewGHSFactory() })},
 		{"election", distributed(func(g *graph.Graph) sim.Factory { return spanning.NewElectionFactory() })},
-		{"star(worst)", func(g *graph.Graph) (*tree.Tree, *sim.Report) { return mustStar(g), nil }},
-		{"random", func(g *graph.Graph) (*tree.Tree, *sim.Report) {
-			tr, err := spanning.RandomST(g, 7)
+		{"star(worst)", func(c *graph.CSR) (*tree.Tree, *sim.Report) { return mustStar(c.Source()), nil }},
+		{"random", func(c *graph.CSR) (*tree.Tree, *sim.Report) {
+			tr, err := spanning.RandomST(c.Source(), 7)
 			if err != nil {
 				panic(err)
 			}
@@ -647,9 +683,9 @@ func e9Spec(cfg Config) spec {
 	var trials []func() any
 	for _, b := range builders {
 		trials = append(trials, func() any {
-			g := gen()
-			t0, setup := b.build(g)
-			res := mustRun(g, t0, mdst.Hybrid)
+			c := w.snap(0)
+			t0, setup := b.build(c)
+			res := mustRun(c, t0, mdst.Hybrid)
 			setupMsgs := int64(0)
 			if setup != nil {
 				setupMsgs = setup.Messages
@@ -672,8 +708,8 @@ func e9Spec(cfg Config) spec {
 			tr := results[bi].(e9Trial)
 			t.Add(b.name, tr.k, tr.ks, tr.rounds, tr.swaps, tr.improveMsgs, tr.setupMsgs)
 		}
-		g := gen()
-		t.Note("n=%d m=%d (Barabási–Albert, hubby): a better initial k shrinks rounds and messages, exactly the paper's remark", g.N(), g.M())
+		c := w.snap(0)
+		t.Note("n=%d m=%d (Barabási–Albert, hubby): a better initial k shrinks rounds and messages, exactly the paper's remark", c.N(), c.M())
 		return t
 	}
 	return spec{id: "E9", trials: trials, assemble: assemble}
@@ -695,21 +731,21 @@ func e10Spec(cfg Config) spec {
 	var trials []func() any
 	for _, w := range fams {
 		trials = append(trials, func() any {
-			g := w.gen(1)
-			t0 := mustStar(g)
-			final, _ := mustTwin(g, t0, mdst.Hybrid)
+			c := w.snap(1)
+			t0 := mustStar(c.Source())
+			final, _ := mustTwin(c, t0, mdst.Hybrid)
 			before, _ := t0.MaxDegree()
 			after, _ := final.MaxDegree()
-			rb, err := apps.Run(unitEngine(), g, apps.Config{Tree: t0, Ack: true})
+			rb, err := apps.RunCompiled(unitEngine(), c, apps.Config{Tree: t0, Ack: true})
 			if err != nil {
 				panic(err)
 			}
-			ra, err := apps.Run(unitEngine(), g, apps.Config{Tree: final, Ack: true})
+			ra, err := apps.RunCompiled(unitEngine(), c, apps.Config{Tree: final, Ack: true})
 			if err != nil {
 				panic(err)
 			}
 			return e10Trial{
-				n: g.N(), before: before, after: after,
+				n: c.N(), before: before, after: after,
 				loadBefore: rb.MaxLoad, loadAfter: ra.MaxLoad,
 				depthBefore: rb.Depth, depthAfter: ra.Depth,
 			}
@@ -750,9 +786,9 @@ func a1Spec(cfg Config) spec {
 	for _, w := range fams {
 		for _, mode := range ablationModes {
 			trials = append(trials, func() any {
-				g := w.gen(2)
-				t0 := mustStar(g)
-				res := mustRun(g, t0, mode)
+				c := w.snap(2)
+				t0 := mustStar(c.Source())
+				res := mustRun(c, t0, mode)
 				return modeTrial{
 					k: res.InitialDegree, ks: res.FinalDegree,
 					rounds: res.Rounds, swaps: res.Swaps,
@@ -795,10 +831,10 @@ func a2Spec(cfg Config) spec {
 	for _, w := range fams {
 		for _, mode := range ablationModes {
 			trials = append(trials, func() any {
-				g := w.gen(3)
-				t0 := mustStar(g)
-				res := mustRun(g, t0, mode)
-				twinTree, st := mustTwin(g, t0, mode)
+				c := w.snap(3)
+				t0 := mustStar(c.Source())
+				res := mustRun(c, t0, mode)
+				twinTree, st := mustTwin(c, t0, mode)
 				return a2Trial{
 					identical: res.Tree.Equal(twinTree),
 					roundsEq:  res.Rounds == st.Rounds,
@@ -839,7 +875,7 @@ type a3Trial struct {
 
 func a3Spec(cfg Config) spec {
 	n := cfg.scale(64)
-	gen := func() *graph.Graph { return graph.Gnm(n, 3*n, 4) }
+	w := newWorkload("a3", func(int64) *graph.Graph { return graph.Gnm(n, 3*n, 4) })
 	engines := []struct {
 		name string
 		mk   func() sim.Engine
@@ -852,14 +888,14 @@ func a3Spec(cfg Config) spec {
 	// Trial 0 is the unit-delay reference run the other trees are compared
 	// against; trials 1..len(engines) are the engine runs.
 	trials := []func() any{func() any {
-		g := gen()
-		res := mustRun(g, mustStar(g), mdst.Hybrid)
+		c := w.snap(0)
+		res := mustRun(c, mustStar(c.Source()), mdst.Hybrid)
 		return a3Trial{tree: res.Tree}
 	}}
 	for _, e := range engines {
 		trials = append(trials, func() any {
-			g := gen()
-			res, err := mdst.Run(e.mk(), g, mustStar(g), mdst.Hybrid)
+			c := w.snap(0)
+			res, err := mdst.RunSnapshot(e.mk(), c, mustStar(c.Source()), mdst.Hybrid)
 			if err != nil {
 				panic(err)
 			}

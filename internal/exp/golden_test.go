@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickTablesGolden pins the experiment tables byte for byte: the quick
+// configuration must render exactly the JSON recorded in testdata. This is
+// the bit-identity contract of the dense-index refactor — any change to
+// trial semantics, tie-breaking, aggregation or formatting shows up here.
+//
+// Regenerate (only when an experiment is deliberately changed) with:
+//
+//	go run ./cmd/mdstbench -quick -json internal/exp/testdata/quick_golden.json
+func TestQuickTablesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "quick_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	tables, err := (&Runner{Config: cfg}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := NewResultSet(cfg, tables).WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("quick tables diverged from testdata/quick_golden.json (%d vs %d bytes);\n"+
+			"if the change is intentional, regenerate the golden file", got.Len(), len(want))
+	}
+}

@@ -9,11 +9,14 @@ import (
 
 // A spec is an experiment decomposed for the parallel runner: a list of
 // independent seeded trials — each a pure function of its construction
-// parameters, generating its own graph so no state is shared — plus a
-// deterministic assembly that builds the table from the trial results in
-// index order. Because assembly consumes results by index, the rendered
-// table is bit-identical no matter how many workers executed the trials or
-// in which order they finished.
+// parameters — plus a deterministic assembly that builds the table from
+// the trial results in index order. Trials of one table share immutable
+// compiled workload snapshots (see snapCache in experiments.go): a trial
+// may read its snapshot and the frozen source graph concurrently with
+// other workers but must never mutate either; anything a trial changes
+// (trees, scratch state) has to be trial-local. Because assembly consumes
+// results by index, the rendered table is bit-identical no matter how many
+// workers executed the trials or in which order they finished.
 type spec struct {
 	id       string
 	trials   []func() any

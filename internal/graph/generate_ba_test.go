@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestBarabasiAlbert pins the preferential-attachment generator's contract:
+// deterministic for a fixed seed, connected, simple, exactly the promised
+// edge count, minimum degree k, and a heavy-tailed hub — properties the
+// ba-hubs experiment workloads rely on.
+func TestBarabasiAlbert(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{20, 1}, {96, 2}, {200, 3}, {5, 4}} {
+		g := BarabasiAlbert(tc.n, tc.k, 7)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("n=%d k=%d: not connected", tc.n, tc.k)
+		}
+		k := tc.k
+		if k >= tc.n {
+			k = tc.n - 1
+		}
+		seed := k + 1
+		wantM := k*(k+1)/2 + (tc.n-seed)*k
+		if g.N() != tc.n || g.M() != wantM {
+			t.Fatalf("n=%d k=%d: got n=%d m=%d, want n=%d m=%d", tc.n, tc.k, g.N(), g.M(), tc.n, wantM)
+		}
+		if g.MinDegree() < k {
+			t.Fatalf("n=%d k=%d: min degree %d below attachment degree", tc.n, tc.k, g.MinDegree())
+		}
+	}
+
+	// Determinism: same seed, same graph; different seed, different graph.
+	a := BarabasiAlbert(128, 2, 11)
+	b := BarabasiAlbert(128, 2, 11)
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := BarabasiAlbert(128, 2, 12)
+	if reflect.DeepEqual(a.Edges(), c.Edges()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+
+	// Heavy tail: the hub of a preferential-attachment graph is far above
+	// the mean degree (for n=512, k=2 the mean is ~4; the hub reliably
+	// exceeds 4x that).
+	g := BarabasiAlbert(512, 2, 3)
+	mean := float64(2*g.M()) / float64(g.N())
+	if hub := g.MaxDegree(); float64(hub) < 4*mean {
+		t.Fatalf("expected a heavy-tailed hub, max degree %d vs mean %.1f", hub, mean)
+	}
+	// And the tail is not one freak node: the top decile carries well more
+	// than its share of edge endpoints.
+	var degs []int
+	for _, v := range g.Nodes() {
+		degs = append(degs, g.Degree(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:len(degs)/10] {
+		top += d
+	}
+	if share := float64(top) / float64(2*g.M()); share < 0.2 {
+		t.Fatalf("top decile carries only %.2f of edge endpoints; expected a heavy tail", share)
+	}
+}

@@ -21,7 +21,7 @@ func (n *Node) onUpdate(ctx sim.Context, from sim.NodeID, msg mUpdate) {
 		}
 		n.parent = msg.v
 		n.hasParent = true
-		ctx.Send(msg.v, mChild{round: n.round})
+		ctx.Send(msg.v, newChild(n.round))
 		return
 	}
 	// "Else: the identity found in its via variable becomes its parent and
@@ -39,7 +39,7 @@ func (n *Node) onUpdate(ctx sim.Context, from sim.NodeID, msg mUpdate) {
 	n.removeChild(via)
 	n.parent = via
 	n.hasParent = true
-	ctx.Send(via, mUpdate{round: n.round, u: msg.u, v: msg.v, first: false})
+	ctx.Send(via, newUpdate(n.round, msg.u, msg.v, false))
 }
 
 func (n *Node) onChild(ctx sim.Context, from sim.NodeID, msg mChild) {
@@ -49,7 +49,7 @@ func (n *Node) onChild(ctx sim.Context, from sim.NodeID, msg mChild) {
 	if !n.hasParent {
 		panic(fmt.Sprintf("mdst: reattachment endpoint %d has no parent", n.id))
 	}
-	ctx.Send(n.parent, mRoundDone{round: n.round})
+	ctx.Send(n.parent, newRoundDone(n.round))
 }
 
 func (n *Node) onRoundDone(ctx sim.Context, from sim.NodeID, msg mRoundDone) {
@@ -61,5 +61,5 @@ func (n *Node) onRoundDone(ctx sim.Context, from sim.NodeID, msg mRoundDone) {
 	if !n.hasParent {
 		panic(fmt.Sprintf("mdst: root %d received round-done it was not awaiting", n.id))
 	}
-	ctx.Send(n.parent, mRoundDone{round: n.round})
+	ctx.Send(n.parent, newRoundDone(n.round))
 }

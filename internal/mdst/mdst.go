@@ -67,10 +67,22 @@ func Run(eng sim.Engine, g *graph.Graph, initial *tree.Tree, mode Mode) (*Result
 // maximum degree is at most target (the paper's "cannot exceed a given
 // value k" variant). A target of 0 improves to local optimality.
 func RunTarget(eng sim.Engine, g *graph.Graph, initial *tree.Tree, mode Mode, target int) (*Result, error) {
+	return RunTargetSnapshot(eng, g.Compile(), initial, mode, target)
+}
+
+// RunSnapshot is Run over a pre-compiled snapshot: the harness compiles each
+// workload once and shares the snapshot across trials and engines.
+func RunSnapshot(eng sim.Engine, c *graph.CSR, initial *tree.Tree, mode Mode) (*Result, error) {
+	return RunTargetSnapshot(eng, c, initial, mode, 0)
+}
+
+// RunTargetSnapshot is RunTarget over a pre-compiled snapshot.
+func RunTargetSnapshot(eng sim.Engine, c *graph.CSR, initial *tree.Tree, mode Mode, target int) (*Result, error) {
+	g := c.Source()
 	if err := initial.Validate(g); err != nil {
 		return nil, fmt.Errorf("mdst: initial tree invalid: %w", err)
 	}
-	protos, rep, err := eng.Run(g, FactoryFromTree(mode, target, initial))
+	protos, rep, err := sim.RunCompiled(eng, c, FactoryFromTree(mode, target, initial))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package mdst
 
-import "mdegst/internal/sim"
+import (
+	"sync"
+
+	"mdegst/internal/sim"
+)
 
 // Message vocabulary of the improvement protocol. Every message carries its
 // round number so the engines can attribute counts per round and the nodes
@@ -12,6 +16,15 @@ import "mdegst/internal/sim"
 // implementing the paper's "at most four numbers or identities by message"
 // bit-complexity accounting (our BFSBack aggregate is larger; see DESIGN.md
 // deviation notes and experiment E6).
+//
+// Messages are sent as pooled pointers: converting a value struct to the
+// sim.Message interface heap-allocates, and with O((k-k*)·m) messages per
+// run that boxing dominated the whole pipeline's allocation profile (~99%
+// of allocs/op on the BENCH_baseline engine workload). Each message is
+// delivered to exactly one receiver, which recycles it after its handler
+// ran (see Node.Recv); a message deferred by the paper's "delay until the
+// fragment identity is known" rule is simply recycled later. The pools are
+// per-kind sync.Pools, so the scheme stays safe under the goroutine engine.
 
 // noCand marks the absence of an improvement candidate in the SearchDegree
 // convergecast (all maximum-degree nodes exhausted).
@@ -144,6 +157,119 @@ func (m mBFSBack) Words() int {
 		return 9
 	}
 	return 3
+}
+
+// Per-kind message pools and constructors. Handlers hand processed messages
+// back through recycleMsg; constructors hand out a zeroed-and-refilled
+// instance.
+var (
+	poolStart     = sync.Pool{New: func() any { return new(mStart) }}
+	poolDeg       = sync.Pool{New: func() any { return new(mDeg) }}
+	poolMove      = sync.Pool{New: func() any { return new(mMove) }}
+	poolCut       = sync.Pool{New: func() any { return new(mCut) }}
+	poolBFS       = sync.Pool{New: func() any { return new(mBFS) }}
+	poolCousin    = sync.Pool{New: func() any { return new(mCousin) }}
+	poolBFSBack   = sync.Pool{New: func() any { return new(mBFSBack) }}
+	poolUpdate    = sync.Pool{New: func() any { return new(mUpdate) }}
+	poolChild     = sync.Pool{New: func() any { return new(mChild) }}
+	poolRoundDone = sync.Pool{New: func() any { return new(mRoundDone) }}
+	poolTerm      = sync.Pool{New: func() any { return new(mTerm) }}
+)
+
+func newStart(round int, clear bool, phase Mode) *mStart {
+	m := poolStart.Get().(*mStart)
+	*m = mStart{round: round, clear: clear, phase: phase}
+	return m
+}
+
+func newDeg(round, k int, cand sim.NodeID) *mDeg {
+	m := poolDeg.Get().(*mDeg)
+	*m = mDeg{round: round, k: k, cand: cand}
+	return m
+}
+
+func newMove(round, k int, target sim.NodeID) *mMove {
+	m := poolMove.Get().(*mMove)
+	*m = mMove{round: round, k: k, target: target}
+	return m
+}
+
+func newCut(round, k int, owner sim.NodeID) *mCut {
+	m := poolCut.Get().(*mCut)
+	*m = mCut{round: round, k: k, owner: owner}
+	return m
+}
+
+func newBFS(round, k int, owner, fragRoot sim.NodeID) *mBFS {
+	m := poolBFS.Get().(*mBFS)
+	*m = mBFS{round: round, k: k, owner: owner, fragRoot: fragRoot}
+	return m
+}
+
+func newCousin(round, deg int, owner, fragRoot sim.NodeID) *mCousin {
+	m := poolCousin.Get().(*mCousin)
+	*m = mCousin{round: round, deg: deg, owner: owner, fragRoot: fragRoot}
+	return m
+}
+
+func newBFSBack(round int, hasReport bool, report edgeReport, improved bool) *mBFSBack {
+	m := poolBFSBack.Get().(*mBFSBack)
+	*m = mBFSBack{round: round, hasReport: hasReport, report: report, improved: improved}
+	return m
+}
+
+func newUpdate(round int, u, v sim.NodeID, first bool) *mUpdate {
+	m := poolUpdate.Get().(*mUpdate)
+	*m = mUpdate{round: round, u: u, v: v, first: first}
+	return m
+}
+
+func newChild(round int) *mChild {
+	m := poolChild.Get().(*mChild)
+	*m = mChild{round: round}
+	return m
+}
+
+func newRoundDone(round int) *mRoundDone {
+	m := poolRoundDone.Get().(*mRoundDone)
+	*m = mRoundDone{round: round}
+	return m
+}
+
+func newTerm(round int) *mTerm {
+	m := poolTerm.Get().(*mTerm)
+	*m = mTerm{round: round}
+	return m
+}
+
+// recycleMsg returns a processed message to its pool. Only messages created
+// by the constructors above reach Node handlers, so the type switch is
+// total; anything else (a test injecting a value message) is left to the GC.
+func recycleMsg(m sim.Message) {
+	switch v := m.(type) {
+	case *mStart:
+		poolStart.Put(v)
+	case *mDeg:
+		poolDeg.Put(v)
+	case *mMove:
+		poolMove.Put(v)
+	case *mCut:
+		poolCut.Put(v)
+	case *mBFS:
+		poolBFS.Put(v)
+	case *mCousin:
+		poolCousin.Put(v)
+	case *mBFSBack:
+		poolBFSBack.Put(v)
+	case *mUpdate:
+		poolUpdate.Put(v)
+	case *mChild:
+		poolChild.Put(v)
+	case *mRoundDone:
+		poolRoundDone.Put(v)
+	case *mTerm:
+		poolTerm.Put(v)
+	}
 }
 
 // edgeReport describes a recorded outgoing edge: u is the endpoint on the

@@ -178,11 +178,14 @@ func (n *Node) Init(ctx sim.Context) {
 // Recv dispatches one message, deferring those that arrive ahead of this
 // node's round or before its fragment identity is known (the paper's
 // "the answer has to be delayed until x learns its fragment identity").
+// Processed messages are recycled to their pool: each message has exactly
+// one receiver, and nothing outlives its handler.
 func (n *Node) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
 	if !n.process(ctx, from, m) {
 		n.deferred = append(n.deferred, deferredMsg{from: from, msg: m})
 		return
 	}
+	recycleMsg(m)
 	n.retryDeferred(ctx)
 }
 
@@ -192,6 +195,7 @@ func (n *Node) retryDeferred(ctx sim.Context) {
 		for i := 0; i < len(n.deferred); i++ {
 			d := n.deferred[i]
 			if n.process(ctx, d.from, d.msg) {
+				recycleMsg(d.msg)
 				n.deferred = append(n.deferred[:i], n.deferred[i+1:]...)
 				progress = true
 				i--
@@ -207,7 +211,7 @@ func (n *Node) process(ctx sim.Context, from sim.NodeID, m sim.Message) bool {
 	}
 	round := m.(sim.Rounder).MsgRound()
 	if round > n.round {
-		if _, ok := m.(mStart); !ok {
+		if _, ok := m.(*mStart); !ok {
 			return false // ahead of our round: wait for mStart (non-FIFO only)
 		}
 	}
@@ -215,28 +219,28 @@ func (n *Node) process(ctx sim.Context, from sim.NodeID, m sim.Message) bool {
 		panic(fmt.Sprintf("mdst: node %d in round %d received stale %s of round %d", n.id, n.round, m.Kind(), round))
 	}
 	switch msg := m.(type) {
-	case mStart:
-		n.onStart(ctx, from, msg)
-	case mDeg:
-		n.onDeg(ctx, from, msg)
-	case mMove:
-		n.onMove(ctx, from, msg)
-	case mCut:
-		n.onCut(ctx, from, msg)
-	case mBFS:
-		return n.onBFS(ctx, from, msg)
-	case mCousin:
-		n.onCousin(ctx, from, msg)
-	case mBFSBack:
-		n.onBFSBack(ctx, from, msg)
-	case mUpdate:
-		n.onUpdate(ctx, from, msg)
-	case mChild:
-		n.onChild(ctx, from, msg)
-	case mRoundDone:
-		n.onRoundDone(ctx, from, msg)
-	case mTerm:
-		n.onTerm(ctx, msg)
+	case *mStart:
+		n.onStart(ctx, from, *msg)
+	case *mDeg:
+		n.onDeg(ctx, from, *msg)
+	case *mMove:
+		n.onMove(ctx, from, *msg)
+	case *mCut:
+		n.onCut(ctx, from, *msg)
+	case *mBFS:
+		return n.onBFS(ctx, from, *msg)
+	case *mCousin:
+		n.onCousin(ctx, from, *msg)
+	case *mBFSBack:
+		n.onBFSBack(ctx, from, *msg)
+	case *mUpdate:
+		n.onUpdate(ctx, from, *msg)
+	case *mChild:
+		n.onChild(ctx, from, *msg)
+	case *mRoundDone:
+		n.onRoundDone(ctx, from, *msg)
+	case *mTerm:
+		n.onTerm(ctx, *msg)
 	default:
 		panic(fmt.Sprintf("mdst: unexpected message %T", m))
 	}

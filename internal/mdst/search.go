@@ -19,7 +19,7 @@ func (n *Node) startRound(ctx sim.Context, round int, clear bool) {
 	n.agg = n.ownContribution()
 	n.searchPending = len(n.children)
 	for _, c := range n.children {
-		ctx.Send(c, mStart{round: round, clear: clear, phase: n.phase})
+		ctx.Send(c, newStart(round, clear, n.phase))
 	}
 	if n.searchPending == 0 {
 		n.decide(ctx) // single-node tree
@@ -39,11 +39,11 @@ func (n *Node) onStart(ctx sim.Context, from sim.NodeID, msg mStart) {
 	n.agg = n.ownContribution()
 	n.searchPending = len(n.children)
 	for _, c := range n.children {
-		ctx.Send(c, mStart{round: msg.round, clear: msg.clear, phase: msg.phase})
+		ctx.Send(c, newStart(msg.round, msg.clear, msg.phase))
 	}
 	if n.searchPending == 0 {
 		// Leaf: "every leaf of the ST sends a message with its degree".
-		ctx.Send(n.parent, mDeg{round: n.round, k: n.agg.k, cand: n.agg.cand})
+		ctx.Send(n.parent, newDeg(n.round, n.agg.k, n.agg.cand))
 	}
 }
 
@@ -62,7 +62,7 @@ func (n *Node) onDeg(ctx sim.Context, from sim.NodeID, msg mDeg) {
 		return
 	}
 	if n.hasParent {
-		ctx.Send(n.parent, mDeg{round: n.round, k: n.agg.k, cand: n.agg.cand})
+		ctx.Send(n.parent, newDeg(n.round, n.agg.k, n.agg.cand))
 		return
 	}
 	n.decide(ctx)
@@ -97,7 +97,7 @@ func (n *Node) decide(ctx sim.Context) {
 	n.removeChild(via)
 	n.parent = via
 	n.hasParent = true
-	ctx.Send(via, mMove{round: n.round, k: n.kAll, target: target})
+	ctx.Send(via, newMove(n.round, n.kAll, target))
 }
 
 func (n *Node) onMove(ctx sim.Context, from sim.NodeID, msg mMove) {
@@ -118,7 +118,7 @@ func (n *Node) onMove(ctx sim.Context, from sim.NodeID, msg mMove) {
 	}
 	n.removeChild(via)
 	n.parent = via
-	ctx.Send(via, mMove{round: n.round, k: msg.k, target: msg.target})
+	ctx.Send(via, newMove(n.round, msg.k, msg.target))
 }
 
 // terminate broadcasts mTerm: the algorithm is finished and every node
@@ -126,13 +126,13 @@ func (n *Node) onMove(ctx sim.Context, from sim.NodeID, msg mMove) {
 func (n *Node) terminate(ctx sim.Context) {
 	n.terminated = true
 	for _, c := range n.children {
-		ctx.Send(c, mTerm{round: n.round})
+		ctx.Send(c, newTerm(n.round))
 	}
 }
 
 func (n *Node) onTerm(ctx sim.Context, msg mTerm) {
 	n.terminated = true
 	for _, c := range n.children {
-		ctx.Send(c, mTerm{round: n.round})
+		ctx.Send(c, newTerm(n.round))
 	}
 }

@@ -17,7 +17,7 @@ func (n *Node) becomeOwner(ctx sim.Context, k int) {
 	n.kAll = k
 	n.ownerPending = len(n.children)
 	for _, c := range n.children {
-		ctx.Send(c, mCut{round: n.round, k: k, owner: n.id})
+		ctx.Send(c, newCut(n.round, k, n.id))
 	}
 	if n.ownerPending == 0 {
 		n.ownerComplete(ctx)
@@ -49,7 +49,7 @@ func (n *Node) enterFragment(ctx sim.Context, f fragID) {
 			continue
 		}
 		n.bfsPending++
-		ctx.Send(w, mBFS{round: n.round, k: n.kAll, owner: f.owner, fragRoot: f.root})
+		ctx.Send(w, newBFS(n.round, n.kAll, f.owner, f.root))
 	}
 	if n.bfsPending == 0 {
 		n.sendAggregate(ctx)
@@ -74,7 +74,7 @@ func (n *Node) onBFS(ctx sim.Context, from sim.NodeID, msg mBFS) bool {
 	if n.isOwner {
 		// Owners answer immediately: their degree k disqualifies the edge,
 		// but the answer unblocks the prober's count.
-		ctx.Send(from, mCousin{round: n.round, deg: n.degree(), owner: n.id, fragRoot: n.id})
+		ctx.Send(from, newCousin(n.round, n.degree(), n.id, n.id))
 		return true
 	}
 	if !n.fragKnown {
@@ -90,7 +90,7 @@ func (n *Node) onBFS(ctx sim.Context, from sim.NodeID, msg mBFS) bool {
 	case theirs.less(n.frag):
 		// "(r,r') < (p,p'): x replies by a BFSBack" — the probing side
 		// records the cousin edge; we only resolve.
-		ctx.Send(from, mCousin{round: n.round, deg: n.degree(), owner: n.frag.owner, fragRoot: n.frag.root})
+		ctx.Send(from, newCousin(n.round, n.degree(), n.frag.owner, n.frag.root))
 		n.resolveNeighbor(ctx)
 	default:
 		// "(r,r') > (p,p')": our own BFS to that neighbour will be
@@ -175,12 +175,7 @@ func (n *Node) sendAggregate(ctx sim.Context) {
 	if !n.hasParent {
 		panic(fmt.Sprintf("mdst: fragment member %d has no parent", n.id))
 	}
-	ctx.Send(n.parent, mBFSBack{
-		round:     n.round,
-		hasReport: n.hasReport,
-		report:    n.report,
-		improved:  n.improved,
-	})
+	ctx.Send(n.parent, newBFSBack(n.round, n.hasReport, n.report, n.improved))
 }
 
 // ownerComplete runs the paper's Choose step once every fragment answered:
@@ -194,7 +189,7 @@ func (n *Node) ownerComplete(ctx sim.Context) {
 		n.ownerSwapped = true
 		n.swaps++
 		n.awaitingDone = true
-		ctx.Send(n.ownerArrival, mUpdate{round: n.round, u: n.ownerBest.u, v: n.ownerBest.v, first: true})
+		ctx.Send(n.ownerArrival, newUpdate(n.round, n.ownerBest.u, n.ownerBest.v, true))
 		return
 	}
 	if n.actingRoot && n.phase == Single {
@@ -212,10 +207,7 @@ func (n *Node) finishOwner(ctx sim.Context) {
 	if !n.actingRoot {
 		// Sub-owner (Multi): report upward; no outgoing edge is forwarded
 		// (see DESIGN.md deviation 4), only the improvement flag.
-		ctx.Send(n.parent, mBFSBack{
-			round:    n.round,
-			improved: n.ownerSwapped || n.improved,
-		})
+		ctx.Send(n.parent, newBFSBack(n.round, false, edgeReport{}, n.ownerSwapped || n.improved))
 		return
 	}
 	// Acting root: decide what the next round is.

@@ -16,6 +16,10 @@ import (
 // communication channels. Optional jitter inserts random per-link forwarding
 // delays to widen the explored interleavings.
 //
+// Mailboxes live in a slice addressed by the snapshot's dense node index and
+// jitter forwarders in a slice addressed by the snapshot's directed
+// half-edge index, so sends touch no map.
+//
 // Termination is global quiescence: a counter tracks in-flight plus
 // in-processing messages; handlers only send while processing, so when the
 // counter reaches zero no further message can ever be created.
@@ -79,9 +83,9 @@ func (mb *mailbox) close() {
 
 type asyncRun struct {
 	wg       sync.WaitGroup // counts pending inits + unprocessed messages
-	boxes    map[NodeID]*mailbox
-	links    map[[2]NodeID]*mailbox // jitter forwarders, nil when no jitter
-	mu       sync.Mutex             // guards report maps
+	boxes    []*mailbox     // dense node index -> mailbox
+	links    []*mailbox     // directed half-edge index -> forwarder, nil when no jitter
+	mu       sync.Mutex     // guards report maps
 	report   *Report
 	panicVal atomic.Value
 }
@@ -90,6 +94,8 @@ type asyncCtx struct {
 	run       *asyncRun
 	id        NodeID
 	neighbors []NodeID
+	nbrDense  []int32
+	linkBase  int32 // this node's first directed half-edge index
 	depth     int64 // causal depth of the message being processed
 }
 
@@ -97,72 +103,89 @@ func (c *asyncCtx) ID() NodeID          { return c.id }
 func (c *asyncCtx) Neighbors() []NodeID { return c.neighbors }
 
 func (c *asyncCtx) Send(to NodeID, m Message) {
-	checkNeighbor(c.neighbors, c.id, to)
+	ni := neighborIndex(c.neighbors, to)
+	if ni < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
+	}
 	r := c.run
 	r.wg.Add(1)
 	d := delivery{from: c.id, msg: m, depth: c.depth + 1}
 	if r.links != nil {
-		r.links[[2]NodeID{c.id, to}].push(d)
+		r.links[c.linkBase+int32(ni)].push(d)
 		return
 	}
-	r.boxes[to].push(d)
+	r.boxes[c.nbrDense[ni]].push(d)
 }
 
 func (c *asyncCtx) Logf(string, ...any) {}
 
-// Run executes the protocol to quiescence using real goroutines.
+// Run compiles g and executes the protocol over the snapshot.
 func (e *AsyncEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error) {
+	return e.RunSnapshot(g.Compile(), f)
+}
+
+// RunSnapshot executes the protocol to quiescence using real goroutines.
+func (e *AsyncEngine) RunSnapshot(c *graph.CSR, f Factory) (map[NodeID]Protocol, *Report, error) {
 	start := time.Now()
-	nodes := g.Nodes()
+	n := c.N()
+	ids := c.Index().IDs()
 	run := &asyncRun{
-		boxes:  make(map[NodeID]*mailbox, len(nodes)),
+		boxes:  make([]*mailbox, n),
 		report: newReport(),
 	}
-	protos := make(map[NodeID]Protocol, len(nodes))
-	ctxs := make(map[NodeID]*asyncCtx, len(nodes))
-	for _, v := range nodes {
-		run.boxes[v] = newMailbox()
-		ctx := &asyncCtx{run: run, id: v, neighbors: g.Neighbors(v)}
-		ctxs[v] = ctx
-		protos[v] = f(v, ctx.neighbors)
+	plist := make([]Protocol, n)
+	ctxs := make([]asyncCtx, n)
+	for i := 0; i < n; i++ {
+		di := int32(i)
+		run.boxes[i] = newMailbox()
+		ctxs[i] = asyncCtx{
+			run:       run,
+			id:        ids[i],
+			neighbors: c.NeighborIDs(di),
+			nbrDense:  c.Neighbors(di),
+			linkBase:  c.HalfEdge(di, 0),
+		}
+		plist[i] = f(ids[i], ctxs[i].neighbors)
 	}
 
 	var forwarders sync.WaitGroup
 	if e.Jitter > 0 {
-		run.links = make(map[[2]NodeID]*mailbox)
-		for _, u := range nodes {
-			for _, v := range g.Neighbors(u) {
-				run.links[[2]NodeID{u, v}] = newMailbox()
-			}
+		run.links = make([]*mailbox, c.HalfEdges())
+		for he := range run.links {
+			run.links[he] = newMailbox()
 		}
 		var seed atomic.Int64
 		seed.Store(e.Seed)
-		for link, box := range run.links {
-			forwarders.Add(1)
-			go func(link [2]NodeID, box *mailbox) {
-				defer forwarders.Done()
-				rng := rand.New(rand.NewSource(seed.Add(1)))
-				for {
-					d, ok := box.pop()
-					if !ok {
-						return
+		for i := 0; i < n; i++ {
+			for ni, dst := range c.Neighbors(int32(i)) {
+				he := c.HalfEdge(int32(i), ni)
+				forwarders.Add(1)
+				go func(box, dest *mailbox) {
+					defer forwarders.Done()
+					rng := rand.New(rand.NewSource(seed.Add(1)))
+					for {
+						d, ok := box.pop()
+						if !ok {
+							return
+						}
+						time.Sleep(time.Duration(rng.Int63n(int64(e.Jitter))) + 1)
+						dest.push(d)
 					}
-					time.Sleep(time.Duration(rng.Int63n(int64(e.Jitter))) + 1)
-					run.boxes[link[1]].push(d)
-				}
-			}(link, box)
+				}(run.links[he], run.boxes[dst])
+			}
 		}
 	}
 
 	// Pre-count one unit per node so the quiescence counter cannot reach
 	// zero before every Init has run.
-	run.wg.Add(len(nodes))
+	run.wg.Add(n)
 	var loops sync.WaitGroup
-	for _, v := range nodes {
+	for i := 0; i < n; i++ {
 		loops.Add(1)
-		go func(v NodeID) {
+		go func(i int) {
 			defer loops.Done()
-			ctx := ctxs[v]
+			ctx := &ctxs[i]
+			proto := plist[i]
 			// A panicking node is marked dead but keeps draining its
 			// mailbox, so the quiescence counter still reaches zero and
 			// the panic is reported instead of hanging the run.
@@ -170,16 +193,16 @@ func (e *AsyncEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Repo
 			safely := func(fn func()) {
 				defer func() {
 					if p := recover(); p != nil {
-						run.panicVal.CompareAndSwap(nil, fmt.Sprintf("node %d: %v", v, p))
+						run.panicVal.CompareAndSwap(nil, fmt.Sprintf("node %d: %v", ctx.id, p))
 						dead = true
 					}
 				}()
 				fn()
 			}
-			safely(func() { protos[v].Init(ctx) })
+			safely(func() { proto.Init(ctx) })
 			run.wg.Done()
 			for {
-				d, ok := run.boxes[v].pop()
+				d, ok := run.boxes[i].pop()
 				if !ok {
 					return
 				}
@@ -188,21 +211,19 @@ func (e *AsyncEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Repo
 					run.mu.Lock()
 					run.report.record(d.from, d.msg, d.depth)
 					run.mu.Unlock()
-					safely(func() { protos[v].Recv(ctx, d.from, d.msg) })
+					safely(func() { proto.Recv(ctx, d.from, d.msg) })
 				}
 				run.wg.Done()
 			}
-		}(v)
+		}(i)
 	}
 
 	run.wg.Wait()
 	for _, mb := range run.boxes {
 		mb.close()
 	}
-	if run.links != nil {
-		for _, mb := range run.links {
-			mb.close()
-		}
+	for _, mb := range run.links {
+		mb.close()
 	}
 	loops.Wait()
 	forwarders.Wait()
@@ -211,7 +232,11 @@ func (e *AsyncEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Repo
 	}
 	run.report.finalize()
 	run.report.Wall = time.Since(start)
+	protos := make(map[NodeID]Protocol, n)
+	for i, p := range plist {
+		protos[ids[i]] = p
+	}
 	return protos, run.report, nil
 }
 
-var _ Engine = (*AsyncEngine)(nil)
+var _ SnapshotEngine = (*AsyncEngine)(nil)

@@ -37,13 +37,16 @@ const DefaultMaxMessages = 200_000_000
 // the whole run is reproducible.
 //
 // The engine is the hot path of the experiment harness, so it avoids
-// per-message allocations: the event queue is a specialised binary heap of
-// event values (no container/heap interface boxing), per-link FIFO clamp
-// state lives in one preallocated slice indexed by neighbour position rather
-// than a map keyed by node pairs, and the queue, contexts and clamp backing
-// arrays are pooled and reused across runs. ReferenceEngine keeps the
-// straightforward implementation as the delivery-order oracle; the two are
-// checked equivalent by tests and compared by the allocation benchmarks.
+// per-message work beyond the heap operation itself: the event queue is a
+// specialised binary heap of event values (no container/heap interface
+// boxing), every per-node structure — contexts, protocol instances, FIFO
+// clamp intervals — lives in one slice addressed by the CSR snapshot's
+// dense index (no map[NodeID] anywhere on the delivery path), and the
+// backing arrays are pooled and reused across runs. Each event carries its
+// destination's dense index, so a delivery is two slice loads.
+// ReferenceEngine keeps the straightforward implementation as the
+// delivery-order oracle; the two are checked equivalent by tests and
+// compared by the allocation benchmarks.
 type EventEngine struct {
 	// Seed initialises the delay RNG.
 	Seed int64
@@ -57,17 +60,20 @@ type EventEngine struct {
 	// MaxMessages aborts the run when exceeded (0 means
 	// DefaultMaxMessages); it converts protocol livelock into an error.
 	MaxMessages int64
-	// Trace, when non-nil, observes every delivery and Logf note.
+	// Trace, when non-nil, observes every delivery and Logf note. The
+	// Message in a TraceEvent is only valid during the callback: protocols
+	// may recycle message values after processing.
 	Trace func(TraceEvent)
 }
 
 type event struct {
-	t     float64
-	seq   int64
-	depth int64
-	from  NodeID
-	to    NodeID
-	msg   Message
+	t       float64
+	seq     int64
+	depth   int64
+	from    NodeID
+	to      NodeID
+	toDense int32
+	msg     Message
 }
 
 func (e event) before(o event) bool {
@@ -125,9 +131,13 @@ func (q *eventQueue) pop() event {
 }
 
 type eventCtx struct {
-	eng       *eventRun
-	id        NodeID
+	eng *eventRun
+	id  NodeID
+	// neighbors and nbrDense are the snapshot's neighbour views for this
+	// node (NodeIDs for the Protocol contract, dense indices for event
+	// addressing), same position order.
 	neighbors []NodeID
+	nbrDense  []int32
 	// clamp holds, per neighbour (same index as neighbors), the latest
 	// delivery time already scheduled on the directed link id->neighbor.
 	// FIFO order is enforced by clamping new delivery times to it.
@@ -185,18 +195,19 @@ func (er *eventRun) send(c *eventCtx, ni int, to NodeID, m Message) {
 		c.clamp[ni] = t
 	}
 	er.seq++
-	er.queue.push(event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, msg: m})
+	er.queue.push(event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, toDense: c.nbrDense[ni], msg: m})
 }
 
 // eventScratch is the reusable per-run state: the queue's backing array, the
-// node contexts, the FIFO clamp backing array and the node index. Pooled so
-// repeated runs — the parallel experiment harness executes thousands —
-// allocate it once per worker instead of once per run.
+// node contexts, the protocol instances and the FIFO clamp backing array —
+// all dense-index addressed. Pooled so repeated runs — the parallel
+// experiment harness executes thousands — allocate it once per worker
+// instead of once per run.
 type eventScratch struct {
-	queue eventQueue
-	ctxs  []eventCtx
-	clamp []float64
-	index map[NodeID]int32
+	queue  eventQueue
+	ctxs   []eventCtx
+	protos []Protocol
+	clamp  []float64
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(eventScratch) }}
@@ -206,22 +217,22 @@ func (s *eventScratch) reset(n, halfEdges int) {
 		s.ctxs = make([]eventCtx, n)
 	}
 	s.ctxs = s.ctxs[:n]
+	if cap(s.protos) < n {
+		s.protos = make([]Protocol, n)
+	}
+	s.protos = s.protos[:n]
 	if cap(s.clamp) < halfEdges {
 		s.clamp = make([]float64, halfEdges)
 	}
 	s.clamp = s.clamp[:halfEdges]
 	clear(s.clamp)
-	if s.index == nil {
-		s.index = make(map[NodeID]int32, n)
-	} else {
-		clear(s.index)
-	}
 	s.queue = s.queue[:0]
 }
 
 func (s *eventScratch) release() {
-	// Zero any events left in the queue backing (abnormal exits) and the
-	// contexts so pooled memory does not pin messages or neighbour slices.
+	// Zero any events left in the queue backing (abnormal exits), the
+	// contexts and the protocol slots so pooled memory does not pin
+	// messages, protocol state or the snapshot's neighbour arrays.
 	q := s.queue[:cap(s.queue)]
 	for i := range q {
 		q[i] = event{}
@@ -230,12 +241,19 @@ func (s *eventScratch) release() {
 	for i := range s.ctxs {
 		s.ctxs[i] = eventCtx{}
 	}
+	clear(s.protos)
 	scratchPool.Put(s)
 }
 
-// Run executes the protocol to quiescence. Protocol panics are converted to
-// errors so a buggy node cannot take down the harness.
-func (e *EventEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
+// Run compiles g and executes the protocol to quiescence over the snapshot.
+func (e *EventEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error) {
+	return e.RunSnapshot(g.Compile(), f)
+}
+
+// RunSnapshot executes the protocol to quiescence over a compiled snapshot.
+// Protocol panics are converted to errors so a buggy node cannot take down
+// the harness.
+func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			protos, rep = nil, nil
@@ -258,37 +276,36 @@ func (e *EventEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol
 		trace:  e.Trace,
 		report: newReport(),
 	}
-	nodes := g.Nodes()
+	n := c.N()
+	ids := c.Index().IDs()
 	scratch := scratchPool.Get().(*eventScratch)
 	defer scratch.release()
-	scratch.reset(len(nodes), 2*g.M())
+	scratch.reset(n, c.HalfEdges())
 	er.queue = scratch.queue
 	defer func() { scratch.queue = er.queue }()
 
-	protos = make(map[NodeID]Protocol, len(nodes))
-	clampAt := 0
-	for i, v := range nodes {
-		neighbors := g.Neighbors(v)
+	for i := 0; i < n; i++ {
+		di := int32(i)
+		lo, hi := c.HalfEdge(di, 0), c.HalfEdge(di, c.Degree(di))
 		scratch.ctxs[i] = eventCtx{
 			eng:       er,
-			id:        v,
-			neighbors: neighbors,
-			clamp:     scratch.clamp[clampAt : clampAt+len(neighbors)],
+			id:        ids[i],
+			neighbors: c.NeighborIDs(di),
+			nbrDense:  c.Neighbors(di),
+			clamp:     scratch.clamp[lo:hi],
 		}
-		clampAt += len(neighbors)
-		scratch.index[v] = int32(i)
-		protos[v] = f(v, neighbors)
+		scratch.protos[i] = f(ids[i], scratch.ctxs[i].neighbors)
 	}
 	// All nodes start independently; Init runs at time zero in ID order.
-	for i, v := range nodes {
-		protos[v].Init(&scratch.ctxs[i])
+	for i := 0; i < n; i++ {
+		scratch.protos[i].Init(&scratch.ctxs[i])
 	}
 	for len(er.queue) > 0 {
 		ev := er.queue.pop()
 		if er.report.Messages >= maxMsgs {
 			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
 		}
-		ctx := &scratch.ctxs[scratch.index[ev.to]]
+		ctx := &scratch.ctxs[ev.toDense]
 		ctx.now = ev.t
 		ctx.depth = ev.depth
 		er.report.record(ev.from, ev.msg, ev.depth)
@@ -298,11 +315,15 @@ func (e *EventEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol
 		if er.trace != nil {
 			er.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
 		}
-		protos[ev.to].Recv(ctx, ev.from, ev.msg)
+		scratch.protos[ev.toDense].Recv(ctx, ev.from, ev.msg)
 	}
 	er.report.finalize()
 	er.report.Wall = time.Since(start)
+	protos = make(map[NodeID]Protocol, n)
+	for i, p := range scratch.protos {
+		protos[ids[i]] = p
+	}
 	return protos, er.report, nil
 }
 
-var _ Engine = (*EventEngine)(nil)
+var _ SnapshotEngine = (*EventEngine)(nil)

@@ -11,11 +11,14 @@ import (
 
 // ReferenceEngine is the straightforward discrete-event simulator that
 // EventEngine started from: container/heap over boxed events, a map keyed by
-// directed node pairs for the FIFO clamp, and fresh state every run. It is
-// kept as the delivery-order oracle for EventEngine's optimised fast path —
-// tests assert the two produce identical reports and trees for identical
-// seeds — and as the baseline the allocation benchmarks measure the fast
-// path against. Do not use it in the harness hot path.
+// directed node pairs for the FIFO clamp, and fresh state every run. Its
+// per-node state (contexts, protocol instances) is addressed by the
+// snapshot's dense index like every other engine, but each delivery still
+// pays the NodeID->dense map lookup that the fast path precomputes into the
+// event. It is kept as the delivery-order oracle for EventEngine's optimised
+// fast path — tests assert the two produce identical reports and trees for
+// identical seeds — and as the baseline the allocation benchmarks measure
+// the fast path against. Do not use it in the harness hot path.
 type ReferenceEngine struct {
 	// Seed initialises the delay RNG.
 	Seed int64
@@ -88,9 +91,14 @@ func (rr *refRun) send(c *refCtx, to NodeID, m Message) {
 	heap.Push(&rr.queue, event{t: t, seq: rr.seq, depth: c.depth + 1, from: c.id, to: to, msg: m})
 }
 
-// Run executes the protocol to quiescence, mirroring EventEngine.Run with
-// the unoptimised data structures.
-func (e *ReferenceEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
+// Run compiles g and executes the protocol over the snapshot.
+func (e *ReferenceEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error) {
+	return e.RunSnapshot(g.Compile(), f)
+}
+
+// RunSnapshot executes the protocol to quiescence, mirroring
+// EventEngine.RunSnapshot with the unoptimised data structures.
+func (e *ReferenceEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			protos, rep = nil, nil
@@ -114,23 +122,25 @@ func (e *ReferenceEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Prot
 		lastLink: make(map[[2]NodeID]float64),
 		report:   newReport(),
 	}
-	nodes := g.Nodes()
-	protos = make(map[NodeID]Protocol, len(nodes))
-	ctxs := make(map[NodeID]*refCtx, len(nodes))
-	for _, v := range nodes {
-		ctx := &refCtx{run: rr, id: v, neighbors: g.Neighbors(v)}
-		ctxs[v] = ctx
-		protos[v] = f(v, ctx.neighbors)
+	n := c.N()
+	idx := c.Index()
+	ids := idx.IDs()
+	ctxs := make([]refCtx, n)
+	plist := make([]Protocol, n)
+	for i := 0; i < n; i++ {
+		ctxs[i] = refCtx{run: rr, id: ids[i], neighbors: c.NeighborIDs(int32(i))}
+		plist[i] = f(ids[i], ctxs[i].neighbors)
 	}
-	for _, v := range nodes {
-		protos[v].Init(ctxs[v])
+	for i := 0; i < n; i++ {
+		plist[i].Init(&ctxs[i])
 	}
 	for rr.queue.Len() > 0 {
 		ev := heap.Pop(&rr.queue).(event)
 		if rr.report.Messages >= maxMsgs {
 			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
 		}
-		ctx := ctxs[ev.to]
+		di := idx.MustOf(ev.to)
+		ctx := &ctxs[di]
 		ctx.now = ev.t
 		ctx.depth = ev.depth
 		rr.report.record(ev.from, ev.msg, ev.depth)
@@ -140,11 +150,15 @@ func (e *ReferenceEngine) Run(g *graph.Graph, f Factory) (protos map[NodeID]Prot
 		if rr.trace != nil {
 			rr.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
 		}
-		protos[ev.to].Recv(ctx, ev.from, ev.msg)
+		plist[di].Recv(ctx, ev.from, ev.msg)
 	}
 	rr.report.finalize()
 	rr.report.Wall = time.Since(start)
+	protos = make(map[NodeID]Protocol, n)
+	for i, p := range plist {
+		protos[ids[i]] = p
+	}
 	return protos, rr.report, nil
 }
 
-var _ Engine = (*ReferenceEngine)(nil)
+var _ SnapshotEngine = (*ReferenceEngine)(nil)

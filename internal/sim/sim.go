@@ -83,6 +83,28 @@ type Engine interface {
 	Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error)
 }
 
+// SnapshotEngine is implemented by engines that execute directly over a
+// compiled CSR snapshot, addressing all per-node and per-link state by the
+// snapshot's dense index. Compiling once and running many times is the hot
+// path of the experiment harness: the snapshot is immutable and safe to
+// share across runs, trials and goroutines. All engines in this package
+// implement it; Engine.Run(g, f) is equivalent to
+// RunSnapshot(g.Compile(), f).
+type SnapshotEngine interface {
+	Engine
+	RunSnapshot(c *graph.CSR, f Factory) (map[NodeID]Protocol, *Report, error)
+}
+
+// RunCompiled executes f over the snapshot on eng, using the dense fast path
+// when the engine supports it and falling back to the snapshot's source
+// graph for third-party engines.
+func RunCompiled(eng Engine, c *graph.CSR, f Factory) (map[NodeID]Protocol, *Report, error) {
+	if se, ok := eng.(SnapshotEngine); ok {
+		return se.RunSnapshot(c, f)
+	}
+	return eng.Run(c.Source(), f)
+}
+
 // TraceEvent describes one observable simulator step for tools that render
 // waves (for example the Figure 2 reproduction).
 type TraceEvent struct {

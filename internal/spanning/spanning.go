@@ -75,11 +75,17 @@ func Extract(g *graph.Graph, protos map[sim.NodeID]sim.Protocol) (*tree.Tree, er
 
 // Build runs a spanning-tree protocol on the engine and extracts the tree.
 func Build(eng sim.Engine, g *graph.Graph, f sim.Factory) (*tree.Tree, *sim.Report, error) {
-	protos, rep, err := eng.Run(g, f)
+	return BuildCompiled(eng, g.Compile(), f)
+}
+
+// BuildCompiled is Build over a pre-compiled snapshot, the form the
+// experiment harness uses so one compilation is shared across trials.
+func BuildCompiled(eng sim.Engine, c *graph.CSR, f sim.Factory) (*tree.Tree, *sim.Report, error) {
+	protos, rep, err := sim.RunCompiled(eng, c, f)
 	if err != nil {
 		return nil, nil, err
 	}
-	t, err := Extract(g, protos)
+	t, err := Extract(c.Source(), protos)
 	if err != nil {
 		return nil, nil, err
 	}

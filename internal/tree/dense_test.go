@@ -1,0 +1,170 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdegst/internal/graph"
+)
+
+func randomSpanningTree(t *testing.T, g *graph.Graph, seed int64) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := g.Nodes()
+	root := nodes[rng.Intn(len(nodes))]
+	parent := map[graph.NodeID]graph.NodeID{root: root}
+	order := []graph.NodeID{root}
+	for head := 0; head < len(order); head++ {
+		for _, w := range g.Neighbors(order[head]) {
+			if _, ok := parent[w]; !ok {
+				parent[w] = order[head]
+				order = append(order, w)
+			}
+		}
+	}
+	tr, err := FromParentMap(root, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func requireSame(t *testing.T, tr *Tree, d *Dense, what string) {
+	t.Helper()
+	back := d.ToTree()
+	if !tr.Equal(back) {
+		t.Fatalf("%s: dense tree diverged from map tree\nmap:\n%s\ndense:\n%s", what, tr, back)
+	}
+	for _, v := range tr.Nodes() {
+		if tr.Degree(v) != d.Degree(d.Index().MustOf(v)) {
+			t.Fatalf("%s: degree of %d: map %d dense %d", what, v, tr.Degree(v), d.Degree(d.Index().MustOf(v)))
+		}
+	}
+	k, at := tr.MaxDegree()
+	dk, dat := d.MaxDegree(nil)
+	if k != dk || len(at) != len(dat) {
+		t.Fatalf("%s: max degree (%d,%v) vs dense (%d,%v)", what, k, at, dk, dat)
+	}
+	for i := range at {
+		if at[i] != d.Index().ID(dat[i]) {
+			t.Fatalf("%s: max degree node set differs: %v vs dense %v", what, at, dat)
+		}
+	}
+}
+
+// TestDenseMirrorsTree is the property test of the slice-backed tree: on
+// random spanning trees of random graphs (including FromParentMap built over
+// scrambled identities against a CSR Compile of the same graph), the dense
+// form and the map form must agree operation for operation — construction,
+// re-rooting, cut/reroot-subtree/attach swaps, degrees and validation.
+func TestDenseMirrorsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Gnm(3+rng.Intn(40), 2+rng.Intn(80), rng.Int63())
+		if trial%2 == 1 {
+			g, _ = graph.RelabelRandom(g, rng.Int63())
+		}
+		c := g.Compile()
+		tr := randomSpanningTree(t, g, rng.Int63())
+		if err := tr.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		d, err := FromTree(tr, c.Index())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+		requireSame(t, tr, d, "construction")
+
+		nodes := g.Nodes()
+		for op := 0; op < 20; op++ {
+			switch rng.Intn(2) {
+			case 0: // Reroot at a random node.
+				v := nodes[rng.Intn(len(nodes))]
+				tr.Reroot(v)
+				d.Reroot(c.Index().MustOf(v))
+				requireSame(t, tr, d, "reroot")
+			case 1: // A full swap: cut a random child edge, reroot the
+				// dangling subtree at one of its nodes, reattach it under a
+				// node of the remaining tree adjacent in g (if any).
+				k, at := tr.MaxDegree()
+				_ = k
+				owner := at[rng.Intn(len(at))]
+				if len(tr.Children[owner]) == 0 {
+					continue
+				}
+				arrival := tr.Children[owner][rng.Intn(len(tr.Children[owner]))]
+				sub := tr.SubtreeNodes(arrival)
+				u := sub[rng.Intn(len(sub))]
+				inSub := make(map[graph.NodeID]bool, len(sub))
+				for _, x := range sub {
+					inSub[x] = true
+				}
+				var v graph.NodeID
+				found := false
+				for _, w := range g.Neighbors(u) {
+					if !inSub[w] {
+						v, found = w, true
+						break
+					}
+				}
+				if !found {
+					continue
+				}
+				if err := tr.CutChild(owner, arrival); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.RerootSubtree(arrival, u); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.AttachExisting(v, u); err != nil {
+					t.Fatal(err)
+				}
+				ix := c.Index()
+				d.CutChild(ix.MustOf(owner), ix.MustOf(arrival))
+				d.RerootSubtree(ix.MustOf(arrival), ix.MustOf(u))
+				d.AttachExisting(ix.MustOf(v), ix.MustOf(u))
+				requireSame(t, tr, d, "swap")
+			}
+		}
+		if err := tr.Validate(g); err != nil {
+			t.Fatalf("map tree invalid after ops: %v", err)
+		}
+		if err := d.Validate(c); err != nil {
+			t.Fatalf("dense tree invalid after ops: %v", err)
+		}
+		clone := d.Clone()
+		if !d.ToTree().Equal(clone.ToTree()) {
+			t.Fatal("clone differs")
+		}
+	}
+}
+
+// TestDenseWalkSubtree pins preorder child-ascending iteration.
+func TestDenseWalkSubtree(t *testing.T) {
+	g := graph.Path(6)
+	tr := randomSpanningTree(t, g, 1)
+	c := g.Compile()
+	d, err := FromTree(tr, c.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tr.Nodes() {
+		want := tr.SubtreeNodes(v) // ascending
+		got := d.WalkSubtree(c.Index().MustOf(v), nil)
+		if len(got) != len(want) {
+			t.Fatalf("subtree of %d: %d nodes vs %d", v, len(got), len(want))
+		}
+		seen := make(map[graph.NodeID]bool)
+		for _, i := range got {
+			seen[c.Index().ID(i)] = true
+		}
+		for _, w := range want {
+			if !seen[w] {
+				t.Fatalf("subtree of %d misses %d", v, w)
+			}
+		}
+	}
+}

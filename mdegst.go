@@ -17,8 +17,14 @@ import (
 // Re-exported fundamental types. Aliases (not definitions) so values move
 // freely between the façade and the internal packages.
 type (
-	// Graph is an undirected graph of named nodes.
+	// Graph is an undirected graph of named nodes — the mutable builder
+	// representation. Freeze it with Compile for the dense-index fast path.
 	Graph = graph.Graph
+	// CompiledGraph is an immutable dense-index (CSR) snapshot of a Graph:
+	// adjacency in contiguous slices addressed by a NodeID<->int32 index.
+	// Snapshots are safe to share across runs and goroutines; compile once
+	// and reuse when executing many protocols over the same topology.
+	CompiledGraph = graph.CSR
 	// NodeID names a processor; identities are distinct but arbitrary.
 	NodeID = graph.NodeID
 	// Edge is an undirected edge in normalised (U < V) form.
@@ -32,6 +38,12 @@ type (
 	// Engine executes protocols over a simulated network.
 	Engine = sim.Engine
 )
+
+// Compile freezes g into an immutable dense-index snapshot (equivalent to
+// g.Compile()). Use the *Compiled variants of Run, Improve and
+// BuildSpanningTree to execute many pipelines over one snapshot without
+// recompiling.
+func Compile(g *Graph) *CompiledGraph { return g.Compile() }
 
 // Protocol modes.
 const (
@@ -142,6 +154,10 @@ type TraceEvent = sim.TraceEvent
 
 // NewTracingEngine returns a unit-delay deterministic engine that reports
 // every delivery to fn — the tool behind the Figure 2 wave visualisation.
+//
+// The event's Msg is only valid during the callback: protocols may recycle
+// message objects after a handler processed them. Extract what you need
+// (Kind(), Words(), ...) inside fn instead of retaining the Message.
 func NewTracingEngine(fn func(TraceEvent)) Engine {
 	return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true, Trace: fn}
 }
@@ -168,15 +184,25 @@ func BuildSpanningTree(g *Graph, method InitialTree, opts Options) (*Tree, *Repo
 	if g.N() == 0 {
 		return nil, nil, fmt.Errorf("mdegst: empty graph")
 	}
+	return BuildSpanningTreeCompiled(g.Compile(), method, opts)
+}
+
+// BuildSpanningTreeCompiled is BuildSpanningTree over a pre-compiled
+// snapshot.
+func BuildSpanningTreeCompiled(c *CompiledGraph, method InitialTree, opts Options) (*Tree, *Report, error) {
+	if c.N() == 0 {
+		return nil, nil, fmt.Errorf("mdegst: empty graph")
+	}
+	g := c.Source()
 	switch method {
 	case InitialFlood:
-		return spanning.Build(opts.engine(), g, spanning.NewFloodFactory(g.Nodes()[0]))
+		return spanning.BuildCompiled(opts.engine(), c, spanning.NewFloodFactory(g.Nodes()[0]))
 	case InitialDFS:
-		return spanning.Build(opts.engine(), g, spanning.NewDFSFactory(g.Nodes()[0]))
+		return spanning.BuildCompiled(opts.engine(), c, spanning.NewDFSFactory(g.Nodes()[0]))
 	case InitialGHS:
-		return spanning.Build(opts.engine(), g, spanning.NewGHSFactory())
+		return spanning.BuildCompiled(opts.engine(), c, spanning.NewGHSFactory())
 	case InitialElection:
-		return spanning.Build(opts.engine(), g, spanning.NewElectionFactory())
+		return spanning.BuildCompiled(opts.engine(), c, spanning.NewElectionFactory())
 	case InitialStar:
 		t, err := spanning.StarTree(g)
 		return t, nil, err
@@ -189,13 +215,22 @@ func BuildSpanningTree(g *Graph, method InitialTree, opts Options) (*Tree, *Repo
 }
 
 // Run executes the full pipeline: build the startup spanning tree, then
-// improve it with the paper's protocol.
+// improve it with the paper's protocol. The graph is compiled once and the
+// snapshot shared by both phases.
 func Run(g *Graph, opts Options) (*Result, error) {
-	initial, setup, err := BuildSpanningTree(g, opts.Initial, opts)
+	if g.N() == 0 {
+		return nil, fmt.Errorf("mdegst: empty graph")
+	}
+	return RunCompiled(g.Compile(), opts)
+}
+
+// RunCompiled is Run over a pre-compiled snapshot.
+func RunCompiled(c *CompiledGraph, opts Options) (*Result, error) {
+	initial, setup, err := BuildSpanningTreeCompiled(c, opts.Initial, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := Improve(g, initial, opts)
+	res, err := ImproveCompiled(c, initial, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +243,12 @@ func Run(g *Graph, opts Options) (*Result, error) {
 
 // Improve runs the improvement protocol from the caller's spanning tree.
 func Improve(g *Graph, initial *Tree, opts Options) (*Result, error) {
-	r, err := mdst.RunTarget(opts.engine(), g, initial, opts.Mode, opts.TargetDegree)
+	return ImproveCompiled(g.Compile(), initial, opts)
+}
+
+// ImproveCompiled is Improve over a pre-compiled snapshot.
+func ImproveCompiled(c *CompiledGraph, initial *Tree, opts Options) (*Result, error) {
+	r, err := mdst.RunTargetSnapshot(opts.engine(), c, initial, opts.Mode, opts.TargetDegree)
 	if err != nil {
 		return nil, err
 	}
