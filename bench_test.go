@@ -154,6 +154,42 @@ func BenchmarkEngines(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeFlood measures raw engine throughput at the scale the
+// bounded-delay schedulers unlocked: distributed flood spanning-tree
+// construction over 4k–100k-node workloads on one compiled snapshot (the
+// recorded trajectory entries live in the `mdstbench -perf` suite). All
+// three cases run by default; the 100k grid costs a couple of seconds of
+// one-off generation plus ~0.3s per iteration, affordable since the
+// schedulers and the O(n) tree extraction landed.
+func BenchmarkLargeFlood(b *testing.B) {
+	workloads := []struct {
+		name string
+		gen  func() *mdegst.Graph
+	}{
+		{"gnm-4096", func() *mdegst.Graph { return mdegst.Gnm(4096, 16384, 1) }},
+		{"ba-16384", func() *mdegst.Graph { return mdegst.BarabasiAlbert(16384, 2, 1) }},
+		{"grid-100k", func() *mdegst.Graph { return mdegst.Grid(316, 316) }},
+	}
+	for _, w := range workloads {
+		b.Run(w.name, func(b *testing.B) {
+			c := mdegst.Compile(w.gen())
+			b.ResetTimer()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				tr, rep, err := mdegst.BuildSpanningTreeCompiled(c, mdegst.InitialFlood, mdegst.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr == nil {
+					b.Fatal("no tree built")
+				}
+				msgs = rep.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+		})
+	}
+}
+
 // BenchmarkSequentialTwin measures the oracle's speed (the fast path for
 // large sweeps).
 func BenchmarkSequentialTwin(b *testing.B) {

@@ -13,8 +13,10 @@
 //	mdstbench -progress         # live per-trial progress on stderr
 //	mdstbench -json out.json    # machine-readable tables ("-" for stdout)
 //	mdstbench -perf bench.json  # engine/harness micro-benchmarks instead of tables
-//	mdstbench -perf bench.json -compare BENCH_baseline.json
+//	mdstbench -perf bench.json -compare BENCH_queue.json
 //	                            # ... and fail (exit 1) on regression vs the recorded trajectory
+//	mdstbench -perf bench.json -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                            # ... with pprof evidence for perf work
 package main
 
 import (
@@ -22,78 +24,146 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"mdegst/internal/exp"
 )
 
-func main() {
-	var (
-		which    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
-		seeds    = flag.Int("seeds", 0, "override repetitions per cell")
-		scale    = flag.Float64("scale", 0, "override size factor in (0,1]")
-		parallel = flag.Int("parallel", 0, "worker count (0: GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
-		jsonOut  = flag.String("json", "", "also write tables as JSON to this file (\"-\" for stdout)")
-		perfOut  = flag.String("perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
-		compare  = flag.String("compare", "", "with -perf: diff the fresh suite against this recorded baseline (e.g. BENCH_baseline.json) and exit non-zero on regression")
-		nsThresh = flag.Float64("threshold", 1.25, "with -compare: allowed ns/op growth factor before the gate fails")
-	)
-	flag.Parse()
+func main() { os.Exit(mainE()) }
 
-	if *compare != "" && *perfOut == "" {
-		fatal(fmt.Errorf("-compare requires -perf"))
-	}
-	if *perfOut != "" {
-		// The perf suite runs fixed workloads; only -parallel feeds into it.
-		if *which != "" || *quick || *seeds > 0 || *scale > 0 || *jsonOut != "" || *progress {
-			fatal(fmt.Errorf("-perf runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -json and -progress"))
-		}
-		fresh, err := runPerf(*perfOut, *parallel)
+// options is the parsed flag set, passed as one value so call sites cannot
+// transpose the many same-typed flags.
+type options struct {
+	which      string
+	quick      bool
+	seeds      int
+	scale      float64
+	parallel   int
+	progress   bool
+	jsonOut    string
+	perfOut    string
+	compare    string
+	nsThresh   float64
+	cpuProfile string
+	memProfile string
+}
+
+func parseFlags() options {
+	var o options
+	flag.StringVar(&o.which, "exp", "", "comma-separated experiment ids (default: all)")
+	flag.BoolVar(&o.quick, "quick", false, "reduced scale for a fast pass")
+	flag.IntVar(&o.seeds, "seeds", 0, "override repetitions per cell")
+	flag.Float64Var(&o.scale, "scale", 0, "override size factor in (0,1]")
+	flag.IntVar(&o.parallel, "parallel", 0, "worker count (0: GOMAXPROCS)")
+	flag.BoolVar(&o.progress, "progress", false, "report per-trial progress on stderr")
+	flag.StringVar(&o.jsonOut, "json", "", "also write tables as JSON to this file (\"-\" for stdout)")
+	flag.StringVar(&o.perfOut, "perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
+	flag.StringVar(&o.compare, "compare", "", "with -perf: diff the fresh suite against this recorded baseline (e.g. BENCH_queue.json) and exit non-zero on regression")
+	flag.Float64Var(&o.nsThresh, "threshold", 1.25, "with -compare: allowed ns/op growth factor before the gate fails")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the whole run (tables or -perf) to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	flag.Parse()
+	return o
+}
+
+// mainE is main behind an os.Exit-free frame so the CPU-profile defer runs
+// on every exit path, including gate failures.
+func mainE() int {
+	o := parseFlags()
+
+	// Profiling wraps the run so every exit path — including gate failures —
+	// still flushes the profiles; perf PRs attach them as evidence instead
+	// of guessing at hot spots.
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "mdstbench:", err)
+			return 1
 		}
-		if *compare != "" {
-			baseline, err := loadPerf(*compare)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "mdstbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mdstbench:", err)
+			}
+		}()
+	}
+	err := run(o)
+	if o.memProfile != "" {
+		if merr := writeHeapProfile(o.memProfile); merr != nil {
+			if err == nil {
+				err = merr
+			} else {
+				// The run error wins the exit path; still surface the
+				// profile failure instead of silently dropping it.
+				fmt.Fprintln(os.Stderr, "mdstbench:", merr)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdstbench:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(o options) error {
+	if o.compare != "" && o.perfOut == "" {
+		return fmt.Errorf("-compare requires -perf")
+	}
+	if o.perfOut != "" {
+		// The perf suite runs fixed workloads; only -parallel feeds into it.
+		if o.which != "" || o.quick || o.seeds > 0 || o.scale > 0 || o.jsonOut != "" || o.progress {
+			return fmt.Errorf("-perf runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -json and -progress")
+		}
+		fresh, err := runPerf(o.perfOut, o.parallel)
+		if err != nil {
+			return err
+		}
+		if o.compare != "" {
+			baseline, err := loadPerf(o.compare)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			if comparePerf(baseline, fresh, *nsThresh) {
-				fatal(fmt.Errorf("performance regressed against %s", *compare))
+			if comparePerf(baseline, fresh, o.nsThresh) {
+				return fmt.Errorf("performance regressed against %s", o.compare)
 			}
-			fmt.Fprintf(os.Stderr, "mdstbench: no regression against %s\n", *compare)
+			fmt.Fprintf(os.Stderr, "mdstbench: no regression against %s\n", o.compare)
 		}
-		return
+		return nil
 	}
 
 	cfg := exp.Default()
-	if *quick {
+	if o.quick {
 		cfg = exp.Quick()
 	}
-	if *seeds > 0 {
-		cfg.Seeds = *seeds
+	if o.seeds > 0 {
+		cfg.Seeds = o.seeds
 	}
-	if *scale > 0 {
-		cfg.Scale = *scale
+	if o.scale > 0 {
+		cfg.Scale = o.scale
 	}
 
 	var ids []string
-	if *which != "" {
-		for _, id := range strings.Split(*which, ",") {
+	if o.which != "" {
+		for _, id := range strings.Split(o.which, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := exp.All()[id]; !ok {
-				fmt.Fprintf(os.Stderr, "mdstbench: unknown experiment %q (known: %s)\n",
-					id, strings.Join(exp.IDs(), ", "))
-				os.Exit(1)
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(exp.IDs(), ", "))
 			}
 			ids = append(ids, id)
 		}
 	}
 
-	runner := &exp.Runner{Config: cfg, Parallel: *parallel}
-	if *progress {
+	runner := &exp.Runner{Config: cfg, Parallel: o.parallel}
+	if o.progress {
 		runner.Progress = func(ev exp.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "mdstbench: %-4s %3d/%3d trials (%v)\n",
 				ev.Experiment, ev.Done, ev.Total, ev.Elapsed.Round(time.Millisecond))
@@ -102,18 +172,26 @@ func main() {
 	start := time.Now()
 	tables, err := runner.Run(ids)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, tbl := range tables {
 		tbl.Fprint(os.Stdout)
 	}
 	fmt.Fprintf(os.Stderr, "mdstbench: %d tables on %d workers in %v\n", len(tables), runner.Workers(), time.Since(start).Round(time.Millisecond))
 
-	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, cfg, tables); err != nil {
-			fatal(err)
-		}
+	if o.jsonOut != "" {
+		return writeJSON(o.jsonOut, cfg, tables)
 	}
+	return nil
+}
+
+// writeHeapProfile forces a GC so the heap profile reflects live retention,
+// then writes it.
+func writeHeapProfile(path string) error {
+	return writeTo(path, func(w io.Writer) error {
+		runtime.GC()
+		return pprof.WriteHeapProfile(w)
+	})
 }
 
 func writeJSON(path string, cfg exp.Config, tables []*exp.Table) error {
@@ -135,9 +213,4 @@ func writeTo(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mdstbench:", err)
-	os.Exit(1)
 }

@@ -15,12 +15,15 @@ import (
 	"mdegst/internal/spanning"
 )
 
-// The perf suite behind `mdstbench -perf`: a small fixed-seed set of
-// micro-benchmarks run through testing.Benchmark, emitted as JSON. It seeds
-// and maintains BENCH_baseline.json, the repository's performance
-// trajectory: the EventEngine fast path measured against the unoptimised
-// ReferenceEngine oracle, and the parallel experiment harness measured
-// against sequential execution.
+// The perf suite behind `mdstbench -perf`: a fixed-seed set of
+// micro-benchmarks run through testing.Benchmark, emitted as JSON. It
+// maintains the repository's performance trajectory (BENCH_baseline.json ->
+// BENCH_csr.json -> BENCH_queue.json): the EventEngine scheduler tiers
+// (round engine under unit delays, calendar queue under random delays)
+// measured against the unoptimised ReferenceEngine oracle, the parallel
+// experiment harness measured against sequential execution, and — since the
+// bounded-delay schedulers made them affordable — large-graph flood
+// workloads up to a 100k-node grid that pin the scaling the README claims.
 
 type perfEntry struct {
 	Name        string `json:"name"`
@@ -66,13 +69,31 @@ func benchEngine(mk func() sim.Engine) testing.BenchmarkResult {
 }
 
 // benchFlood runs the engine-bound spanning-tree flood on a denser graph,
-// isolating simulator overhead from protocol logic.
+// isolating simulator overhead from protocol logic. It recompiles the
+// snapshot per iteration, deliberately: the entry predates the large-graph
+// suite and stays methodologically identical to the recorded trajectory.
 func benchFlood(mk func() sim.Engine) testing.BenchmarkResult {
 	g := graph.Gnm(256, 1024, 1)
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := spanning.Build(mk(), g, spanning.NewFloodFactory(g.Nodes()[0])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchFloodOn floods an arbitrary pre-built workload. The snapshot is
+// compiled once outside the timed loop — at 100k nodes recompiling the CSR
+// per iteration would dominate the engine being measured.
+func benchFloodOn(g *graph.Graph, mk func() sim.Engine) testing.BenchmarkResult {
+	c := g.Compile()
+	root := g.Nodes()[0]
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := spanning.BuildCompiled(mk(), c, spanning.NewFloodFactory(root)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -100,19 +121,41 @@ func ratio(num, den int64) string {
 	return fmt.Sprintf("%.1fx", float64(den)/float64(num))
 }
 
+// largeWorkloads are the scale tier the bounded-delay schedulers unlocked:
+// flood (pure engine throughput) over graphs from 4k to 100k nodes, run on
+// the unit-delay round engine. Generated lazily — they are the dominant
+// setup cost of the suite.
+func largeWorkloads() []struct {
+	name string
+	gen  func() *graph.Graph
+} {
+	return []struct {
+		name string
+		gen  func() *graph.Graph
+	}{
+		{"flood/gnm-4096/event-engine", func() *graph.Graph { return graph.Gnm(4096, 16384, 1) }},
+		{"flood/ba-16384/event-engine", func() *graph.Graph { return graph.BarabasiAlbert(16384, 2, 1) }},
+		{"flood/grid-100k/event-engine", func() *graph.Graph { return graph.Grid(316, 316) }},
+	}
+}
+
 func runPerf(path string, parallel int) (*perfReport, error) {
 	unit := func() sim.Engine { return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true} }
 	ref := func() sim.Engine { return &sim.ReferenceEngine{Delay: sim.UnitDelay, FIFO: true} }
+	uniform := func() sim.Engine { return &sim.EventEngine{Delay: sim.UniformDelay(0.05), FIFO: true, Seed: 1} }
+	refUniform := func() sim.Engine { return &sim.ReferenceEngine{Delay: sim.UniformDelay(0.05), FIFO: true, Seed: 1} }
 	workers := parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	fmt.Fprintln(os.Stderr, "mdstbench: running perf suite (engine fast path vs reference, harness parallel vs sequential)...")
+	fmt.Fprintln(os.Stderr, "mdstbench: running perf suite (scheduler tiers vs reference, harness parallel vs sequential, large graphs)...")
 	event := benchEngine(unit)
 	reference := benchEngine(ref)
 	eventFlood := benchFlood(unit)
 	referenceFlood := benchFlood(ref)
+	wheelFlood := benchFlood(uniform)
+	refUniformFlood := benchFlood(refUniform)
 	seq := benchHarness(1)
 
 	rep := perfReport{
@@ -123,6 +166,8 @@ func runPerf(path string, parallel int) (*perfReport, error) {
 			benchToEntry("mdst-hybrid/gnm-96/reference-engine", reference),
 			benchToEntry("flood/gnm-256/event-engine", eventFlood),
 			benchToEntry("flood/gnm-256/reference-engine", referenceFlood),
+			benchToEntry("flood/gnm-256/event-uniform", wheelFlood),
+			benchToEntry("flood/gnm-256/reference-uniform", refUniformFlood),
 			benchToEntry("harness/E1,E3,E5-quick/parallel=1", seq),
 		},
 		Derived: map[string]string{
@@ -130,7 +175,12 @@ func runPerf(path string, parallel int) (*perfReport, error) {
 			"engine_time_speedup":     ratio(event.NsPerOp(), reference.NsPerOp()),
 			"flood_allocs_reduction":  ratio(eventFlood.AllocsPerOp(), referenceFlood.AllocsPerOp()),
 			"flood_time_speedup":      ratio(eventFlood.NsPerOp(), referenceFlood.NsPerOp()),
+			"wheel_time_speedup":      ratio(wheelFlood.NsPerOp(), refUniformFlood.NsPerOp()),
 		},
+	}
+	for _, w := range largeWorkloads() {
+		fmt.Fprintf(os.Stderr, "mdstbench: large workload %s...\n", w.name)
+		rep.Workloads = append(rep.Workloads, benchToEntry(w.name, benchFloodOn(w.gen(), unit)))
 	}
 	// The parallel-harness measurement only exists on multi-core machines;
 	// on one core it would duplicate the sequential entry under a second

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"mdegst/internal/graph"
@@ -77,6 +78,35 @@ func BenchmarkReferenceEngineFlood(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEventEngineFloodLarge measures the round engine at the scale the
+// bounded-delay schedulers unlocked (the full tier lives in `mdstbench
+// -perf`; this keeps a sample in the ordinary bench suite).
+func BenchmarkEventEngineFloodLarge(b *testing.B) {
+	c := graph.Gnm(4096, 16384, 1).Compile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (&EventEngine{Delay: UnitDelay}).RunSnapshot(c, benchFactory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalendarQueueSparse drives a schedule with one event per time
+// unit over thousands of units — the wheel's worst case, where pop crosses
+// hundreds of empty buckets per delivery and leans on the occupancy bitmap.
+func BenchmarkCalendarQueueSparse(b *testing.B) {
+	g := graph.Ring(64)
+	// wrapped unit delay defeats round-engine selection, forcing the wheel
+	// while keeping the sparse one-event-per-unit schedule.
+	almostUnit := func(rng *rand.Rand, from, to NodeID) float64 { return 1 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (&EventEngine{Delay: almostUnit, FIFO: true}).Run(g, tokenFactory(4000)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

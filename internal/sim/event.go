@@ -11,8 +11,39 @@ import (
 
 // DelayFn draws the propagation delay for one message on the directed link
 // from -> to. The paper's model bounds every delay by one time unit, so
-// delays must lie in (0, 1].
+// delays must lie in (0, 1] — the engines enforce the bound per draw and
+// abort the run with a clear error on a violation, because the calendar
+// queue's bucket math is only exact inside it.
 type DelayFn func(rng *rand.Rand, from, to NodeID) float64
+
+// badDelay aborts a run whose DelayFn left the model's (0, 1] delay bound.
+// It unwinds as a panic through the protocol stack and is converted to an
+// error by the engines' recover, so a misconfigured delay model cannot
+// silently corrupt the calendar queue's bounded time wheel.
+type badDelay struct {
+	from, to NodeID
+	d        float64
+}
+
+func (e badDelay) Error() string {
+	return fmt.Sprintf("sim: delay %v on link %d->%d outside the model's (0, 1] bound", e.d, e.from, e.to)
+}
+
+// checkDelay validates one drawn delay. NaN fails both comparisons.
+func checkDelay(d float64, from, to NodeID) {
+	if !(d > 0 && d <= 1) {
+		panic(badDelay{from: from, to: to, d: d})
+	}
+}
+
+// recoverRun converts a protocol panic into an error, keeping delay-bound
+// violations as their own typed error instead of wrapping them as panics.
+func recoverRun(p any) error {
+	if bd, ok := p.(badDelay); ok {
+		return bd
+	}
+	return fmt.Errorf("sim: protocol panic: %v", p)
+}
 
 // UnitDelay assigns every message exactly one time unit — the assumption
 // under which the paper's time complexity is stated.
@@ -36,17 +67,22 @@ const DefaultMaxMessages = 200_000_000
 // delivered in (time, sequence) order, delays come from a seeded RNG, and
 // the whole run is reproducible.
 //
-// The engine is the hot path of the experiment harness, so it avoids
-// per-message work beyond the heap operation itself: the event queue is a
-// specialised binary heap of event values (no container/heap interface
-// boxing), every per-node structure — contexts, protocol instances, FIFO
-// clamp intervals — lives in one slice addressed by the CSR snapshot's
-// dense index (no map[NodeID] anywhere on the delivery path), and the
-// backing arrays are pooled and reused across runs. Each event carries its
-// destination's dense index, so a delivery is two slice loads.
-// ReferenceEngine keeps the straightforward implementation as the
-// delivery-order oracle; the two are checked equivalent by tests and
-// compared by the allocation benchmarks.
+// The engine is the hot path of the experiment harness, so scheduling is a
+// two-tier structure specialised to the model's bounded delays (DESIGN.md
+// §6): under UnitDelay — the default — the run degenerates into synchronous
+// rounds executed by the round engine (round.go), double-buffered delivery
+// slices with no timestamps, RNG or queue at all; under randomised delays
+// events go through a calendar/bucket queue (wheel.go) whose rotating ring
+// of time buckets covers the (now, now+1] delivery window for amortised
+// O(1) push/pop instead of a binary heap's O(log m). Every per-node
+// structure — contexts, protocol instances, FIFO clamp intervals — lives in
+// one slice addressed by the CSR snapshot's dense index (no map[NodeID]
+// anywhere on the delivery path), and the backing arrays are pooled and
+// reused across runs. Each event carries its destination's dense index, so
+// a delivery is two slice loads. ReferenceEngine keeps the straightforward
+// container/heap implementation as the delivery-order oracle; all tiers are
+// checked trace-equivalent by the differential tests and compared by the
+// allocation benchmarks.
 type EventEngine struct {
 	// Seed initialises the delay RNG.
 	Seed int64
@@ -81,53 +117,6 @@ func (e event) before(o event) bool {
 		return e.t < o.t
 	}
 	return e.seq < o.seq
-}
-
-// eventQueue is a binary min-heap of events ordered by (time, sequence).
-// It is hand-rolled instead of container/heap because the interface-based
-// Push/Pop box every event into an `any`, costing one heap allocation per
-// message — the single largest allocation source in the seed profile.
-type eventQueue []event
-
-func (q *eventQueue) push(e event) {
-	h := append(*q, e)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h[i].before(h[p]) {
-			break
-		}
-		h[i], h[p] = h[p], h[i]
-		i = p
-	}
-	*q = h
-}
-
-func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // drop the Message reference so the pooled array does not pin it
-	h = h[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && h[l].before(h[s]) {
-			s = l
-		}
-		if r < n && h[r].before(h[s]) {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		h[i], h[s] = h[s], h[i]
-		i = s
-	}
-	*q = h
-	return top
 }
 
 type eventCtx struct {
@@ -181,13 +170,15 @@ type eventRun struct {
 	delay  DelayFn
 	fifo   bool
 	trace  func(TraceEvent)
-	queue  eventQueue
+	wheel  *bucketQueue
 	seq    int64
 	report *Report
 }
 
 func (er *eventRun) send(c *eventCtx, ni int, to NodeID, m Message) {
-	t := c.now + er.delay(er.rng, c.id, to)
+	d := er.delay(er.rng, c.id, to)
+	checkDelay(d, c.id, to)
+	t := c.now + d
 	if er.fifo {
 		if last := c.clamp[ni]; t < last {
 			t = last
@@ -195,16 +186,16 @@ func (er *eventRun) send(c *eventCtx, ni int, to NodeID, m Message) {
 		c.clamp[ni] = t
 	}
 	er.seq++
-	er.queue.push(event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, toDense: c.nbrDense[ni], msg: m})
+	er.wheel.push(event{t: t, seq: er.seq, depth: c.depth + 1, from: c.id, to: to, toDense: c.nbrDense[ni], msg: m})
 }
 
-// eventScratch is the reusable per-run state: the queue's backing array, the
-// node contexts, the protocol instances and the FIFO clamp backing array —
-// all dense-index addressed. Pooled so repeated runs — the parallel
+// eventScratch is the reusable per-run state: the calendar queue's bucket
+// ring, the node contexts, the protocol instances and the FIFO clamp backing
+// array — all dense-index addressed. Pooled so repeated runs — the parallel
 // experiment harness executes thousands — allocate it once per worker
 // instead of once per run.
 type eventScratch struct {
-	queue  eventQueue
+	wheel  bucketQueue
 	ctxs   []eventCtx
 	protos []Protocol
 	clamp  []float64
@@ -226,18 +217,14 @@ func (s *eventScratch) reset(n, halfEdges int) {
 	}
 	s.clamp = s.clamp[:halfEdges]
 	clear(s.clamp)
-	s.queue = s.queue[:0]
+	s.wheel.reset()
 }
 
 func (s *eventScratch) release() {
-	// Zero any events left in the queue backing (abnormal exits), the
-	// contexts and the protocol slots so pooled memory does not pin
-	// messages, protocol state or the snapshot's neighbour arrays.
-	q := s.queue[:cap(s.queue)]
-	for i := range q {
-		q[i] = event{}
-	}
-	s.queue = s.queue[:0]
+	// Zero any events left in the wheel (abnormal exits), the contexts and
+	// the protocol slots so pooled memory does not pin messages, protocol
+	// state or the snapshot's neighbour arrays.
+	s.wheel.reset()
 	for i := range s.ctxs {
 		s.ctxs[i] = eventCtx{}
 	}
@@ -252,22 +239,24 @@ func (e *EventEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Repo
 
 // RunSnapshot executes the protocol to quiescence over a compiled snapshot.
 // Protocol panics are converted to errors so a buggy node cannot take down
-// the harness.
+// the harness. The scheduler tier is picked here: UnitDelay runs the
+// synchronous round engine, every other delay model the calendar queue —
+// both delivery-trace-equivalent to ReferenceEngine.
 func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			protos, rep = nil, nil
-			err = fmt.Errorf("sim: protocol panic: %v", p)
+			err = recoverRun(p)
 		}
 	}()
 	start := time.Now()
 	delay := e.Delay
-	if delay == nil {
-		delay = UnitDelay
-	}
 	maxMsgs := e.MaxMessages
 	if maxMsgs == 0 {
 		maxMsgs = DefaultMaxMessages
+	}
+	if isUnitDelay(delay) {
+		return e.runRounds(c, f, maxMsgs, start)
 	}
 	er := &eventRun{
 		rng:    rand.New(rand.NewSource(e.Seed)),
@@ -281,8 +270,7 @@ func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Pr
 	scratch := scratchPool.Get().(*eventScratch)
 	defer scratch.release()
 	scratch.reset(n, c.HalfEdges())
-	er.queue = scratch.queue
-	defer func() { scratch.queue = er.queue }()
+	er.wheel = &scratch.wheel
 
 	for i := 0; i < n; i++ {
 		di := int32(i)
@@ -300,8 +288,8 @@ func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Pr
 	for i := 0; i < n; i++ {
 		scratch.protos[i].Init(&scratch.ctxs[i])
 	}
-	for len(er.queue) > 0 {
-		ev := er.queue.pop()
+	for !er.wheel.empty() {
+		ev := er.wheel.pop()
 		if er.report.Messages >= maxMsgs {
 			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
 		}

@@ -79,7 +79,9 @@ type refRun struct {
 }
 
 func (rr *refRun) send(c *refCtx, to NodeID, m Message) {
-	t := c.now + rr.delay(rr.rng, c.id, to)
+	d := rr.delay(rr.rng, c.id, to)
+	checkDelay(d, c.id, to)
+	t := c.now + d
 	if rr.fifo {
 		link := [2]NodeID{c.id, to}
 		if last := rr.lastLink[link]; t < last {
@@ -102,7 +104,7 @@ func (e *ReferenceEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeI
 	defer func() {
 		if p := recover(); p != nil {
 			protos, rep = nil, nil
-			err = fmt.Errorf("sim: protocol panic: %v", p)
+			err = recoverRun(p)
 		}
 	}()
 	start := time.Now()

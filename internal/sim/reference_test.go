@@ -25,8 +25,12 @@ func TestEventMatchesReference(t *testing.T) {
 		seed  int64
 	}{
 		{"unit-fifo", UnitDelay, true, 0},
+		{"unit-nofifo", UnitDelay, false, 0},
 		{"random-fifo", UniformDelay(0.05), true, 11},
 		{"random-nofifo", UniformDelay(0.05), false, 11},
+		// Unbounded-below delays can undershoot the wheel's bucket width,
+		// forcing sorted inserts into the live bucket.
+		{"tiny-fifo", UniformDelay(0), true, 23},
 	}
 	for gname, g := range graphs {
 		for _, c := range configs {
@@ -92,6 +96,78 @@ func TestEventMatchesReferenceTrace(t *testing.T) {
 	if !reflect.DeepEqual(fast, ref) {
 		t.Fatalf("delivery traces diverge:\nfast %v\nref  %v", fast, ref)
 	}
+}
+
+// TestCalendarQueueFIFOTraceGnm512 is the FIFO-clamp stress for the calendar
+// queue at a scale where thousands of events share the wheel: a randomized
+// flood over gnm-512 under UniformDelay(0.05) must match ReferenceEngine's
+// delivery trace event for event, and every directed link must deliver at
+// non-decreasing times (the clamp invariant the wheel's window bound relies
+// on).
+func TestCalendarQueueFIFOTraceGnm512(t *testing.T) {
+	g := graph.Gnm(512, 1536, 17)
+	type step struct {
+		t        float64
+		from, to NodeID
+		kind     string
+	}
+	// chatter floods on Init and bounces every received message back until a
+	// per-node budget runs out: many concurrent events share the wheel and
+	// every link carries repeated traffic, so the FIFO clamp binds often.
+	chatter := func(id NodeID, _ []NodeID) Protocol { return &chatterNode{budget: 12} }
+	collect := func(mk func(func(TraceEvent)) Engine) []step {
+		var steps []step
+		eng := mk(func(ev TraceEvent) {
+			steps = append(steps, step{ev.Time, ev.From, ev.To, ev.Msg.Kind()})
+		})
+		if _, _, err := eng.Run(g, chatter); err != nil {
+			t.Fatal(err)
+		}
+		return steps
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		fast := collect(func(tr func(TraceEvent)) Engine {
+			return &EventEngine{Delay: UniformDelay(0.05), FIFO: true, Seed: seed, Trace: tr}
+		})
+		ref := collect(func(tr func(TraceEvent)) Engine {
+			return &ReferenceEngine{Delay: UniformDelay(0.05), FIFO: true, Seed: seed, Trace: tr}
+		})
+		if len(fast) != len(ref) {
+			t.Fatalf("seed %d: trace lengths diverge: %d vs %d", seed, len(fast), len(ref))
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("seed %d: traces diverge at event %d: %+v vs %+v", seed, i, fast[i], ref[i])
+			}
+		}
+		lastOnLink := make(map[[2]NodeID]float64)
+		for i, s := range fast {
+			link := [2]NodeID{s.from, s.to}
+			if last, ok := lastOnLink[link]; ok && s.t < last {
+				t.Fatalf("seed %d: FIFO violated on link %d->%d at event %d: %v after %v",
+					seed, s.from, s.to, i, s.t, last)
+			}
+			lastOnLink[link] = s.t
+		}
+	}
+}
+
+// chatterNode floods its neighbourhood on Init and echoes each received
+// message back to its sender while it has budget left.
+type chatterNode struct{ budget int }
+
+func (c *chatterNode) Init(ctx Context) {
+	for _, w := range ctx.Neighbors() {
+		ctx.Send(w, tokenMsg{hops: 1})
+	}
+}
+
+func (c *chatterNode) Recv(ctx Context, from NodeID, _ Message) {
+	if c.budget == 0 {
+		return
+	}
+	c.budget--
+	ctx.Send(from, tokenMsg{hops: 1})
 }
 
 // TestEventEngineScratchReuse runs the same workload repeatedly so the pooled

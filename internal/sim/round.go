@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"mdegst/internal/graph"
+)
+
+// The synchronous round engine behind EventEngine's unit-delay fast path.
+// Under UnitDelay — the paper's default and the dominant experiment
+// configuration — every message sent while processing time t is delivered at
+// exactly t+1, so the (time, sequence) heap order degenerates into rounds:
+// all deliveries of round r, in global send order, then all of round r+1.
+// No timestamps, no RNG, no FIFO clamps (per-link send times are already
+// non-decreasing, so the clamp can never bind): just two flat delivery
+// slices swapped per round over the CSR snapshot. Causal depth equals the
+// round number equals the virtual time, which is exactly what the heap path
+// computes under unit delays — the differential tests hold the two (and
+// ReferenceEngine) to identical delivery traces.
+
+// isUnitDelay reports whether d is the package's UnitDelay (or nil, which
+// defaults to it). Wrappers around UnitDelay are not detected and take the
+// calendar-queue path, which is correct, just slower.
+func isUnitDelay(d DelayFn) bool {
+	return d == nil || reflect.ValueOf(d).Pointer() == reflect.ValueOf(UnitDelay).Pointer()
+}
+
+// roundDelivery is one queued message of the current or next round.
+type roundDelivery struct {
+	from    NodeID
+	toDense int32
+	msg     Message
+}
+
+type roundRun struct {
+	cur    []roundDelivery // deliveries of the round being processed, in send order
+	next   []roundDelivery // deliveries of round round+1, in send order
+	round  int64           // round currently being delivered (0 while Init runs)
+	trace  func(TraceEvent)
+	report *Report
+}
+
+type roundCtx struct {
+	run       *roundRun
+	id        NodeID
+	neighbors []NodeID
+	nbrDense  []int32
+}
+
+func (c *roundCtx) ID() NodeID          { return c.id }
+func (c *roundCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *roundCtx) Send(to NodeID, m Message) {
+	ni := neighborIndex(c.neighbors, to)
+	if ni < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
+	}
+	r := c.run
+	r.next = append(r.next, roundDelivery{from: c.id, toDense: c.nbrDense[ni], msg: m})
+}
+
+func (c *roundCtx) Logf(format string, args ...any) {
+	if r := c.run; r.trace != nil {
+		r.trace(TraceEvent{Time: float64(r.round), Depth: r.round, To: c.id, Note: fmt.Sprintf(format, args...)})
+	}
+}
+
+// roundScratch pools the per-run state of the round engine, mirroring
+// eventScratch for the wheel path.
+type roundScratch struct {
+	ctxs      []roundCtx
+	protos    []Protocol
+	cur, next []roundDelivery
+}
+
+var roundPool = sync.Pool{New: func() any { return new(roundScratch) }}
+
+func (s *roundScratch) reset(n int) {
+	if cap(s.ctxs) < n {
+		s.ctxs = make([]roundCtx, n)
+	}
+	s.ctxs = s.ctxs[:n]
+	if cap(s.protos) < n {
+		s.protos = make([]Protocol, n)
+	}
+	s.protos = s.protos[:n]
+	s.cur, s.next = s.cur[:0], s.next[:0]
+}
+
+func (s *roundScratch) release() {
+	// Zero everything that can pin messages, protocol state or snapshot
+	// arrays. Normal runs zero delivery slots as they process them; this
+	// also covers abnormal exits mid-round.
+	for _, q := range [][]roundDelivery{s.cur[:cap(s.cur)], s.next[:cap(s.next)]} {
+		for i := range q {
+			q[i] = roundDelivery{}
+		}
+	}
+	s.cur, s.next = s.cur[:0], s.next[:0]
+	for i := range s.ctxs {
+		s.ctxs[i] = roundCtx{}
+	}
+	clear(s.protos)
+	roundPool.Put(s)
+}
+
+// runRounds executes the protocol to quiescence in synchronous rounds.
+// Called from EventEngine.RunSnapshot (which owns panic recovery) when the
+// delay model is UnitDelay.
+func (e *EventEngine) runRounds(c *graph.CSR, f Factory, maxMsgs int64, start time.Time) (map[NodeID]Protocol, *Report, error) {
+	rr := &roundRun{trace: e.Trace, report: newReport()}
+	n := c.N()
+	ids := c.Index().IDs()
+	scratch := roundPool.Get().(*roundScratch)
+	defer scratch.release()
+	scratch.reset(n)
+	rr.cur, rr.next = scratch.cur, scratch.next
+
+	for i := 0; i < n; i++ {
+		di := int32(i)
+		scratch.ctxs[i] = roundCtx{
+			run:       rr,
+			id:        ids[i],
+			neighbors: c.NeighborIDs(di),
+			nbrDense:  c.Neighbors(di),
+		}
+		scratch.protos[i] = f(ids[i], scratch.ctxs[i].neighbors)
+	}
+	// All nodes start independently; Init runs at time zero in ID order and
+	// its sends form round 1.
+	for i := 0; i < n; i++ {
+		scratch.protos[i].Init(&scratch.ctxs[i])
+	}
+	for len(rr.next) > 0 {
+		rr.cur, rr.next = rr.next, rr.cur[:0]
+		// Mirror the swap onto the scratch so release zeroes the live
+		// backing arrays even when Recv panics mid-round. (rr.next may
+		// still outgrow scratch.next's view inside the loop; the regrown
+		// array is then unreachable after the panic and needs no zeroing.)
+		scratch.cur, scratch.next = rr.cur, rr.next
+		rr.round++
+		t := float64(rr.round)
+		for i := range rr.cur {
+			d := rr.cur[i]
+			rr.cur[i] = roundDelivery{} // unpin: protocols may recycle the message after Recv
+			if rr.report.Messages >= maxMsgs {
+				return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+			}
+			rr.report.record(d.from, d.msg, rr.round)
+			if rr.trace != nil {
+				rr.trace(TraceEvent{Time: t, Depth: rr.round, From: d.from, To: ids[d.toDense], Msg: d.msg})
+			}
+			scratch.protos[d.toDense].Recv(&scratch.ctxs[d.toDense], d.from, d.msg)
+		}
+		scratch.next = rr.next
+	}
+	scratch.cur, scratch.next = rr.cur, rr.next
+	rr.report.VirtualTime = float64(rr.round)
+	rr.report.finalize()
+	rr.report.Wall = time.Since(start)
+	protos := make(map[NodeID]Protocol, n)
+	for i, p := range scratch.protos {
+		protos[ids[i]] = p
+	}
+	return protos, rr.report, nil
+}

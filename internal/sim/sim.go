@@ -9,9 +9,12 @@
 //     UnitDelay it realises exactly the paper's time-complexity measure (the
 //     longest chain of causally dependent messages, each taking one time
 //     unit); with randomised delays it acts as an asynchrony adversary while
-//     staying reproducible. Its hot path is allocation-free (specialised
-//     event heap, pooled scratch, slice-indexed FIFO clamps) because the
-//     experiment harness runs it thousands of times per sweep.
+//     staying reproducible. Scheduling exploits the model's bounded delays
+//     (DESIGN.md §6): unit-delay runs execute as synchronous double-buffered
+//     rounds, randomised delays go through an O(1) calendar/bucket queue
+//     over the (now, now+1] delivery window — pooled scratch and
+//     slice-indexed FIFO clamps keep the hot path allocation-free because
+//     the experiment harness runs it thousands of times per sweep.
 //   - ReferenceEngine: the straightforward implementation EventEngine is
 //     differentially tested and benchmarked against; same semantics, none
 //     of the optimisations.

@@ -53,20 +53,35 @@ func FromParentMap(root graph.NodeID, parent map[graph.NodeID]graph.NodeID) (*Tr
 	for v := range t.Children {
 		t.sortChildren(v)
 	}
-	// Reject cycles/forests: every node must reach the root.
+	// Reject cycles/forests: every node must reach the root. Walks stop at
+	// the first node already verified, so the total work is O(n) — a
+	// per-node walk to the root would be O(n · depth), which dominated
+	// 100k-node extractions before the scheduler work made those runs cheap.
+	const (
+		walking  = 1
+		verified = 2
+	)
+	state := make(map[graph.NodeID]uint8, len(t.Children))
+	state[root] = verified
+	var path []graph.NodeID
 	for v := range t.Children {
-		seen := map[graph.NodeID]bool{}
-		for cur := v; cur != root; {
-			if seen[cur] {
-				return nil, fmt.Errorf("tree: cycle through node %d", cur)
-			}
-			seen[cur] = true
+		cur := v
+		for state[cur] == 0 {
+			state[cur] = walking
+			path = append(path, cur)
 			p, ok := t.Parent[cur]
 			if !ok {
 				return nil, fmt.Errorf("tree: node %d cannot reach root %d", v, root)
 			}
 			cur = p
 		}
+		if state[cur] == walking {
+			return nil, fmt.Errorf("tree: cycle through node %d", cur)
+		}
+		for _, u := range path {
+			state[u] = verified
+		}
+		path = path[:0]
 	}
 	return t, nil
 }
