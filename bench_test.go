@@ -171,22 +171,32 @@ func BenchmarkLargeFlood(b *testing.B) {
 		{"grid-100k", func() *mdegst.Graph { return mdegst.Grid(316, 316) }},
 	}
 	for _, w := range workloads {
-		b.Run(w.name, func(b *testing.B) {
-			c := mdegst.Compile(w.gen())
-			b.ResetTimer()
-			var msgs int64
-			for i := 0; i < b.N; i++ {
-				tr, rep, err := mdegst.BuildSpanningTreeCompiled(c, mdegst.InitialFlood, mdegst.Options{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if tr == nil {
-					b.Fatal("no tree built")
-				}
-				msgs = rep.Messages
+		// shards=1 is the plain event engine; shards=4 runs the
+		// shard-partitioned runtime (window-parallel on multi-core hosts,
+		// same results everywhere — pinned by the sim differential tests).
+		for _, shards := range []int{1, 4} {
+			name := w.name
+			if shards > 1 {
+				name = fmt.Sprintf("%s/shards=%d", w.name, shards)
 			}
-			b.ReportMetric(float64(msgs), "msgs")
-		})
+			b.Run(name, func(b *testing.B) {
+				c := mdegst.Compile(w.gen())
+				opts := mdegst.Options{Shards: shards}
+				b.ResetTimer()
+				var msgs int64
+				for i := 0; i < b.N; i++ {
+					tr, rep, err := mdegst.BuildSpanningTreeCompiled(c, mdegst.InitialFlood, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tr == nil {
+						b.Fatal("no tree built")
+					}
+					msgs = rep.Messages
+				}
+				b.ReportMetric(float64(msgs), "msgs")
+			})
+		}
 	}
 }
 

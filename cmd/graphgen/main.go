@@ -117,11 +117,32 @@ func inspectFile(path string) error {
 	fmt.Printf("max degree: %d\n", c.MaxDegree())
 	fmt.Printf("min degree: %d\n", g.MinDegree())
 	printDegreeTail(c)
+	printPartitionStats(c)
 	if g.IsConnected() {
 		fmt.Printf("diameter:   %d\n", g.Diameter())
 		fmt.Printf("Δ* lower bound: %d\n", mdegst.DegreeLowerBound(g))
 	}
 	return nil
+}
+
+// printPartitionStats reports the cut-edge fraction of the shipped
+// partitioners at typical shard counts, so a workload's shardability is
+// visible before committing to a `mdstrun -shards` run: the cut fraction
+// is the share of messages that crosses shard boundaries under uniform
+// edge load.
+func printPartitionStats(c *mdegst.CompiledGraph) {
+	if c.N() < 2 || c.M() == 0 {
+		return
+	}
+	for _, k := range []int{2, 4, 8} {
+		if k > c.N() {
+			break
+		}
+		cont := graph.PartitionContiguous(c, k)
+		bfs := graph.PartitionBFS(c, k)
+		fmt.Printf("partition k=%d: cut %5.1f%% contiguous, %5.1f%% bfs-grown (%d / %d of %d edges)\n",
+			k, 100*cont.CutFraction(), 100*bfs.CutFraction(), cont.CutEdges(), bfs.CutEdges(), c.M())
+	}
 }
 
 // printDegreeTail summarises the degree distribution — the interesting part

@@ -13,7 +13,9 @@
 //	mdstbench -progress         # live per-trial progress on stderr
 //	mdstbench -json out.json    # machine-readable tables ("-" for stdout)
 //	mdstbench -perf bench.json  # engine/harness micro-benchmarks instead of tables
-//	mdstbench -perf bench.json -compare BENCH_queue.json
+//	mdstbench -perf bench.json -shards 8
+//	                            # ... with the sharded scaling entries at 8 shards
+//	mdstbench -perf bench.json -compare BENCH_shard.json
 //	                            # ... and fail (exit 1) on regression vs the recorded trajectory
 //	mdstbench -perf bench.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                            # ... with pprof evidence for perf work
@@ -47,6 +49,7 @@ type options struct {
 	perfOut    string
 	compare    string
 	nsThresh   float64
+	shards     int
 	cpuProfile string
 	memProfile string
 }
@@ -63,6 +66,7 @@ func parseFlags() options {
 	flag.StringVar(&o.perfOut, "perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
 	flag.StringVar(&o.compare, "compare", "", "with -perf: diff the fresh suite against this recorded baseline (e.g. BENCH_queue.json) and exit non-zero on regression")
 	flag.Float64Var(&o.nsThresh, "threshold", 1.25, "with -compare: allowed ns/op growth factor before the gate fails")
+	flag.IntVar(&o.shards, "shards", 4, "with -perf: state shards for the sharded scaling entries (flood/grid-*/sharded-N)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the whole run (tables or -perf) to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -118,12 +122,19 @@ func run(o options) error {
 	if o.compare != "" && o.perfOut == "" {
 		return fmt.Errorf("-compare requires -perf")
 	}
+	if o.perfOut == "" && o.shards != 4 {
+		return fmt.Errorf("-shards configures the -perf suite's sharded entries")
+	}
 	if o.perfOut != "" {
-		// The perf suite runs fixed workloads; only -parallel feeds into it.
+		// The perf suite runs fixed workloads; only -parallel and -shards
+		// feed into it.
 		if o.which != "" || o.quick || o.seeds > 0 || o.scale > 0 || o.jsonOut != "" || o.progress {
 			return fmt.Errorf("-perf runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -json and -progress")
 		}
-		fresh, err := runPerf(o.perfOut, o.parallel)
+		if o.shards < 2 {
+			return fmt.Errorf("-shards must be at least 2 for the sharded perf entries")
+		}
+		fresh, err := runPerf(o.perfOut, o.parallel, o.shards)
 		if err != nil {
 			return err
 		}

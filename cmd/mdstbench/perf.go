@@ -84,12 +84,12 @@ func benchFlood(mk func() sim.Engine) testing.BenchmarkResult {
 	})
 }
 
-// benchFloodOn floods an arbitrary pre-built workload. The snapshot is
-// compiled once outside the timed loop — at 100k nodes recompiling the CSR
-// per iteration would dominate the engine being measured.
-func benchFloodOn(g *graph.Graph, mk func() sim.Engine) testing.BenchmarkResult {
-	c := g.Compile()
-	root := g.Nodes()[0]
+// benchFloodSnap floods a pre-compiled workload. The snapshot (and, for
+// the sharded entries, the partition inside the engine maker) is built
+// once outside the timed loop — at 100k+ nodes recompiling the CSR per
+// iteration would dominate the engine being measured.
+func benchFloodSnap(c *graph.CSR, mk func() sim.Engine) testing.BenchmarkResult {
+	root := c.Index().ID(0)
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -139,7 +139,7 @@ func largeWorkloads() []struct {
 	}
 }
 
-func runPerf(path string, parallel int) (*perfReport, error) {
+func runPerf(path string, parallel, shards int) (*perfReport, error) {
 	unit := func() sim.Engine { return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true} }
 	ref := func() sim.Engine { return &sim.ReferenceEngine{Delay: sim.UnitDelay, FIFO: true} }
 	uniform := func() sim.Engine { return &sim.EventEngine{Delay: sim.UniformDelay(0.05), FIFO: true, Seed: 1} }
@@ -178,9 +178,50 @@ func runPerf(path string, parallel int) (*perfReport, error) {
 			"wheel_time_speedup":      ratio(wheelFlood.NsPerOp(), refUniformFlood.NsPerOp()),
 		},
 	}
+	large := make(map[string]testing.BenchmarkResult)
 	for _, w := range largeWorkloads() {
 		fmt.Fprintf(os.Stderr, "mdstbench: large workload %s...\n", w.name)
-		rep.Workloads = append(rep.Workloads, benchToEntry(w.name, benchFloodOn(w.gen(), unit)))
+		res := benchFloodSnap(w.gen().Compile(), unit)
+		large[w.name] = res
+		rep.Workloads = append(rep.Workloads, benchToEntry(w.name, res))
+	}
+
+	// Shard-partitioned scaling tier (the BENCH_shard.json trajectory):
+	// the grid-100k flood plus the grid-1M flood, single-shard vs the
+	// sharded runtime on a precomputed contiguous partition. Entry names
+	// carry the shard count so the -compare gate never diffs runs of
+	// different widths; speedup is hardware-bound (min(shards, GOMAXPROCS)
+	// cores drive the window phases — on one core the ratio measures pure
+	// runtime overhead, and the report's gomaxprocs field says which it
+	// was).
+	shardTier := []struct {
+		base string
+		gen  func() *graph.Graph
+	}{
+		{"grid-100k", func() *graph.Graph { return graph.Grid(316, 316) }},
+		{"grid-1M", func() *graph.Graph { return graph.Grid(1000, 1000) }},
+	}
+	for _, w := range shardTier {
+		singleName := fmt.Sprintf("flood/%s/event-engine", w.base)
+		shardedName := fmt.Sprintf("flood/%s/sharded-%d", w.base, shards)
+		fmt.Fprintf(os.Stderr, "mdstbench: shard tier %s (%d shards)...\n", w.base, shards)
+		c := w.gen().Compile()
+		single, ok := large[singleName]
+		if !ok {
+			single = benchFloodSnap(c, unit)
+			rep.Workloads = append(rep.Workloads, benchToEntry(singleName, single))
+		}
+		part := graph.PartitionContiguous(c, shards)
+		sharded := benchFloodSnap(c, func() sim.Engine {
+			return &sim.ShardedEngine{Partition: part, Delay: sim.UnitDelay, FIFO: true}
+		})
+		rep.Workloads = append(rep.Workloads, benchToEntry(shardedName, sharded))
+		rep.Derived[fmt.Sprintf("shard_speedup_%s", w.base)] = ratio(sharded.NsPerOp(), single.NsPerOp())
+		rep.Derived[fmt.Sprintf("shard_cut_fraction_%s", w.base)] = fmt.Sprintf("%.1f%%", 100*part.CutFraction())
+	}
+	if cores := runtime.GOMAXPROCS(0); cores < shards {
+		rep.Derived["shard_note"] = fmt.Sprintf(
+			"sharded entries recorded at GOMAXPROCS=%d < %d shards: the phases ran inline, so the ratios measure the sharded plane's overhead, not parallel speedup", cores, shards)
 	}
 	// The parallel-harness measurement only exists on multi-core machines;
 	// on one core it would duplicate the sequential entry under a second

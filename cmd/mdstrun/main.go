@@ -43,6 +43,7 @@ func main() {
 		initial  = flag.String("initial", "flood", "initial tree: flood|dfs|ghs|election|star|random")
 		mode     = flag.String("mode", "single", "improvement mode: single|multi|hybrid")
 		engine   = flag.String("engine", "unit", "engine: unit|random|async")
+		shards   = flag.Int("shards", 1, "state shards for one run (unit engine only): >1 executes each delivery window across shards in parallel, same results")
 		target   = flag.Int("target", 0, "stop once the maximum degree is at most this (0: improve fully)")
 		trials   = flag.Int("trials", 1, "number of independent seeded trials (seed, seed+1, ...)")
 		parallel = flag.Int("parallel", 0, "workers for -trials > 1 (0: GOMAXPROCS)")
@@ -70,6 +71,14 @@ func main() {
 	case "unit", "random", "async":
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be at least 1"))
+	}
+	if *shards > 1 && *engine != "unit" {
+		// The sharded runtime's parallel window schedule exists under the
+		// unit-delay model only (DESIGN.md §7).
+		fatal(fmt.Errorf("-shards requires -engine unit"))
 	}
 	// A graph that does not depend on the trial seed — an -in file or a
 	// deterministic family (buildGraph reports which) — is built and
@@ -108,7 +117,11 @@ func main() {
 		opts := mdegst.Options{Seed: s, TargetDegree: *target, Mode: runMode, Initial: runInitial}
 		switch *engine {
 		case "unit":
-			opts.Engine = mdegst.NewUnitEngine()
+			if *shards > 1 {
+				opts.Engine = mdegst.NewShardedEngine(*shards)
+			} else {
+				opts.Engine = mdegst.NewUnitEngine()
+			}
 		case "random":
 			opts.Engine = mdegst.NewRandomDelayEngine(s)
 		case "async":
@@ -216,6 +229,7 @@ type trialResult struct {
 	TotalWords     int64 `json:"total_words"`
 	MaxWords       int   `json:"max_message_words"`
 	CausalDepth    int64 `json:"causal_depth"`
+	Shards         int   `json:"shards"`
 }
 
 func toTrialResult(seed int64, g *mdegst.Graph, res *mdegst.Result) trialResult {
@@ -238,6 +252,7 @@ func toTrialResult(seed int64, g *mdegst.Graph, res *mdegst.Result) trialResult 
 		TotalWords:     res.Total.Words,
 		MaxWords:       res.Total.MaxWords,
 		CausalDepth:    res.Improvement.CausalDepth,
+		Shards:         res.Total.Shards,
 	}
 }
 
@@ -272,6 +287,9 @@ func printSingle(g *mdegst.Graph, res *mdegst.Result, initial string, verbose bo
 	}
 	fmt.Printf("total:        %d messages, %d words, max message %d words\n",
 		res.Total.Messages, res.Total.Words, res.Total.MaxWords)
+	if res.Total.Shards > 1 {
+		fmt.Printf("sharding:     %d state shards (results identical to 1)\n", res.Total.Shards)
+	}
 
 	if verbose {
 		fmt.Println("\nmessages by kind:")

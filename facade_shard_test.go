@@ -1,0 +1,94 @@
+package mdegst_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mdegst"
+)
+
+// TestOptionsShards pins the facade contract of the shard-partitioned
+// runtime: the full pipeline (flood setup + improvement protocol, with its
+// pooled messages crossing shard boundaries) produces bit-identical trees
+// and accounting at any shard count, and the report records the shard
+// count it ran with.
+func TestOptionsShards(t *testing.T) {
+	g := mdegst.Gnm(96, 288, 7)
+	base, err := mdegst.Run(g, mdegst.Options{Mode: mdegst.ModeHybrid, Initial: mdegst.InitialFlood})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total.Shards != 1 {
+		t.Fatalf("unsharded run reports %d shards", base.Total.Shards)
+	}
+	for _, shards := range []int{2, 4, 7} {
+		res, err := mdegst.Run(g, mdegst.Options{Mode: mdegst.ModeHybrid, Initial: mdegst.InitialFlood, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Final.Equal(base.Final) || !res.Initial.Equal(base.Initial) {
+			t.Fatalf("shards=%d: trees diverged from the unsharded run", shards)
+		}
+		if res.FinalDegree != base.FinalDegree || res.Rounds != base.Rounds || res.Swaps != base.Swaps {
+			t.Fatalf("shards=%d: accounting diverged: %+v vs %+v", shards, res, base)
+		}
+		if res.Total.Messages != base.Total.Messages ||
+			res.Total.Words != base.Total.Words ||
+			res.Total.CausalDepth != base.Total.CausalDepth ||
+			res.Total.VirtualTime != base.Total.VirtualTime {
+			t.Fatalf("shards=%d: report scalars diverged", shards)
+		}
+		if !reflect.DeepEqual(res.Total.ByKindRound, base.Total.ByKindRound) {
+			t.Fatalf("shards=%d: per-kind/round counts diverged", shards)
+		}
+		if !reflect.DeepEqual(res.Total.SentBy, base.Total.SentBy) {
+			t.Fatalf("shards=%d: per-node send counts diverged", shards)
+		}
+		if res.Total.Shards != shards {
+			t.Fatalf("shards=%d: report claims %d shards", shards, res.Total.Shards)
+		}
+	}
+
+	// An explicit Engine wins over Shards (the option only fills the
+	// default), and the compiled path plumbs shards identically.
+	c := mdegst.Compile(g)
+	res, err := mdegst.RunCompiled(c, mdegst.Options{Mode: mdegst.ModeHybrid, Initial: mdegst.InitialFlood, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.Equal(base.Final) || res.Total.Messages != base.Total.Messages {
+		t.Fatal("RunCompiled with shards diverged")
+	}
+	over, err := mdegst.Run(g, mdegst.Options{Mode: mdegst.ModeHybrid, Initial: mdegst.InitialFlood,
+		Shards: 4, Engine: mdegst.NewUnitEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Total.Shards != 1 {
+		t.Fatalf("explicit engine overridden by Shards: %d", over.Total.Shards)
+	}
+}
+
+// TestImproveCompiledSharded covers the Improve-only entry point: a
+// caller-supplied initial tree improved on the sharded engine matches the
+// default engine.
+func TestImproveCompiledSharded(t *testing.T) {
+	g := mdegst.BarabasiAlbert(80, 2, 3)
+	c := mdegst.Compile(g)
+	t0, _, err := mdegst.BuildSpanningTreeCompiled(c, mdegst.InitialStar, mdegst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mdegst.ImproveCompiled(c, t0, mdegst.Options{Mode: mdegst.ModeSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := mdegst.ImproveCompiled(c, t0, mdegst.Options{Mode: mdegst.ModeSingle, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Final.Equal(base.Final) || sharded.Swaps != base.Swaps ||
+		sharded.Improvement.Messages != base.Improvement.Messages {
+		t.Fatal("sharded ImproveCompiled diverged from the default engine")
+	}
+}

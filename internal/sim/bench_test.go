@@ -94,6 +94,30 @@ func BenchmarkEventEngineFloodLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedEngineFlood measures the shard-partitioned round path
+// against the shard counts: shards=1 is exactly the event engine, larger
+// counts pay the outbox/merge plane and (on multi-core hosts) buy window
+// parallelism. The partition is precomputed, as the scaling benchmarks and
+// the harness do.
+func BenchmarkShardedEngineFlood(b *testing.B) {
+	c := graph.Gnm(4096, 16384, 1).Compile()
+	for _, shards := range []int{1, 2, 4} {
+		var part *graph.Partition
+		if shards > 1 {
+			part = graph.PartitionContiguous(c, shards)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := &ShardedEngine{Shards: shards, Partition: part, Delay: UnitDelay, FIFO: true}
+				if _, _, err := eng.RunSnapshot(c, benchFactory); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCalendarQueueSparse drives a schedule with one event per time
 // unit over thousands of units — the wheel's worst case, where pop crosses
 // hundreds of empty buckets per delivery and leans on the occupancy bitmap.

@@ -31,6 +31,11 @@ type Report struct {
 	VirtualTime float64
 	// SentBy counts messages sent per node.
 	SentBy map[NodeID]int64
+	// Shards is the number of state shards whose accounting this report
+	// merges: 1 for the ordinary engines, N for an N-shard ShardedEngine
+	// run. It describes the runtime configuration, not the execution —
+	// all other fields are identical at any shard count.
+	Shards int
 	// Wall is the host wall-clock duration of the run.
 	Wall time.Duration
 
@@ -54,6 +59,7 @@ func NewReport() *Report {
 		ByRound:     make(map[int]int64),
 		ByKindRound: make(map[string]int64),
 		SentBy:      make(map[NodeID]int64),
+		Shards:      1,
 		kindRound:   make(map[kindRoundKey]int64),
 	}
 }
@@ -96,6 +102,55 @@ func (r *Report) finalize() {
 	}
 }
 
+// MergeParallel merges o into r as the accounting of a disjoint state
+// shard of the *same* execution: counters and per-key breakdowns sum,
+// while the time-like measures (CausalDepth, VirtualTime, Wall) take the
+// maximum — parallel shards share one clock, they do not run back to back
+// (that composition is Add). Shards sums, so merging N single-shard
+// reports yields Shards == N. The sharded engine merges its per-shard
+// reports with this before finalize; callers may equally merge finalized
+// reports — the public breakdown maps are combined either way.
+func (r *Report) MergeParallel(o *Report) {
+	r.Messages += o.Messages
+	if r.finalized || o.finalized {
+		// Merge on the materialised public maps (finalize is idempotent;
+		// o's hot-path accumulator is folded into its maps by it, so it
+		// must not be merged a second time).
+		r.finalize()
+		o.finalize()
+		for k, v := range o.ByKind {
+			r.ByKind[k] += v
+		}
+		for k, v := range o.ByRound {
+			r.ByRound[k] += v
+		}
+		for k, v := range o.ByKindRound {
+			r.ByKindRound[k] += v
+		}
+	} else {
+		for k, v := range o.kindRound {
+			r.kindRound[k] += v
+		}
+	}
+	r.Words += o.Words
+	if o.MaxWords > r.MaxWords {
+		r.MaxWords = o.MaxWords
+	}
+	if o.CausalDepth > r.CausalDepth {
+		r.CausalDepth = o.CausalDepth
+	}
+	if o.VirtualTime > r.VirtualTime {
+		r.VirtualTime = o.VirtualTime
+	}
+	for k, v := range o.SentBy {
+		r.SentBy[k] += v
+	}
+	r.Shards += o.Shards
+	if o.Wall > r.Wall {
+		r.Wall = o.Wall
+	}
+}
+
 // Add merges o into r (used when composing pipeline phases). Causal measures
 // are summed because the phases run back to back. Both reports are finalized
 // first so the public breakdown maps are materialised before merging.
@@ -120,6 +175,9 @@ func (r *Report) Add(o *Report) {
 	r.VirtualTime += o.VirtualTime
 	for k, v := range o.SentBy {
 		r.SentBy[k] += v
+	}
+	if o.Shards > r.Shards {
+		r.Shards = o.Shards
 	}
 	r.Wall += o.Wall
 }

@@ -1,0 +1,889 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"mdegst/internal/graph"
+)
+
+// The shard-partitioned runtime (DESIGN.md §7). ShardedEngine splits the
+// per-node state plane of a run — protocol instances, contexts, FIFO clamp
+// intervals, delivery queues — into shards that each own one slice of the
+// snapshot's dense node range, per a graph.Partition. The point is
+// multi-core execution of a *single* run (the experiment harness already
+// parallelises across trials): under the paper's unit-delay model the
+// (0, 1] delay bound is a conservative lookahead-1 window, so all
+// deliveries of one round are mutually independent and shards can process
+// their own nodes concurrently, exchanging cross-shard messages through
+// per-(src, dst) outboxes that are merged in a canonical order at the
+// round barrier.
+//
+// Determinism is exact, not statistical: an N-shard run is
+// delivery-trace-equivalent to the 1-shard engine (EventEngine) and to
+// ReferenceEngine — same per-node Recv sequences, same report, same final
+// protocol states — because the canonical merge order reconstructs the
+// single-engine global delivery order from data that does not depend on
+// goroutine scheduling:
+//
+//   - Every delivery of round r has a global rank: its position in the
+//     round's delivery list as the 1-shard engine would order it.
+//   - A message is keyed (parent rank, send position): the rank of the
+//     delivery whose handler sent it, and the index of the send within
+//     that handler call. The 1-shard engine appends sends in exactly
+//     (rank, position) order, so sorting round r+1 by key *is* the
+//     1-shard order.
+//   - Ranks for the next round come from a prefix sum over per-delivery
+//     send counts (each shard writes the counts of its own deliveries
+//     into a shared slice at disjoint indices), computed once per round
+//     at the barrier.
+//
+// Under randomised delays there is no positive lower bound on a delay, so
+// the model offers no lookahead and window-parallel execution cannot be
+// conservative. The sharded wheel path therefore keeps the partitioned
+// ownership structure — per-shard calendar wheels, clamp slabs and reports
+// — but executes deliveries in the global (time, sequence) order by
+// popping the minimum across the shard wheels; exact, not parallel.
+
+// ShardedEngine executes a protocol over a snapshot with its state plane
+// partitioned into shards. The zero value of every field is usable;
+// Shards <= 1 degenerates to EventEngine (the 1-shard engine the N-shard
+// runs are trace-equivalent to).
+type ShardedEngine struct {
+	// Shards is the number of state shards. It is clamped to the node
+	// count; values <= 1 run the single-shard event engine.
+	Shards int
+	// Workers bounds how many OS-level workers drive the shard phases of
+	// the unit-delay round path; 0 means min(Shards, GOMAXPROCS). On a
+	// single-core machine the phases run inline on one goroutine — same
+	// results by construction, none of the handoff cost.
+	Workers int
+	// Partition, when non-nil, fixes the shard assignment (it must
+	// Validate against the snapshot, and Shards, if set, must agree with
+	// it). Nil means a contiguous partition computed per run; precompute
+	// with graph.PartitionContiguous or graph.PartitionBFS to share the
+	// assignment across runs.
+	Partition *graph.Partition
+	// Seed initialises the delay RNG (randomised-delay path only).
+	Seed int64
+	// Delay draws per-message delays; nil means UnitDelay.
+	Delay DelayFn
+	// FIFO preserves per-link delivery order under random delays.
+	FIFO bool
+	// MaxMessages aborts the run when exceeded (0 means
+	// DefaultMaxMessages). The sharded round path checks the cap at round
+	// barriers, so the abort lands at the end of the window that crossed
+	// the cap rather than mid-round.
+	MaxMessages int64
+	// Trace, when non-nil, observes every delivery and Logf note in the
+	// exact global delivery order. Tracing forces the round path through
+	// its serial schedule (one goroutine walking the shards' merged
+	// streams in rank order) because trace callbacks must see messages
+	// before handlers recycle them.
+	Trace func(TraceEvent)
+}
+
+// sendKey orders the messages of one delivery window canonically: by the
+// global rank of the delivery whose handler sent the message, then by the
+// send's position within that handler call. Sorting a round by sendKey
+// reproduces the single-engine append order exactly.
+type sendKey struct {
+	parent int64 // global rank of the sending delivery (dense node index for Init sends)
+	pos    int32 // index of this send within the sending handler call
+}
+
+func (k sendKey) less(o sendKey) bool {
+	if k.parent != o.parent {
+		return k.parent < o.parent
+	}
+	return k.pos < o.pos
+}
+
+// shardDelivery is one queued message of the sharded round path.
+type shardDelivery struct {
+	key     sendKey
+	from    NodeID
+	toLocal int32 // index of the destination in its owner shard's node list
+	msg     Message
+}
+
+// shardRoundCtx is the Context handed to protocols on the sharded round
+// path. rank/sends mirror roundCtx's implicit position bookkeeping: rank is
+// the global rank of the delivery being processed (the dense node index
+// while Init runs), sends counts the handler's sends so far.
+type shardRoundCtx struct {
+	shard     *roundShard
+	id        NodeID
+	neighbors []NodeID
+	nbrDense  []int32
+	rank      int64
+	sends     int32
+}
+
+func (c *shardRoundCtx) ID() NodeID          { return c.id }
+func (c *shardRoundCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *shardRoundCtx) Send(to NodeID, m Message) {
+	ni := neighborIndex(c.neighbors, to)
+	if ni < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
+	}
+	sh := c.shard
+	r := sh.run
+	toDense := c.nbrDense[ni]
+	dst := r.owner[toDense]
+	sh.out[r.writeParity][dst] = append(sh.out[r.writeParity][dst], shardDelivery{
+		key:     sendKey{parent: c.rank, pos: c.sends},
+		from:    c.id,
+		toLocal: r.local[toDense],
+		msg:     m,
+	})
+	c.sends++
+}
+
+func (c *shardRoundCtx) Logf(format string, args ...any) {
+	// Non-nil trace implies the serial schedule, so emitting inline keeps
+	// the exact global order.
+	if r := c.shard.run; r.trace != nil {
+		r.trace(TraceEvent{Time: float64(r.round), Depth: r.round, To: c.id, Note: fmt.Sprintf(format, args...)})
+	}
+}
+
+// roundShard owns one slice of the node range on the unit-delay path: the
+// protocol instances and contexts of its nodes, its own report, its merged
+// current-round delivery stream, and one outbox per destination shard
+// (double-buffered by round parity, so a shard can refill outboxes while
+// destinations still read the previous round's).
+type roundShard struct {
+	run    *shardedRoundRun
+	index  int32
+	nodes  []int32 // dense indices owned, ascending
+	ctxs   []shardRoundCtx
+	protos []Protocol
+	report *Report
+	out    [2][][]shardDelivery // [parity][destination shard]
+	cur    []shardDelivery      // merged deliveries of the round in progress
+	heads  []int                // merge cursors, one per source shard
+}
+
+// shardedRoundRun is the state shared by all shards of one round-path run.
+// Everything here is either immutable during a phase (owner/local/ids,
+// off, parities, round) or written at disjoint indices (cnt), so the
+// parallel phases need no locks; the per-phase barrier publishes updates.
+type shardedRoundRun struct {
+	shards      []roundShard
+	owner       []int32 // dense node -> shard
+	local       []int32 // dense node -> index in its shard's node list
+	ids         []NodeID
+	trace       func(TraceEvent)
+	round       int64
+	readParity  int
+	writeParity int
+	// off maps a current-round delivery's key to its global rank:
+	// rank = off[key.parent] + key.pos. cnt collects the send count of
+	// each current-round delivery at its rank; the barrier prefix-sums it
+	// into the next round's off.
+	off []int64
+	cnt []int64
+}
+
+// gather merges the S source outboxes destined to this shard into cur,
+// ordered by sendKey — the canonical cross-shard merge order. Each source
+// list is already key-sorted (sources process their deliveries in rank
+// order and append), so this is an S-way sorted merge. Consumed entries
+// are zeroed in place so the source outbox pins no messages.
+func (sh *roundShard) gather(parity int) {
+	r := sh.run
+	srcs := r.shards
+	sh.cur = sh.cur[:0]
+	for s := range srcs {
+		sh.heads[s] = 0
+	}
+	for {
+		best := -1
+		var bestKey sendKey
+		for s := range srcs {
+			q := srcs[s].out[parity][sh.index]
+			h := sh.heads[s]
+			if h >= len(q) {
+				continue
+			}
+			if best < 0 || q[h].key.less(bestKey) {
+				best, bestKey = s, q[h].key
+			}
+		}
+		if best < 0 {
+			return
+		}
+		q := srcs[best].out[parity][sh.index]
+		sh.cur = append(sh.cur, q[sh.heads[best]])
+		q[sh.heads[best]] = shardDelivery{}
+		sh.heads[best]++
+	}
+}
+
+// resetOut empties this shard's write-parity outboxes for refill. The
+// previous contents were consumed (and zeroed) by destination gathers two
+// phases ago.
+func (sh *roundShard) resetOut(parity int) {
+	for d := range sh.out[parity] {
+		sh.out[parity][d] = sh.out[parity][d][:0]
+	}
+}
+
+// playInit runs Init for this shard's nodes in ascending dense order and
+// records each node's send count under its dense index — the Init "rank".
+// Globally the keys (dense index, pos) sort to exactly the 1-shard Init
+// order, whatever the shard interleaving.
+func (sh *roundShard) playInit() {
+	r := sh.run
+	for li := range sh.nodes {
+		ctx := &sh.ctxs[li]
+		ctx.rank = int64(sh.nodes[li])
+		ctx.sends = 0
+		sh.protos[li].Init(ctx)
+		r.cnt[ctx.rank] = int64(ctx.sends)
+	}
+}
+
+// playRound processes this shard's share of the current round: refresh the
+// write outboxes, then deliver the S incoming key-sorted streams in merged
+// (rank) order. The merge is fused with delivery and proceeds run by run:
+// pick the source with the minimal head key, then drain it up to the
+// smallest head key of the other sources — one key comparison per message,
+// a source tournament only at run boundaries. Runs are long when traffic
+// is shard-local (low cut fractions), and the fusion skips materialising a
+// merged buffer entirely. Per-delivery accounting goes to the shard's own
+// report; the send count lands in the shared cnt slice at the delivery's
+// rank (disjoint across shards by construction).
+func (sh *roundShard) playRound() {
+	r := sh.run
+	sh.resetOut(r.writeParity)
+	srcs := r.shards
+	heads := sh.heads
+	for s := range srcs {
+		heads[s] = 0
+	}
+	rp := r.readParity
+	for {
+		best := -1
+		var bestKey sendKey
+		for s := range srcs {
+			q := srcs[s].out[rp][sh.index]
+			if heads[s] >= len(q) {
+				continue
+			}
+			if k := q[heads[s]].key; best < 0 || k.less(bestKey) {
+				best, bestKey = s, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		var limit sendKey
+		hasLimit := false
+		for s := range srcs {
+			if s == best || heads[s] >= len(srcs[s].out[rp][sh.index]) {
+				continue
+			}
+			if k := srcs[s].out[rp][sh.index][heads[s]].key; !hasLimit || k.less(limit) {
+				limit, hasLimit = k, true
+			}
+		}
+		q := srcs[best].out[rp][sh.index]
+		h := heads[best]
+		for h < len(q) && (!hasLimit || q[h].key.less(limit)) {
+			d := q[h]
+			q[h] = shardDelivery{} // unpin: handlers may recycle the message
+			h++
+			rank := r.off[d.key.parent] + int64(d.key.pos)
+			ctx := &sh.ctxs[d.toLocal]
+			ctx.rank = rank
+			ctx.sends = 0
+			sh.report.record(d.from, d.msg, r.round)
+			sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
+			r.cnt[rank] = int64(ctx.sends)
+		}
+		heads[best] = h
+	}
+}
+
+// playRoundSerial is the traced schedule: one goroutine delivers the whole
+// round in global rank order across all shards, emitting each trace event
+// before the handler runs (trace callbacks must see the message before the
+// protocol recycles it). Results are identical to the parallel schedule —
+// only the wall-clock interleaving differs — because per-shard processing
+// order, keys and ranks are the same either way.
+func (r *shardedRoundRun) playRoundSerial() {
+	for si := range r.shards {
+		r.shards[si].resetOut(r.writeParity)
+	}
+	for si := range r.shards {
+		r.shards[si].gather(r.readParity)
+	}
+	cursors := make([]int, len(r.shards))
+	t := float64(r.round)
+	for {
+		best := -1
+		var bestKey sendKey
+		for si := range r.shards {
+			cu := r.shards[si].cur
+			if cursors[si] >= len(cu) {
+				continue
+			}
+			if k := cu[cursors[si]].key; best < 0 || k.less(bestKey) {
+				best, bestKey = si, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		sh := &r.shards[best]
+		d := sh.cur[cursors[best]]
+		sh.cur[cursors[best]] = shardDelivery{}
+		cursors[best]++
+		rank := r.off[d.key.parent] + int64(d.key.pos)
+		ctx := &sh.ctxs[d.toLocal]
+		ctx.rank = rank
+		ctx.sends = 0
+		sh.report.record(d.from, d.msg, r.round)
+		if r.trace != nil {
+			r.trace(TraceEvent{Time: t, Depth: r.round, From: d.from, To: ctx.id, Msg: d.msg})
+		}
+		sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
+		r.cnt[rank] = int64(ctx.sends)
+	}
+}
+
+// barrier closes a delivery window: prefix-sum the send counts into the
+// next round's rank offsets, size the next count slice, flip the outbox
+// parities, and return how many deliveries the next round holds.
+func (r *shardedRoundRun) barrier() int64 {
+	var total int64
+	for i, c := range r.cnt {
+		r.cnt[i] = total
+		total += c
+	}
+	r.off, r.cnt = r.cnt, r.off
+	if int64(cap(r.cnt)) < total {
+		r.cnt = make([]int64, total)
+	} else {
+		r.cnt = r.cnt[:total]
+	}
+	// No clearing needed: every rank in [0, total) is written by exactly
+	// one delivery next round.
+	r.readParity, r.writeParity = r.writeParity, r.readParity
+	return total
+}
+
+// delivered sums the deliveries accounted so far across the shard reports.
+func (r *shardedRoundRun) delivered() int64 {
+	var n int64
+	for si := range r.shards {
+		n += r.shards[si].report.Messages
+	}
+	return n
+}
+
+// shardedScratch pools the round-path state across runs, mirroring
+// eventScratch: the parallel experiment harness and the benchmarks execute
+// thousands of sharded runs over the same shapes, and the per-shard slabs
+// are the dominant setup allocation.
+type shardedScratch struct {
+	run    shardedRoundRun
+	local  []int32
+	protos [][]Protocol
+	ctxs   [][]shardRoundCtx
+}
+
+var shardedPool = sync.Pool{New: func() any { return new(shardedScratch) }}
+
+func (s *shardedScratch) reset(c *graph.CSR, part *graph.Partition) {
+	n := c.N()
+	S := part.Shards()
+	if cap(s.local) < n {
+		s.local = make([]int32, n)
+	}
+	s.local = s.local[:n]
+	if cap(s.run.shards) < S {
+		s.run.shards = make([]roundShard, S)
+	}
+	s.run.shards = s.run.shards[:S]
+	if cap(s.protos) < S {
+		s.protos = make([][]Protocol, S)
+	}
+	s.protos = s.protos[:S]
+	if cap(s.ctxs) < S {
+		s.ctxs = make([][]shardRoundCtx, S)
+	}
+	s.ctxs = s.ctxs[:S]
+	if cap(s.run.cnt) < n {
+		s.run.cnt = make([]int64, n)
+	}
+	s.run.cnt = s.run.cnt[:n]
+	s.run.off = s.run.off[:0]
+	s.run.round = 0
+	// Init writes parity 0; the first barrier swap makes round 1 read
+	// parity 0 and write parity 1.
+	s.run.readParity, s.run.writeParity = 1, 0
+	for si := range s.run.shards {
+		sh := &s.run.shards[si]
+		sh.run = &s.run
+		sh.index = int32(si)
+		nodes := part.Nodes(si)
+		sh.nodes = nodes
+		if cap(s.ctxs[si]) < len(nodes) {
+			s.ctxs[si] = make([]shardRoundCtx, len(nodes))
+		}
+		sh.ctxs = s.ctxs[si][:len(nodes)]
+		if cap(s.protos[si]) < len(nodes) {
+			s.protos[si] = make([]Protocol, len(nodes))
+		}
+		sh.protos = s.protos[si][:len(nodes)]
+		sh.report = newReport()
+		for p := range sh.out {
+			if cap(sh.out[p]) < S {
+				sh.out[p] = make([][]shardDelivery, S)
+			}
+			sh.out[p] = sh.out[p][:S]
+			for d := range sh.out[p] {
+				sh.out[p][d] = sh.out[p][d][:0]
+			}
+		}
+		sh.cur = sh.cur[:0]
+		if cap(sh.heads) < S {
+			sh.heads = make([]int, S)
+		}
+		sh.heads = sh.heads[:S]
+	}
+}
+
+// release zeroes everything that can pin messages, protocol state or
+// snapshot arrays (abnormal exits leave live entries behind) and returns
+// the scratch to the pool.
+func (s *shardedScratch) release() {
+	for si := range s.run.shards {
+		sh := &s.run.shards[si]
+		for p := range sh.out {
+			for d := range sh.out[p] {
+				q := sh.out[p][d][:cap(sh.out[p][d])]
+				for i := range q {
+					q[i] = shardDelivery{}
+				}
+				sh.out[p][d] = q[:0]
+			}
+		}
+		cu := sh.cur[:cap(sh.cur)]
+		for i := range cu {
+			cu[i] = shardDelivery{}
+		}
+		sh.cur = cu[:0]
+		for i := range sh.ctxs {
+			sh.ctxs[i] = shardRoundCtx{}
+		}
+		clear(sh.protos)
+		sh.report = nil
+		sh.nodes = nil
+		sh.run = nil
+	}
+	s.run.owner, s.run.ids, s.run.trace = nil, nil, nil
+	shardedPool.Put(s)
+}
+
+// Run compiles g and executes the protocol over the snapshot.
+func (e *ShardedEngine) Run(g *graph.Graph, f Factory) (map[NodeID]Protocol, *Report, error) {
+	return e.RunSnapshot(g.Compile(), f)
+}
+
+// RunSnapshot executes the protocol to quiescence over a compiled snapshot
+// with the state plane split across shards. The scheduler tier mirrors
+// EventEngine: unit delays run the window-parallel sharded round path,
+// anything else the sharded calendar wheels in global order.
+func (e *ShardedEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = recoverRun(p)
+		}
+	}()
+	start := time.Now()
+	part := e.Partition
+	S := e.Shards
+	if part != nil {
+		if err := part.Validate(c); err != nil {
+			return nil, nil, err
+		}
+		if S > 0 && S != part.Shards() {
+			return nil, nil, fmt.Errorf("sim: ShardedEngine.Shards=%d disagrees with the %d-shard partition", S, part.Shards())
+		}
+		S = part.Shards()
+	}
+	if n := c.N(); S > n && n > 0 {
+		S = n
+	}
+	maxMsgs := e.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = DefaultMaxMessages
+	}
+	if S <= 1 {
+		// One shard is the event engine, definitionally: the N-shard runs
+		// are trace-equivalent to this path.
+		ev := &EventEngine{Seed: e.Seed, Delay: e.Delay, FIFO: e.FIFO, MaxMessages: e.MaxMessages, Trace: e.Trace}
+		return ev.RunSnapshot(c, f)
+	}
+	if part == nil {
+		part = graph.PartitionContiguous(c, S)
+	}
+	if isUnitDelay(e.Delay) {
+		return e.runShardedRounds(c, part, f, maxMsgs, start)
+	}
+	return e.runShardedWheel(c, part, f, maxMsgs, start)
+}
+
+// workerCount resolves the effective OS-level parallelism of the round
+// path.
+func (e *ShardedEngine) workerCount(shards int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runShardedRounds is the unit-delay fast path: rounds execute as barrier-
+// separated parallel phases over the shard set (serial schedule when
+// tracing or when only one worker is available).
+func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time) (map[NodeID]Protocol, *Report, error) {
+	n := c.N()
+	S := part.Shards()
+	ids := c.Index().IDs()
+	scratch := shardedPool.Get().(*shardedScratch)
+	defer scratch.release()
+	scratch.reset(c, part)
+	run := &scratch.run
+	run.ids = ids
+	run.trace = e.Trace
+	run.owner = part.Owners()
+	for si := range run.shards {
+		sh := &run.shards[si]
+		for li, v := range sh.nodes {
+			scratch.local[v] = int32(li)
+			sh.ctxs[li] = shardRoundCtx{
+				shard:     sh,
+				id:        ids[v],
+				neighbors: c.NeighborIDs(v),
+				nbrDense:  c.Neighbors(v),
+			}
+			sh.protos[li] = f(ids[v], sh.ctxs[li].neighbors)
+		}
+	}
+	run.local = scratch.local
+
+	var runPhase func(init bool)
+	switch {
+	case e.Trace != nil:
+		// Traced schedule: one goroutine walks the merged streams in
+		// global rank order so every event fires at its exact position.
+		runPhase = func(init bool) {
+			if init {
+				// Global dense order so Init-time Logf notes trace in the
+				// 1-shard order; sends are key-ordered regardless.
+				for v := int32(0); int(v) < n; v++ {
+					sh := &run.shards[run.owner[v]]
+					ctx := &sh.ctxs[run.local[v]]
+					ctx.rank = int64(v)
+					ctx.sends = 0
+					sh.protos[run.local[v]].Init(ctx)
+					run.cnt[v] = int64(ctx.sends)
+				}
+				return
+			}
+			run.playRoundSerial()
+		}
+	case e.workerCount(S) == 1:
+		// One worker (single-core host): the parallel schedule inline,
+		// shard by shard — same phases, no goroutine handoff.
+		runPhase = func(init bool) {
+			for si := range run.shards {
+				if init {
+					run.shards[si].playInit()
+				} else {
+					run.shards[si].playRound()
+				}
+			}
+		}
+	default:
+		stop, phase := e.startWorkers(run)
+		defer stop()
+		runPhase = phase
+	}
+
+	runPhase(true)
+	total := run.barrier()
+	for {
+		// Match the single-shard cap predicate at window granularity: the
+		// event engine errors exactly when the planned deliveries exceed
+		// the cap (it aborts before the maxMsgs+1-th delivery), so a
+		// window that crossed the cap errors here even if the protocol
+		// quiesced inside it.
+		if d := run.delivered(); d > maxMsgs || (d >= maxMsgs && total > 0) {
+			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+		}
+		if total == 0 {
+			break
+		}
+		run.round++
+		runPhase(false)
+		total = run.barrier()
+	}
+
+	rep := newReport()
+	for si := range run.shards {
+		rep.MergeParallel(run.shards[si].report)
+	}
+	rep.Shards = S
+	rep.VirtualTime = float64(run.round)
+	rep.finalize()
+	rep.Wall = time.Since(start)
+	protos := make(map[NodeID]Protocol, n)
+	for si := range run.shards {
+		sh := &run.shards[si]
+		for li, v := range sh.nodes {
+			protos[ids[v]] = sh.protos[li]
+		}
+	}
+	return protos, rep, nil
+}
+
+// startWorkers launches the persistent phase workers of the parallel
+// schedule. Worker w drives shards w, w+W, w+2W, ... — a static assignment,
+// so which goroutine runs which shard never depends on timing. The
+// returned phase function blocks until every worker finished the phase and
+// re-raises the first (lowest-shard) protocol panic on the coordinator,
+// where RunSnapshot's recover converts it. stop must be called exactly
+// once to release the workers.
+func (e *ShardedEngine) startWorkers(run *shardedRoundRun) (stop func(), phase func(init bool)) {
+	S := len(run.shards)
+	W := e.workerCount(S)
+	type cmd struct{ init bool }
+	chans := make([]chan cmd, W)
+	panics := make([]any, S)
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		chans[w] = make(chan cmd)
+		go func(w int) {
+			for c := range chans[w] {
+				for si := w; si < S; si += W {
+					func() {
+						defer func() {
+							if p := recover(); p != nil {
+								panics[si] = p
+							}
+						}()
+						if c.init {
+							run.shards[si].playInit()
+						} else {
+							run.shards[si].playRound()
+						}
+					}()
+				}
+				wg.Done()
+			}
+		}(w)
+	}
+	stop = func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+	phase = func(init bool) {
+		wg.Add(W)
+		for _, ch := range chans {
+			ch <- cmd{init: init}
+		}
+		wg.Wait()
+		for si := range panics {
+			if p := panics[si]; p != nil {
+				panic(p)
+			}
+		}
+	}
+	return stop, phase
+}
+
+// --- randomised-delay path: sharded state, global (time, seq) order ---
+
+// wheelShard owns one slice of the node range on the randomised-delay
+// path: its nodes' contexts and protocols, a calendar wheel holding the
+// pending deliveries addressed to them, the FIFO clamp slab of their
+// outgoing links, and its own report.
+type wheelShard struct {
+	wheel  bucketQueue
+	ctxs   []shardWheelCtx
+	protos []Protocol
+	clamp  []float64
+	report *Report
+}
+
+type shardWheelCtx struct {
+	run       *shardWheelRun
+	id        NodeID
+	neighbors []NodeID
+	nbrDense  []int32
+	clamp     []float64
+	now       float64
+	depth     int64
+}
+
+func (c *shardWheelCtx) ID() NodeID          { return c.id }
+func (c *shardWheelCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *shardWheelCtx) Send(to NodeID, m Message) {
+	ni := neighborIndex(c.neighbors, to)
+	if ni < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
+	}
+	r := c.run
+	d := r.delay(r.rng, c.id, to)
+	checkDelay(d, c.id, to)
+	t := c.now + d
+	if r.fifo {
+		if last := c.clamp[ni]; t < last {
+			t = last
+		}
+		c.clamp[ni] = t
+	}
+	r.seq++
+	toDense := c.nbrDense[ni]
+	r.shards[r.owner[toDense]].wheel.push(event{t: t, seq: r.seq, depth: c.depth + 1, from: c.id, to: to, toDense: toDense, msg: m})
+}
+
+func (c *shardWheelCtx) Logf(format string, args ...any) {
+	if c.run.trace != nil {
+		c.run.trace(TraceEvent{Time: c.now, Depth: c.depth, To: c.id, Note: fmt.Sprintf(format, args...)})
+	}
+}
+
+type shardWheelRun struct {
+	rng    *rand.Rand
+	delay  DelayFn
+	fifo   bool
+	trace  func(TraceEvent)
+	seq    int64
+	owner  []int32
+	local  []int32
+	shards []wheelShard
+}
+
+// runShardedWheel executes the randomised-delay tier: every shard owns its
+// nodes' wheel, clamps and report, and the run pops the globally minimal
+// (time, seq) event across the shard wheels — the identical schedule, RNG
+// draw order and trace as EventEngine's single wheel, with partitioned
+// ownership. No lookahead exists below the unit bound (delays can be
+// arbitrarily small), so this path trades no exactness for parallelism.
+func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time) (map[NodeID]Protocol, *Report, error) {
+	n := c.N()
+	S := part.Shards()
+	ids := c.Index().IDs()
+	run := &shardWheelRun{
+		rng:    rand.New(rand.NewSource(e.Seed)),
+		delay:  e.Delay,
+		fifo:   e.FIFO,
+		trace:  e.Trace,
+		owner:  part.Owners(),
+		local:  make([]int32, n),
+		shards: make([]wheelShard, S),
+	}
+	for si := range run.shards {
+		sh := &run.shards[si]
+		nodes := part.Nodes(si)
+		sh.ctxs = make([]shardWheelCtx, len(nodes))
+		sh.protos = make([]Protocol, len(nodes))
+		degSum := 0
+		for _, v := range nodes {
+			degSum += c.Degree(v)
+		}
+		sh.clamp = make([]float64, degSum)
+		sh.report = newReport()
+		at := 0
+		for li, v := range nodes {
+			run.local[v] = int32(li)
+			deg := c.Degree(v)
+			sh.ctxs[li] = shardWheelCtx{
+				run:       run,
+				id:        ids[v],
+				neighbors: c.NeighborIDs(v),
+				nbrDense:  c.Neighbors(v),
+				clamp:     sh.clamp[at : at+deg],
+			}
+			at += deg
+			sh.protos[li] = f(ids[v], sh.ctxs[li].neighbors)
+		}
+	}
+	// All nodes start independently; Init runs at time zero in ID order.
+	for v := int32(0); int(v) < n; v++ {
+		sh := &run.shards[run.owner[v]]
+		sh.protos[run.local[v]].Init(&sh.ctxs[run.local[v]])
+	}
+	var delivered int64
+	for {
+		best := -1
+		var bestEv event
+		for si := range run.shards {
+			w := &run.shards[si].wheel
+			if w.empty() {
+				continue
+			}
+			if ev := w.peek(); best < 0 || ev.before(bestEv) {
+				best, bestEv = si, ev
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if delivered >= maxMsgs {
+			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+		}
+		sh := &run.shards[best]
+		ev := sh.wheel.pop()
+		li := run.local[ev.toDense]
+		ctx := &sh.ctxs[li]
+		ctx.now = ev.t
+		ctx.depth = ev.depth
+		sh.report.record(ev.from, ev.msg, ev.depth)
+		delivered++
+		if ev.t > sh.report.VirtualTime {
+			sh.report.VirtualTime = ev.t
+		}
+		if run.trace != nil {
+			run.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
+		}
+		sh.protos[li].Recv(ctx, ev.from, ev.msg)
+	}
+	rep := newReport()
+	for si := range run.shards {
+		rep.MergeParallel(run.shards[si].report)
+	}
+	rep.Shards = S
+	rep.finalize()
+	rep.Wall = time.Since(start)
+	protos := make(map[NodeID]Protocol, n)
+	for si := range run.shards {
+		sh := &run.shards[si]
+		for li, v := range part.Nodes(si) {
+			protos[ids[v]] = sh.protos[li]
+		}
+	}
+	return protos, rep, nil
+}
+
+var _ SnapshotEngine = (*ShardedEngine)(nil)

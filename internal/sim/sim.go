@@ -3,7 +3,7 @@
 // edges of an undirected graph, with no shared memory, no global clock, and
 // event-driven nodes.
 //
-// Three interchangeable engines execute a Protocol over a graph:
+// Four interchangeable engines execute a Protocol over a graph:
 //
 //   - EventEngine: a deterministic, seeded discrete-event simulator. With
 //     UnitDelay it realises exactly the paper's time-complexity measure (the
@@ -15,9 +15,14 @@
 //     over the (now, now+1] delivery window — pooled scratch and
 //     slice-indexed FIFO clamps keep the hot path allocation-free because
 //     the experiment harness runs it thousands of times per sweep.
-//   - ReferenceEngine: the straightforward implementation EventEngine is
-//     differentially tested and benchmarked against; same semantics, none
-//     of the optimisations.
+//   - ShardedEngine: the shard-partitioned runtime (DESIGN.md §7) — one
+//     run's per-node state plane split across shards per a
+//     graph.Partition, executing unit-delay rounds window-parallel on
+//     multi-core hosts. Delivery-trace-equivalent to EventEngine at any
+//     shard count; only wall-clock time changes.
+//   - ReferenceEngine: the straightforward implementation the other
+//     engines are differentially tested and benchmarked against; same
+//     semantics, none of the optimisations.
 //   - AsyncEngine: every node is a goroutine, every link a FIFO mailbox, so
 //     message interleaving comes from the Go scheduler — true concurrency
 //     for race detection and delivery-order-independence tests.
@@ -29,6 +34,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"mdegst/internal/graph"
 )
@@ -126,11 +132,13 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("t=%6.2f  %d -> %d  %s(%d words)", e.Time, e.From, e.To, e.Msg.Kind(), e.Msg.Words())
 }
 
+// checkNeighbor enforces the point-to-point model on every fallback-path
+// Send. Neighbour lists are ascending (the CSR invariant), so membership is
+// a binary search rather than a linear scan — ReferenceEngine pays this on
+// every message, and hub nodes of the heavy-tailed workloads have degrees
+// in the hundreds.
 func checkNeighbor(neighbors []NodeID, from, to NodeID) {
-	for _, n := range neighbors {
-		if n == to {
-			return
-		}
+	if _, ok := slices.BinarySearch(neighbors, to); !ok {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", from, to))
 	}
-	panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", from, to))
 }

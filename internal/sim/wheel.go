@@ -77,9 +77,11 @@ func (q *bucketQueue) push(e event) {
 	q.size++
 }
 
-// pop removes and returns the minimum (time, sequence) event. The caller
-// must ensure the queue is non-empty.
-func (q *bucketQueue) pop() event {
+// peek returns the minimum (time, sequence) event without removing it,
+// rotating past exhausted buckets and sorting the bucket that becomes
+// current (the same positioning work pop would do). The caller must ensure
+// the queue is non-empty.
+func (q *bucketQueue) peek() event {
 	slot := q.cur & wheelMask
 	b := q.buckets[slot]
 	for q.pos >= len(b) {
@@ -94,8 +96,14 @@ func (q *bucketQueue) pop() event {
 		b = q.buckets[slot]
 		sortEvents(b)
 	}
-	e := b[q.pos]
-	b[q.pos] = event{} // drop the Message reference so pooled storage does not pin it
+	return b[q.pos]
+}
+
+// pop removes and returns the minimum (time, sequence) event. The caller
+// must ensure the queue is non-empty.
+func (q *bucketQueue) pop() event {
+	e := q.peek()
+	q.buckets[q.cur&wheelMask][q.pos] = event{} // drop the Message reference so pooled storage does not pin it
 	q.pos++
 	q.size--
 	return e

@@ -113,6 +113,12 @@ type Options struct {
 	// with unit delays). Use NewAsyncEngine for true concurrency or
 	// NewRandomDelayEngine for a seeded asynchrony adversary.
 	Engine Engine
+	// Shards, when above 1 and Engine is nil, runs both phases on the
+	// shard-partitioned unit-delay engine: the run's per-node state plane
+	// is split into that many shards executing rounds in parallel on
+	// multi-core hosts. Results are identical to the default engine at
+	// any shard count — sharding changes wall-clock time, nothing else.
+	Shards int
 	// Seed feeds the sequential helpers (InitialRandom) and defaults any
 	// seeded engine construction.
 	Seed int64
@@ -127,6 +133,9 @@ func (o Options) engine() Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
+	if o.Shards > 1 {
+		return NewShardedEngine(o.Shards)
+	}
 	return NewUnitEngine()
 }
 
@@ -134,6 +143,19 @@ func (o Options) engine() Engine {
 // delays — the paper's time-complexity model.
 func NewUnitEngine() Engine {
 	return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true}
+}
+
+// NewShardedEngine returns the shard-partitioned unit-delay engine: one
+// run's protocol instances, mailboxes and delivery queues are split into
+// the given number of state shards, which execute each delivery window in
+// parallel and
+// exchange cross-shard messages at round barriers. Delivery traces,
+// reports and resulting trees are bit-identical to NewUnitEngine at any
+// shard count (DESIGN.md §7); only wall-clock time changes. Worthwhile for
+// large single runs on multi-core hosts — for many small runs, parallelise
+// across trials instead (RunExperiments, mdstrun -trials).
+func NewShardedEngine(shards int) Engine {
+	return &sim.ShardedEngine{Shards: shards, Delay: sim.UnitDelay, FIFO: true}
 }
 
 // NewRandomDelayEngine returns a seeded discrete-event engine whose delays
