@@ -48,6 +48,10 @@ func main() {
 		trials   = flag.Int("trials", 1, "number of independent seeded trials (seed, seed+1, ...)")
 		parallel = flag.Int("parallel", 0, "workers for -trials > 1 (0: GOMAXPROCS)")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
+		ckptOut  = flag.String("checkpoint", "", "freeze the improvement phase at -checkpoint-round and write the checkpoint file here, then stop (single unit-engine trial)")
+		ckptRnd  = flag.Int64("checkpoint-round", 2, "round barrier the -checkpoint freeze happens at (0: right after Init)")
+		resumeIn = flag.String("resume", "", "resume an improvement run from this checkpoint file (same graph/flags as the checkpointing run) and finish it")
+		traceBin = flag.String("tracebin", "", "write the single trial's delivery trace in the compact binary form to this file")
 		dotOut   = flag.String("dot", "", "write the final tree (with non-tree edges dashed) as Graphviz DOT to this file (single trial only)")
 		verbose  = flag.Bool("verbose", false, "print message breakdown by kind and round (single trial only)")
 	)
@@ -105,6 +109,109 @@ func main() {
 		}
 	}
 
+	// Checkpoint/resume path: freeze the improvement phase at a round
+	// barrier, or continue a frozen run — the kill/restart workflow of the
+	// wire-format message plane (DESIGN.md §8). The startup spanning tree
+	// is rebuilt deterministically from the flags, so the resumed pipeline
+	// reports totals identical to the uninterrupted run.
+	if *ckptOut != "" || *resumeIn != "" {
+		if *ckptOut != "" && *resumeIn != "" {
+			fatal(fmt.Errorf("-checkpoint and -resume are mutually exclusive"))
+		}
+		if *trials != 1 {
+			fatal(fmt.Errorf("-checkpoint/-resume run a single trial"))
+		}
+		if *engine != "unit" {
+			fatal(fmt.Errorf("-checkpoint/-resume require -engine unit (round barriers exist only there)"))
+		}
+		if *traceBin != "" {
+			fatal(fmt.Errorf("-tracebin is not supported with -checkpoint/-resume"))
+		}
+		if *dotOut != "" && *ckptOut != "" {
+			fatal(fmt.Errorf("-dot needs a finished run; use it with -resume, not -checkpoint"))
+		}
+		c := shared
+		if c == nil {
+			g, _, err := buildGraph(*family, *n, *m, *p, *k, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			c = mdegst.Compile(g)
+		}
+		opts := mdegst.Options{Seed: *seed, TargetDegree: *target, Mode: runMode, Initial: runInitial, Shards: *shards}
+		t0, setup, err := mdegst.BuildSpanningTreeCompiled(c, runInitial, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *ckptOut != "" {
+			f, err := os.Create(*ckptOut)
+			if err != nil {
+				fatal(err)
+			}
+			written, err := mdegst.CheckpointImprove(c, t0, opts, *ckptRnd, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if !written {
+				os.Remove(*ckptOut)
+				fatal(fmt.Errorf("improvement quiesced before round %d; no checkpoint written", *ckptRnd))
+			}
+			fmt.Printf("improvement frozen at round barrier %d -> %s (resume with -resume %s)\n", *ckptRnd, *ckptOut, *ckptOut)
+			return
+		}
+		f, err := os.Open(*resumeIn)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := mdegst.ResumeImprove(c, t0, opts, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res.Setup = setup
+		if setup != nil {
+			res.Total.Add(setup)
+		}
+		printSingle(c.Source(), res, *initial, *verbose)
+		if *dotOut != "" {
+			writeDOT(*dotOut, c.Source(), res)
+		}
+		if *jsonOut != "" {
+			if err := writeResults(*jsonOut, []trialResult{toTrialResult(*seed, c.Source(), res)}); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	// An armed binary trace writer observes the single trial's deliveries
+	// (validated below: -tracebin implies one trial on a tracing engine).
+	var btw *mdegst.BinaryTraceWriter
+	if *traceBin != "" {
+		if *trials != 1 {
+			fatal(fmt.Errorf("-tracebin records a single trial"))
+		}
+		if *engine == "async" {
+			fatal(fmt.Errorf("-tracebin requires a deterministic engine (unit or random)"))
+		}
+		f, err := os.Create(*traceBin)
+		if err != nil {
+			fatal(err)
+		}
+		btw = mdegst.NewBinaryTraceWriter(f)
+		defer func() {
+			if err := btw.Close(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	runTrial := func(s int64) (*mdegst.Graph, *mdegst.Result, error) {
 		c := shared
 		if c == nil {
@@ -114,16 +221,22 @@ func main() {
 			}
 			c = mdegst.Compile(g)
 		}
+		var trace func(mdegst.TraceEvent)
+		if btw != nil {
+			trace = btw.Trace
+		}
 		opts := mdegst.Options{Seed: s, TargetDegree: *target, Mode: runMode, Initial: runInitial}
 		switch *engine {
 		case "unit":
+			// The tracing constructors treat a nil callback as plain
+			// engines, so one wiring covers -tracebin and ordinary runs.
 			if *shards > 1 {
-				opts.Engine = mdegst.NewShardedEngine(*shards)
+				opts.Engine = mdegst.NewTracingShardedEngine(*shards, trace)
 			} else {
-				opts.Engine = mdegst.NewUnitEngine()
+				opts.Engine = mdegst.NewTracingEngine(trace)
 			}
 		case "random":
-			opts.Engine = mdegst.NewRandomDelayEngine(s)
+			opts.Engine = mdegst.NewTracingRandomDelayEngine(s, trace)
 		case "async":
 			opts.Engine = mdegst.NewAsyncEngine()
 		}

@@ -36,9 +36,8 @@ func main() {
 	fmt.Println("=== Figure 1: the tree before improvement ===")
 	fmt.Print(t0)
 
-	// A TraceEvent's Msg is only valid during the callback (protocols may
-	// recycle message objects after processing), so everything the timeline
-	// needs is extracted here and the Msg pointer is not retained.
+	// A TraceEvent's Msg is a flat value record; the timeline extracts the
+	// rendered kind per event.
 	type step struct {
 		time     float64
 		from, to mdegst.NodeID
@@ -47,7 +46,7 @@ func main() {
 	var events []step
 	res, err := mdegst.Improve(g, t0, mdegst.Options{
 		Engine: mdegst.NewTracingEngine(func(e mdegst.TraceEvent) {
-			if e.Msg == nil {
+			if !e.IsMessage() {
 				return
 			}
 			events = append(events, step{time: e.Time, from: e.From, to: e.To, kind: e.Msg.Kind()})

@@ -14,18 +14,29 @@ import (
 	"mdegst/internal/tree"
 )
 
-// payload is the broadcast message; Words models a payload chunk plus the
-// kind tag.
-type payload struct{ hop int }
+// The package's wire schema. payload is the broadcast message (one word
+// models the payload chunk, plus the kind tag); ack is the convergecast
+// reply carrying an aggregated value. The synchronizer records (sync.go)
+// share the schema.
+var wire = sim.Register("apps",
+	sim.OpSpec{Kind: "app.payload", MinPayload: 1, MaxPayload: 1},
+	sim.OpSpec{Kind: "app.ack", MinPayload: 1, MaxPayload: 1},
+	sim.OpSpec{Kind: "sync.alg", MinPayload: 2, MaxPayload: 2, Rounded: true},
+	sim.OpSpec{Kind: "sync.ack", MinPayload: 1, MaxPayload: 1, Rounded: true},
+	sim.OpSpec{Kind: "sync.safe", MinPayload: 3, MaxPayload: 3, Rounded: true},
+	sim.OpSpec{Kind: "sync.pulse", MinPayload: 1, MaxPayload: 1, Rounded: true},
+	sim.OpSpec{Kind: "sync.halt", MinPayload: 1, MaxPayload: 1},
+)
 
-func (payload) Kind() string { return "app.payload" }
-func (payload) Words() int   { return 2 }
-
-// ack is the convergecast reply carrying an aggregated value.
-type ack struct{ value int64 }
-
-func (ack) Kind() string { return "app.ack" }
-func (ack) Words() int   { return 2 }
+var (
+	opPayload   = wire.Op(0)
+	opAck       = wire.Op(1)
+	opSyncAlg   = wire.Op(2)
+	opSyncAck   = wire.Op(3)
+	opSyncSafe  = wire.Op(4)
+	opSyncPulse = wire.Op(5)
+	opSyncHalt  = wire.Op(6)
+)
 
 // BroadcastNode floods a payload from the tree root down to every node and,
 // when Ack is set, convergecasts a sum of the per-node Value back up.
@@ -87,32 +98,34 @@ func (n *BroadcastNode) Init(ctx sim.Context) {
 	n.pending = len(n.children)
 	n.sum = n.Value
 	for _, c := range n.children {
-		ctx.Send(c, payload{hop: 1})
+		ctx.Send(c, sim.Msg(opPayload, 1))
 	}
 	if n.pending == 0 {
 		n.done = true
 	}
 }
 
-// Recv forwards the payload down and aggregates acks up.
-func (n *BroadcastNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
-	switch msg := m.(type) {
-	case payload:
+// Recv forwards the payload down and aggregates acks up; the single
+// payload word decodes inline.
+func (n *BroadcastNode) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
+	switch m.Op {
+	case opPayload:
 		if n.received {
 			panic(fmt.Sprintf("apps: node %d received a second payload", n.id))
 		}
+		hop := int(m.W[0])
 		n.received = true
-		n.hops = msg.hop
+		n.hops = hop
 		n.pending = len(n.children)
 		n.sum = n.Value
 		for _, c := range n.children {
-			ctx.Send(c, payload{hop: msg.hop + 1})
+			ctx.Send(c, sim.Msg(opPayload, int64(hop+1)))
 		}
 		if n.pending == 0 {
 			n.finish(ctx)
 		}
-	case ack:
-		n.sum += msg.value
+	case opAck:
+		n.sum += m.W[0]
 		n.pending--
 		if n.pending == 0 {
 			n.finish(ctx)
@@ -125,7 +138,7 @@ func (n *BroadcastNode) finish(ctx sim.Context) {
 	if !n.withAck || n.root {
 		return
 	}
-	ctx.Send(n.parent, ack{value: n.sum})
+	ctx.Send(n.parent, sim.Msg(opAck, n.sum))
 }
 
 // Received reports whether the payload reached this node.

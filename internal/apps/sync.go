@@ -49,34 +49,18 @@ type SyncResult struct {
 	Report *sim.Report
 }
 
-// Synchronizer messages.
+// Typed views of the synchronizer wire records (registered with the
+// package schema in apps.go; the rounded ones carry the round as payload
+// word 0).
 type sAlg struct {
 	round int
 	value int64
 }
-type sAck struct{ round int }
 type sSafe struct {
 	round   int
 	allDone bool
 	sent    int64
 }
-type sPulse struct{ round int }
-type sHalt struct{ truncated bool }
-
-func (m sAlg) Kind() string    { return "sync.alg" }
-func (m sAlg) Words() int      { return 3 }
-func (m sAlg) MsgRound() int   { return m.round }
-func (m sAck) Kind() string    { return "sync.ack" }
-func (m sAck) Words() int      { return 2 }
-func (m sAck) MsgRound() int   { return m.round }
-func (m sSafe) Kind() string   { return "sync.safe" }
-func (m sSafe) Words() int     { return 4 }
-func (m sSafe) MsgRound() int  { return m.round }
-func (m sPulse) Kind() string  { return "sync.pulse" }
-func (m sPulse) Words() int    { return 2 }
-func (m sPulse) MsgRound() int { return m.round }
-func (m sHalt) Kind() string   { return "sync.halt" }
-func (m sHalt) Words() int     { return 2 }
 
 // syncNode wraps one Machine with the beta synchronizer.
 type syncNode struct {
@@ -129,11 +113,12 @@ func (n *syncNode) Init(ctx sim.Context) {
 	}
 }
 
-func (n *syncNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
-	switch msg := m.(type) {
-	case sPulse:
-		n.pulse(ctx, msg.round)
-	case sAlg:
+func (n *syncNode) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
+	switch m.Op {
+	case opSyncPulse:
+		n.pulse(ctx, int(m.W[0]))
+	case opSyncAlg:
+		msg := sAlg{round: int(m.W[0]), value: m.W[1]}
 		if msg.round != n.round && msg.round != n.round+1 {
 			panic(fmt.Sprintf("sync: node %d in round %d got algorithm message of round %d", n.id, n.round, msg.round))
 		}
@@ -143,14 +128,15 @@ func (n *syncNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
 			n.inbox[msg.round] = box
 		}
 		box[from] = msg.value
-		ctx.Send(from, sAck{round: msg.round})
-	case sAck:
-		if msg.round != n.round {
-			panic(fmt.Sprintf("sync: node %d in round %d got ack of round %d", n.id, n.round, msg.round))
+		ctx.Send(from, sim.Msg(opSyncAck, int64(msg.round)))
+	case opSyncAck:
+		if round := int(m.W[0]); round != n.round {
+			panic(fmt.Sprintf("sync: node %d in round %d got ack of round %d", n.id, n.round, round))
 		}
 		n.ackPending--
 		n.maybeSafe(ctx)
-	case sSafe:
+	case opSyncSafe:
+		msg := sSafe{round: int(m.W[0]), allDone: m.W[1] != 0, sent: m.W[2]}
 		if msg.round != n.round {
 			panic(fmt.Sprintf("sync: node %d in round %d got safe of round %d", n.id, n.round, msg.round))
 		}
@@ -158,14 +144,14 @@ func (n *syncNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
 		n.aggDone = n.aggDone && msg.allDone
 		n.aggSent += msg.sent
 		n.maybeSafe(ctx)
-	case sHalt:
+	case opSyncHalt:
 		n.finished = true
-		n.truncated = msg.truncated
+		n.truncated = m.W[0] != 0
 		for _, c := range n.children {
 			ctx.Send(c, m)
 		}
 	default:
-		panic(fmt.Sprintf("sync: unexpected message %T", m))
+		panic(fmt.Sprintf("sync: unexpected message %s", m.Kind()))
 	}
 }
 
@@ -185,12 +171,12 @@ func (n *syncNode) pulse(ctx sim.Context, r int) {
 	n.ackPending = len(send)
 	n.safeKids = len(n.children)
 	for _, c := range n.children {
-		ctx.Send(c, sPulse{round: r})
+		ctx.Send(c, sim.Msg(opSyncPulse, int64(r)))
 	}
 	// Deterministic send order.
 	for _, w := range ctx.Neighbors() {
 		if v, ok := send[w]; ok {
-			ctx.Send(w, sAlg{round: r, value: v})
+			ctx.Send(w, sim.Msg(opSyncAlg, int64(r), v))
 		}
 	}
 	n.maybeSafe(ctx)
@@ -204,7 +190,7 @@ func (n *syncNode) maybeSafe(ctx sim.Context) {
 	}
 	n.ackPending = -1 // fire once per round
 	if !n.root {
-		ctx.Send(n.parent, sSafe{round: n.round, allDone: n.aggDone, sent: n.aggSent})
+		ctx.Send(n.parent, sim.Msg(opSyncSafe, int64(n.round), sim.B2W(n.aggDone), n.aggSent))
 		return
 	}
 	// Root decision: halt when the algorithm is globally quiet, truncate
@@ -223,7 +209,7 @@ func (n *syncNode) halt(ctx sim.Context, truncated bool) {
 	n.finished = true
 	n.truncated = truncated
 	for _, c := range n.children {
-		ctx.Send(c, sHalt{truncated: truncated})
+		ctx.Send(c, sim.Msg(opSyncHalt, sim.B2W(truncated)))
 	}
 }
 

@@ -157,27 +157,64 @@ func TestChildListMaintenance(t *testing.T) {
 }
 
 func TestMessageWords(t *testing.T) {
-	// The bit-complexity accounting depends on these sizes; pin them.
+	// The bit-complexity accounting depends on these sizes; pin the encoded
+	// records (kind tag + payload words, derived by WireMsg.Words).
 	cases := []struct {
-		m    interface{ Words() int }
+		m    sim.WireMsg
 		want int
 	}{
-		{mStart{}, 4},
-		{mDeg{}, 4},
-		{mMove{}, 4},
-		{mCut{}, 4},
-		{mBFS{}, 5},
-		{mCousin{}, 5},
-		{mBFSBack{}, 3},
-		{mBFSBack{hasReport: true}, 9},
-		{mUpdate{}, 5},
-		{mChild{}, 2},
-		{mRoundDone{}, 2},
-		{mTerm{}, 2},
+		{newStart(1, false, Single), 4},
+		{newDeg(1, 3, 2), 4},
+		{newMove(1, 3, 2), 4},
+		{newCut(1, 3, 2), 4},
+		{newBFS(1, 3, 2, 4), 5},
+		{newCousin(1, 3, 2, 4), 5},
+		{newBFSBack(1, false, edgeReport{}, true), 3},
+		{newBFSBack(1, true, edgeReport{u: 1, v: 2, du: 3, dv: 4, vroot: 5}, true), 9},
+		{newUpdate(1, 2, 3, true), 5},
+		{newChild(1), 2},
+		{newRoundDone(1), 2},
+		{newTerm(1), 2},
 	}
 	for _, tc := range cases {
 		if got := tc.m.Words(); got != tc.want {
-			t.Errorf("%T words = %d, want %d", tc.m, got, tc.want)
+			t.Errorf("%s words = %d, want %d", tc.m.Kind(), got, tc.want)
 		}
+		if err := tc.m.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.m.Kind(), err)
+		}
+	}
+}
+
+// TestMessageRoundTrip pins the decode layer against the constructors:
+// every record decodes back to the field values it was built from.
+func TestMessageRoundTrip(t *testing.T) {
+	rep := edgeReport{u: 7, v: 9, du: 3, dv: 2, vroot: 11}
+	if got := decStart(newStart(4, true, Multi)); got != (mStart{round: 4, clear: true, phase: Multi}) {
+		t.Errorf("start round-trip: %+v", got)
+	}
+	if got := decDeg(newDeg(4, 6, noCand)); got != (mDeg{round: 4, k: 6, cand: noCand}) {
+		t.Errorf("deg round-trip: %+v", got)
+	}
+	if got := decMove(newMove(4, 6, 9)); got != (mMove{round: 4, k: 6, target: 9}) {
+		t.Errorf("move round-trip: %+v", got)
+	}
+	if got := decCut(newCut(4, 6, 2)); got != (mCut{round: 4, k: 6, owner: 2}) {
+		t.Errorf("cut round-trip: %+v", got)
+	}
+	if got := decBFS(newBFS(4, 6, 2, 3)); got != (mBFS{round: 4, k: 6, owner: 2, fragRoot: 3}) {
+		t.Errorf("bfs round-trip: %+v", got)
+	}
+	if got := decCousin(newCousin(4, 6, 2, 3)); got != (mCousin{round: 4, deg: 6, owner: 2, fragRoot: 3}) {
+		t.Errorf("cousin round-trip: %+v", got)
+	}
+	if got := decBFSBack(newBFSBack(4, true, rep, true)); got != (mBFSBack{round: 4, hasReport: true, report: rep, improved: true}) {
+		t.Errorf("bfsback long round-trip: %+v", got)
+	}
+	if got := decBFSBack(newBFSBack(4, false, edgeReport{}, true)); got != (mBFSBack{round: 4, improved: true}) {
+		t.Errorf("bfsback short round-trip: %+v", got)
+	}
+	if got := decUpdate(newUpdate(4, 7, 9, true)); got != (mUpdate{round: 4, u: 7, v: 9, first: true}) {
+		t.Errorf("update round-trip: %+v", got)
 	}
 }

@@ -89,6 +89,23 @@ func RunTargetSnapshot(eng sim.Engine, c *graph.CSR, initial *tree.Tree, mode Mo
 	return Extract(g, initial, protos, rep)
 }
 
+// ResumeTargetSnapshot continues a checkpointed improvement run: the
+// factory is rebuilt from the same initial tree and mode, the engine
+// restores the frozen states and pending messages, and the completed
+// Result — tree, report, rounds, swaps — is identical to the uninterrupted
+// run's.
+func ResumeTargetSnapshot(eng sim.ResumableEngine, c *graph.CSR, initial *tree.Tree, mode Mode, target int, ck *sim.Checkpoint) (*Result, error) {
+	g := c.Source()
+	if err := initial.Validate(g); err != nil {
+		return nil, fmt.Errorf("mdst: initial tree invalid: %w", err)
+	}
+	protos, rep, err := eng.ResumeSnapshot(c, FactoryFromTree(mode, target, initial), ck)
+	if err != nil {
+		return nil, err
+	}
+	return Extract(g, initial, protos, rep)
+}
+
 // Extract assembles a Result from final protocol states.
 func Extract(g *graph.Graph, initial *tree.Tree, protos map[sim.NodeID]sim.Protocol, rep *sim.Report) (*Result, error) {
 	var root sim.NodeID

@@ -1,30 +1,53 @@
 package mdst
 
-import (
-	"sync"
+import "mdegst/internal/sim"
 
-	"mdegst/internal/sim"
+// Message vocabulary of the improvement protocol, registered as the wire
+// schema "mdst" (DESIGN.md §8). Every message carries its round number as
+// payload word 0 so the engines can attribute counts per round and the
+// nodes can defer messages that arrive ahead of their local round (needed
+// only under non-FIFO delivery; under the paper's FIFO channels the round
+// tags act as assertions).
+//
+// Messages travel as flat sim.WireMsg records — an opcode plus the
+// identities/integers carried — and the word counts of the paper's "at
+// most four numbers or identities by message" bit-complexity accounting
+// are derived from the records themselves (opcode/kind tag + payload
+// words; our BFSBack aggregate is larger, see DESIGN.md deviation notes
+// and experiment E6). The typed structs below are a decode layer only:
+// each handler decodes its record at entry so the protocol logic reads as
+// before, and the constructors encode at the send boundary. No message
+// ever exists as a heap object: the former pooled-pointer scheme (and the
+// interface boxing before it) is gone entirely.
+
+// wire is the registered schema; opcode order is the declaration order.
+var wire = sim.Register("mdst",
+	sim.OpSpec{Kind: "mdst.start", MinPayload: 3, MaxPayload: 3, Rounded: true},
+	sim.OpSpec{Kind: "mdst.deg", MinPayload: 3, MaxPayload: 3, Rounded: true},
+	sim.OpSpec{Kind: "mdst.move", MinPayload: 3, MaxPayload: 3, Rounded: true},
+	sim.OpSpec{Kind: "mdst.cut", MinPayload: 3, MaxPayload: 3, Rounded: true},
+	sim.OpSpec{Kind: "mdst.bfs", MinPayload: 4, MaxPayload: 4, Rounded: true},
+	sim.OpSpec{Kind: "mdst.cousin", MinPayload: 4, MaxPayload: 4, Rounded: true},
+	sim.OpSpec{Kind: "mdst.bfsback", MinPayload: 2, MaxPayload: 8, Rounded: true},
+	sim.OpSpec{Kind: "mdst.update", MinPayload: 4, MaxPayload: 4, Rounded: true},
+	sim.OpSpec{Kind: "mdst.child", MinPayload: 1, MaxPayload: 1, Rounded: true},
+	sim.OpSpec{Kind: "mdst.rounddone", MinPayload: 1, MaxPayload: 1, Rounded: true},
+	sim.OpSpec{Kind: "mdst.term", MinPayload: 1, MaxPayload: 1, Rounded: true},
 )
 
-// Message vocabulary of the improvement protocol. Every message carries its
-// round number so the engines can attribute counts per round and the nodes
-// can defer messages that arrive ahead of their local round (needed only
-// under non-FIFO delivery; under the paper's FIFO channels the round tags
-// act as assertions).
-//
-// Words counts the identities/integers carried including the kind tag,
-// implementing the paper's "at most four numbers or identities by message"
-// bit-complexity accounting (our BFSBack aggregate is larger; see DESIGN.md
-// deviation notes and experiment E6).
-//
-// Messages are sent as pooled pointers: converting a value struct to the
-// sim.Message interface heap-allocates, and with O((k-k*)·m) messages per
-// run that boxing dominated the whole pipeline's allocation profile (~99%
-// of allocs/op on the BENCH_baseline engine workload). Each message is
-// delivered to exactly one receiver, which recycles it after its handler
-// ran (see Node.Recv); a message deferred by the paper's "delay until the
-// fragment identity is known" rule is simply recycled later. The pools are
-// per-kind sync.Pools, so the scheme stays safe under the goroutine engine.
+var (
+	opStart     = wire.Op(0)
+	opDeg       = wire.Op(1)
+	opMove      = wire.Op(2)
+	opCut       = wire.Op(3)
+	opBFS       = wire.Op(4)
+	opCousin    = wire.Op(5)
+	opBFSBack   = wire.Op(6)
+	opUpdate    = wire.Op(7)
+	opChild     = wire.Op(8)
+	opRoundDone = wire.Op(9)
+	opTerm      = wire.Op(10)
+)
 
 // noCand marks the absence of an improvement candidate in the SearchDegree
 // convergecast (all maximum-degree nodes exhausted).
@@ -39,6 +62,14 @@ type mStart struct {
 	phase Mode
 }
 
+func newStart(round int, clear bool, phase Mode) sim.WireMsg {
+	return sim.Msg(opStart, int64(round), sim.B2W(clear), int64(phase))
+}
+
+func decStart(m sim.WireMsg) mStart {
+	return mStart{round: int(m.W[0]), clear: m.W[1] != 0, phase: Mode(m.W[2])}
+}
+
 // mDeg is the SearchDegree convergecast: the maximum tree degree in the
 // sender's subtree and the minimum identity of an eligible node attaining
 // it (noCand if none).
@@ -46,6 +77,14 @@ type mDeg struct {
 	round int
 	k     int
 	cand  sim.NodeID
+}
+
+func newDeg(round, k int, cand sim.NodeID) sim.WireMsg {
+	return sim.Msg(opDeg, int64(round), int64(k), int64(cand))
+}
+
+func decDeg(m sim.WireMsg) mDeg {
+	return mDeg{round: int(m.W[0]), k: int(m.W[1]), cand: sim.NodeID(m.W[2])}
 }
 
 // mMove implements MoveRoot: it travels along the stored "via" pointers
@@ -56,6 +95,14 @@ type mMove struct {
 	target sim.NodeID
 }
 
+func newMove(round, k int, target sim.NodeID) sim.WireMsg {
+	return sim.Msg(opMove, int64(round), int64(k), int64(target))
+}
+
+func decMove(m sim.WireMsg) mMove {
+	return mMove{round: int(m.W[0]), k: int(m.W[1]), target: sim.NodeID(m.W[2])}
+}
+
 // mCut is the paper's <cut, k, p>: the owner virtually severs its children,
 // making each the root of a fragment.
 type mCut struct {
@@ -64,12 +111,28 @@ type mCut struct {
 	owner sim.NodeID
 }
 
+func newCut(round, k int, owner sim.NodeID) sim.WireMsg {
+	return sim.Msg(opCut, int64(round), int64(k), int64(owner))
+}
+
+func decCut(m sim.WireMsg) mCut {
+	return mCut{round: int(m.W[0]), k: int(m.W[1]), owner: sim.NodeID(m.W[2])}
+}
+
 // mBFS is the paper's <BFS, k, p, p'> fragment wave.
 type mBFS struct {
 	round    int
 	k        int
 	owner    sim.NodeID
 	fragRoot sim.NodeID
+}
+
+func newBFS(round, k int, owner, fragRoot sim.NodeID) sim.WireMsg {
+	return sim.Msg(opBFS, int64(round), int64(k), int64(owner), int64(fragRoot))
+}
+
+func decBFS(m sim.WireMsg) mBFS {
+	return mBFS{round: int(m.W[0]), k: int(m.W[1]), owner: sim.NodeID(m.W[2]), fragRoot: sim.NodeID(m.W[3])}
 }
 
 // mCousin answers a BFS probe across a non-tree edge: the replier's tree
@@ -82,14 +145,59 @@ type mCousin struct {
 	fragRoot sim.NodeID
 }
 
+func newCousin(round, deg int, owner, fragRoot sim.NodeID) sim.WireMsg {
+	return sim.Msg(opCousin, int64(round), int64(deg), int64(owner), int64(fragRoot))
+}
+
+func decCousin(m sim.WireMsg) mCousin {
+	return mCousin{round: int(m.W[0]), deg: int(m.W[1]), owner: sim.NodeID(m.W[2]), fragRoot: sim.NodeID(m.W[3])}
+}
+
 // mBFSBack is the aggregate convergecast up a fragment: the best outgoing
 // edge found in the sender's subtree (the paper's "BFSBack" with the
-// parenthesised edge slot) plus the multi-root improvement flag.
+// parenthesised edge slot) plus the multi-root improvement flag. It is the
+// schema's one variable-size record: the short form (no edge to report)
+// carries round and the improvement flag; the long form adds the explicit
+// report flag and the five edge-report words, preserving the historical
+// 3-vs-9-word accounting.
 type mBFSBack struct {
 	round     int
 	hasReport bool
 	report    edgeReport
 	improved  bool
+}
+
+func newBFSBack(round int, hasReport bool, report edgeReport, improved bool) sim.WireMsg {
+	m := sim.WireMsg{Op: opBFSBack}
+	m.W[0] = int64(round)
+	if !hasReport {
+		m.Nw = 2
+		m.W[1] = sim.B2W(improved)
+		return m
+	}
+	m.Nw = 8
+	m.W[1] = 1
+	m.W[2] = sim.B2W(improved)
+	m.W[3], m.W[4] = int64(report.u), int64(report.v)
+	m.W[5], m.W[6] = int64(report.du), int64(report.dv)
+	m.W[7] = int64(report.vroot)
+	return m
+}
+
+func decBFSBack(m sim.WireMsg) mBFSBack {
+	if m.Nw == 2 {
+		return mBFSBack{round: int(m.W[0]), improved: m.W[1] != 0}
+	}
+	return mBFSBack{
+		round:     int(m.W[0]),
+		hasReport: m.W[1] != 0,
+		improved:  m.W[2] != 0,
+		report: edgeReport{
+			u: sim.NodeID(m.W[3]), v: sim.NodeID(m.W[4]),
+			du: int(m.W[5]), dv: int(m.W[6]),
+			vroot: sim.NodeID(m.W[7]),
+		},
+	}
 }
 
 // mUpdate travels from the owner down the via chain to the chosen outgoing
@@ -100,10 +208,20 @@ type mUpdate struct {
 	first bool // true on the hop leaving the owner (the cut edge)
 }
 
+func newUpdate(round int, u, v sim.NodeID, first bool) sim.WireMsg {
+	return sim.Msg(opUpdate, int64(round), int64(u), int64(v), sim.B2W(first))
+}
+
+func decUpdate(m sim.WireMsg) mUpdate {
+	return mUpdate{round: int(m.W[0]), u: sim.NodeID(m.W[1]), v: sim.NodeID(m.W[2]), first: m.W[3] != 0}
+}
+
 // mChild is the paper's "child" message: the reattachment handshake.
 type mChild struct {
 	round int
 }
+
+func newChild(round int) sim.WireMsg { return sim.Msg(opChild, int64(round)) }
 
 // mRoundDone notifies the waiting owner that its exchange completed ("a
 // round is terminated when a node received a child message"); the paper
@@ -113,164 +231,15 @@ type mRoundDone struct {
 	round int
 }
 
+func newRoundDone(round int) sim.WireMsg { return sim.Msg(opRoundDone, int64(round)) }
+
 // mTerm is the final broadcast: the tree is locally optimal (or a chain);
 // every node learns termination by process.
 type mTerm struct {
 	round int
 }
 
-func (m mStart) Kind() string      { return "mdst.start" }
-func (m mStart) Words() int        { return 4 }
-func (m mStart) MsgRound() int     { return m.round }
-func (m mDeg) Kind() string        { return "mdst.deg" }
-func (m mDeg) Words() int          { return 4 }
-func (m mDeg) MsgRound() int       { return m.round }
-func (m mMove) Kind() string       { return "mdst.move" }
-func (m mMove) Words() int         { return 4 }
-func (m mMove) MsgRound() int      { return m.round }
-func (m mCut) Kind() string        { return "mdst.cut" }
-func (m mCut) Words() int          { return 4 }
-func (m mCut) MsgRound() int       { return m.round }
-func (m mBFS) Kind() string        { return "mdst.bfs" }
-func (m mBFS) Words() int          { return 5 }
-func (m mBFS) MsgRound() int       { return m.round }
-func (m mCousin) Kind() string     { return "mdst.cousin" }
-func (m mCousin) Words() int       { return 5 }
-func (m mCousin) MsgRound() int    { return m.round }
-func (m mBFSBack) Kind() string    { return "mdst.bfsback" }
-func (m mBFSBack) MsgRound() int   { return m.round }
-func (m mUpdate) Kind() string     { return "mdst.update" }
-func (m mUpdate) Words() int       { return 5 }
-func (m mUpdate) MsgRound() int    { return m.round }
-func (m mChild) Kind() string      { return "mdst.child" }
-func (m mChild) Words() int        { return 2 }
-func (m mChild) MsgRound() int     { return m.round }
-func (m mRoundDone) Kind() string  { return "mdst.rounddone" }
-func (m mRoundDone) Words() int    { return 2 }
-func (m mRoundDone) MsgRound() int { return m.round }
-func (m mTerm) Kind() string       { return "mdst.term" }
-func (m mTerm) Words() int         { return 2 }
-func (m mTerm) MsgRound() int      { return m.round }
-
-func (m mBFSBack) Words() int {
-	if m.hasReport {
-		return 9
-	}
-	return 3
-}
-
-// Per-kind message pools and constructors. Handlers hand processed messages
-// back through recycleMsg; constructors hand out a zeroed-and-refilled
-// instance.
-var (
-	poolStart     = sync.Pool{New: func() any { return new(mStart) }}
-	poolDeg       = sync.Pool{New: func() any { return new(mDeg) }}
-	poolMove      = sync.Pool{New: func() any { return new(mMove) }}
-	poolCut       = sync.Pool{New: func() any { return new(mCut) }}
-	poolBFS       = sync.Pool{New: func() any { return new(mBFS) }}
-	poolCousin    = sync.Pool{New: func() any { return new(mCousin) }}
-	poolBFSBack   = sync.Pool{New: func() any { return new(mBFSBack) }}
-	poolUpdate    = sync.Pool{New: func() any { return new(mUpdate) }}
-	poolChild     = sync.Pool{New: func() any { return new(mChild) }}
-	poolRoundDone = sync.Pool{New: func() any { return new(mRoundDone) }}
-	poolTerm      = sync.Pool{New: func() any { return new(mTerm) }}
-)
-
-func newStart(round int, clear bool, phase Mode) *mStart {
-	m := poolStart.Get().(*mStart)
-	*m = mStart{round: round, clear: clear, phase: phase}
-	return m
-}
-
-func newDeg(round, k int, cand sim.NodeID) *mDeg {
-	m := poolDeg.Get().(*mDeg)
-	*m = mDeg{round: round, k: k, cand: cand}
-	return m
-}
-
-func newMove(round, k int, target sim.NodeID) *mMove {
-	m := poolMove.Get().(*mMove)
-	*m = mMove{round: round, k: k, target: target}
-	return m
-}
-
-func newCut(round, k int, owner sim.NodeID) *mCut {
-	m := poolCut.Get().(*mCut)
-	*m = mCut{round: round, k: k, owner: owner}
-	return m
-}
-
-func newBFS(round, k int, owner, fragRoot sim.NodeID) *mBFS {
-	m := poolBFS.Get().(*mBFS)
-	*m = mBFS{round: round, k: k, owner: owner, fragRoot: fragRoot}
-	return m
-}
-
-func newCousin(round, deg int, owner, fragRoot sim.NodeID) *mCousin {
-	m := poolCousin.Get().(*mCousin)
-	*m = mCousin{round: round, deg: deg, owner: owner, fragRoot: fragRoot}
-	return m
-}
-
-func newBFSBack(round int, hasReport bool, report edgeReport, improved bool) *mBFSBack {
-	m := poolBFSBack.Get().(*mBFSBack)
-	*m = mBFSBack{round: round, hasReport: hasReport, report: report, improved: improved}
-	return m
-}
-
-func newUpdate(round int, u, v sim.NodeID, first bool) *mUpdate {
-	m := poolUpdate.Get().(*mUpdate)
-	*m = mUpdate{round: round, u: u, v: v, first: first}
-	return m
-}
-
-func newChild(round int) *mChild {
-	m := poolChild.Get().(*mChild)
-	*m = mChild{round: round}
-	return m
-}
-
-func newRoundDone(round int) *mRoundDone {
-	m := poolRoundDone.Get().(*mRoundDone)
-	*m = mRoundDone{round: round}
-	return m
-}
-
-func newTerm(round int) *mTerm {
-	m := poolTerm.Get().(*mTerm)
-	*m = mTerm{round: round}
-	return m
-}
-
-// recycleMsg returns a processed message to its pool. Only messages created
-// by the constructors above reach Node handlers, so the type switch is
-// total; anything else (a test injecting a value message) is left to the GC.
-func recycleMsg(m sim.Message) {
-	switch v := m.(type) {
-	case *mStart:
-		poolStart.Put(v)
-	case *mDeg:
-		poolDeg.Put(v)
-	case *mMove:
-		poolMove.Put(v)
-	case *mCut:
-		poolCut.Put(v)
-	case *mBFS:
-		poolBFS.Put(v)
-	case *mCousin:
-		poolCousin.Put(v)
-	case *mBFSBack:
-		poolBFSBack.Put(v)
-	case *mUpdate:
-		poolUpdate.Put(v)
-	case *mChild:
-		poolChild.Put(v)
-	case *mRoundDone:
-		poolRoundDone.Put(v)
-	case *mTerm:
-		poolTerm.Put(v)
-	}
-}
+func newTerm(round int) sim.WireMsg { return sim.Msg(opTerm, int64(round)) }
 
 // edgeReport describes a recorded outgoing edge: u is the endpoint on the
 // recording (smaller fragment identity) side, v the far endpoint, du/dv

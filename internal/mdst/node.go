@@ -76,7 +76,7 @@ func mergeAgg(a, b degAgg) degAgg {
 
 type deferredMsg struct {
 	from sim.NodeID
-	msg  sim.Message
+	msg  sim.WireMsg
 }
 
 // Node is one processor of the distributed MDegST improvement protocol.
@@ -178,14 +178,13 @@ func (n *Node) Init(ctx sim.Context) {
 // Recv dispatches one message, deferring those that arrive ahead of this
 // node's round or before its fragment identity is known (the paper's
 // "the answer has to be delayed until x learns its fragment identity").
-// Processed messages are recycled to their pool: each message has exactly
-// one receiver, and nothing outlives its handler.
-func (n *Node) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
+// Messages are flat wire records: deferring one is a value copy, and a
+// processed one simply goes out of scope.
+func (n *Node) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
 	if !n.process(ctx, from, m) {
 		n.deferred = append(n.deferred, deferredMsg{from: from, msg: m})
 		return
 	}
-	recycleMsg(m)
 	n.retryDeferred(ctx)
 }
 
@@ -195,7 +194,6 @@ func (n *Node) retryDeferred(ctx sim.Context) {
 		for i := 0; i < len(n.deferred); i++ {
 			d := n.deferred[i]
 			if n.process(ctx, d.from, d.msg) {
-				recycleMsg(d.msg)
 				n.deferred = append(n.deferred[:i], n.deferred[i+1:]...)
 				progress = true
 				i--
@@ -204,45 +202,47 @@ func (n *Node) retryDeferred(ctx sim.Context) {
 	}
 }
 
-// process handles one message, returning false to defer it.
-func (n *Node) process(ctx sim.Context, from sim.NodeID, m sim.Message) bool {
+// process handles one message, returning false to defer it. The wire
+// record decodes to its typed view here, at the protocol boundary; the
+// handlers below work on the structs.
+func (n *Node) process(ctx sim.Context, from sim.NodeID, m sim.WireMsg) bool {
 	if n.terminated {
 		panic(fmt.Sprintf("mdst: node %d received %s after termination", n.id, m.Kind()))
 	}
-	round := m.(sim.Rounder).MsgRound()
+	round := int(m.W[0]) // every mdst record is Rounded: word 0 is the round
 	if round > n.round {
-		if _, ok := m.(*mStart); !ok {
+		if m.Op != opStart {
 			return false // ahead of our round: wait for mStart (non-FIFO only)
 		}
 	}
 	if round < n.round {
 		panic(fmt.Sprintf("mdst: node %d in round %d received stale %s of round %d", n.id, n.round, m.Kind(), round))
 	}
-	switch msg := m.(type) {
-	case *mStart:
-		n.onStart(ctx, from, *msg)
-	case *mDeg:
-		n.onDeg(ctx, from, *msg)
-	case *mMove:
-		n.onMove(ctx, from, *msg)
-	case *mCut:
-		n.onCut(ctx, from, *msg)
-	case *mBFS:
-		return n.onBFS(ctx, from, *msg)
-	case *mCousin:
-		n.onCousin(ctx, from, *msg)
-	case *mBFSBack:
-		n.onBFSBack(ctx, from, *msg)
-	case *mUpdate:
-		n.onUpdate(ctx, from, *msg)
-	case *mChild:
-		n.onChild(ctx, from, *msg)
-	case *mRoundDone:
-		n.onRoundDone(ctx, from, *msg)
-	case *mTerm:
-		n.onTerm(ctx, *msg)
+	switch m.Op {
+	case opStart:
+		n.onStart(ctx, from, decStart(m))
+	case opDeg:
+		n.onDeg(ctx, from, decDeg(m))
+	case opMove:
+		n.onMove(ctx, from, decMove(m))
+	case opCut:
+		n.onCut(ctx, from, decCut(m))
+	case opBFS:
+		return n.onBFS(ctx, from, decBFS(m))
+	case opCousin:
+		n.onCousin(ctx, from, decCousin(m))
+	case opBFSBack:
+		n.onBFSBack(ctx, from, decBFSBack(m))
+	case opUpdate:
+		n.onUpdate(ctx, from, decUpdate(m))
+	case opChild:
+		n.onChild(ctx, from, mChild{round: round})
+	case opRoundDone:
+		n.onRoundDone(ctx, from, mRoundDone{round: round})
+	case opTerm:
+		n.onTerm(ctx, mTerm{round: round})
 	default:
-		panic(fmt.Sprintf("mdst: unexpected message %T", m))
+		panic(fmt.Sprintf("mdst: unexpected message %s", m.Kind()))
 	}
 	return true
 }

@@ -1,0 +1,125 @@
+package mdst
+
+import (
+	"fmt"
+
+	"mdegst/internal/sim"
+)
+
+// StateCodec implementation: the improvement protocol supports barrier
+// checkpoint/resume (DESIGN.md §8). The encoded state is everything Recv
+// can have mutated — the tree view, the cross-round flags, the per-round
+// search/fragment/owner machinery and the deferred-message list. The
+// factory-construction inputs (identity, mode, target) are not encoded:
+// Resume rebuilds nodes through the same Factory before decoding.
+//
+// Encode and Decode walk the fields in one fixed order; the decoder's
+// sticky error plus the engine's trailing-bytes check catch any drift
+// between the two.
+
+// EncodeState implements sim.StateCodec.
+func (n *Node) EncodeState(e *sim.StateEncoder) {
+	e.Int(int64(n.phase))
+	e.ID(n.parent)
+	e.Bool(n.hasParent)
+	e.IDs(n.children)
+	e.Int(int64(n.round))
+	e.Bool(n.exhausted)
+	e.Bool(n.terminated)
+	e.Int(int64(n.swaps))
+
+	e.Int(int64(n.searchPending))
+	e.Int(int64(n.agg.k))
+	e.ID(n.agg.cand)
+	e.ID(n.via)
+	e.Int(int64(n.kAll))
+
+	e.Bool(n.fragKnown)
+	e.ID(n.frag.owner)
+	e.ID(n.frag.root)
+	e.Int(int64(n.bfsPending))
+	e.Bool(n.hasReport)
+	encodeEdgeReport(e, n.report)
+	e.ID(n.reportVia)
+	e.Bool(n.improved)
+
+	e.Bool(n.isOwner)
+	e.Bool(n.actingRoot)
+	e.Int(int64(n.ownerPending))
+	e.Bool(n.ownerHasBest)
+	encodeEdgeReport(e, n.ownerBest)
+	e.ID(n.ownerArrival)
+	e.Bool(n.ownerSwapped)
+	e.Bool(n.awaitingDone)
+
+	e.Int(int64(len(n.deferred)))
+	for _, d := range n.deferred {
+		e.ID(d.from)
+		e.Msg(d.msg)
+	}
+}
+
+// DecodeState implements sim.StateCodec.
+func (n *Node) DecodeState(d *sim.StateDecoder) error {
+	n.phase = Mode(d.Int())
+	n.parent = d.ID()
+	n.hasParent = d.Bool()
+	n.children = d.IDs()
+	n.round = int(d.Int())
+	n.exhausted = d.Bool()
+	n.terminated = d.Bool()
+	n.swaps = int(d.Int())
+
+	n.searchPending = int(d.Int())
+	n.agg.k = int(d.Int())
+	n.agg.cand = d.ID()
+	n.via = d.ID()
+	n.kAll = int(d.Int())
+
+	n.fragKnown = d.Bool()
+	n.frag.owner = d.ID()
+	n.frag.root = d.ID()
+	n.bfsPending = int(d.Int())
+	n.hasReport = d.Bool()
+	n.report = decodeEdgeReport(d)
+	n.reportVia = d.ID()
+	n.improved = d.Bool()
+
+	n.isOwner = d.Bool()
+	n.actingRoot = d.Bool()
+	n.ownerPending = int(d.Int())
+	n.ownerHasBest = d.Bool()
+	n.ownerBest = decodeEdgeReport(d)
+	n.ownerArrival = d.ID()
+	n.ownerSwapped = d.Bool()
+	n.awaitingDone = d.Bool()
+
+	nd := d.Int()
+	if nd < 0 || nd > 1<<20 {
+		return fmt.Errorf("mdst: implausible deferred count %d", nd)
+	}
+	n.deferred = n.deferred[:0]
+	for i := int64(0); i < nd; i++ {
+		from := d.ID()
+		msg := d.Msg()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		n.deferred = append(n.deferred, deferredMsg{from: from, msg: msg})
+	}
+	return d.Err()
+}
+
+func encodeEdgeReport(e *sim.StateEncoder, r edgeReport) {
+	e.ID(r.u)
+	e.ID(r.v)
+	e.Int(int64(r.du))
+	e.Int(int64(r.dv))
+	e.ID(r.vroot)
+}
+
+func decodeEdgeReport(d *sim.StateDecoder) edgeReport {
+	return edgeReport{u: d.ID(), v: d.ID(), du: int(d.Int()), dv: int(d.Int()), vroot: d.ID()}
+}
+
+var _ sim.StateCodec = (*Node)(nil)

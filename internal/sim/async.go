@@ -34,7 +34,7 @@ type AsyncEngine struct {
 
 type delivery struct {
 	from  NodeID
-	msg   Message
+	msg   WireMsg
 	depth int64
 }
 
@@ -102,7 +102,7 @@ type asyncCtx struct {
 func (c *asyncCtx) ID() NodeID          { return c.id }
 func (c *asyncCtx) Neighbors() []NodeID { return c.neighbors }
 
-func (c *asyncCtx) Send(to NodeID, m Message) {
+func (c *asyncCtx) Send(to NodeID, m WireMsg) {
 	ni := neighborIndex(c.neighbors, to)
 	if ni < 0 {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))

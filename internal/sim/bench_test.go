@@ -15,10 +15,7 @@ type floodBench struct {
 	seen bool
 }
 
-type floodMsg struct{}
-
-func (floodMsg) Kind() string { return "flood" }
-func (floodMsg) Words() int   { return 1 }
+func floodMsg() WireMsg { return WireMsg{Op: opFlood} }
 
 func (f *floodBench) Init(ctx Context) {
 	if f.id != 0 {
@@ -26,18 +23,18 @@ func (f *floodBench) Init(ctx Context) {
 	}
 	f.seen = true
 	for _, w := range ctx.Neighbors() {
-		ctx.Send(w, floodMsg{})
+		ctx.Send(w, floodMsg())
 	}
 }
 
-func (f *floodBench) Recv(ctx Context, from NodeID, _ Message) {
+func (f *floodBench) Recv(ctx Context, from NodeID, _ WireMsg) {
 	if f.seen {
 		return
 	}
 	f.seen = true
 	for _, w := range ctx.Neighbors() {
 		if w != from {
-			ctx.Send(w, floodMsg{})
+			ctx.Send(w, floodMsg())
 		}
 	}
 }

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"mdegst/internal/graph"
+)
+
+// tokenNode gains checkpoint support for the engine-level tests: the whole
+// mutable state is the seen counter.
+func (n *tokenNode) EncodeState(e *StateEncoder) {
+	e.Int(int64(n.seen))
+}
+
+func (n *tokenNode) DecodeState(d *StateDecoder) error {
+	n.seen = int(d.Int())
+	return d.Err()
+}
+
+// runTraced executes the factory on eng collecting the trace.
+func runTraced(t *testing.T, mkEng func(trace func(TraceEvent)) Engine, c *graph.CSR, f Factory) (map[NodeID]Protocol, *Report, []TraceEvent) {
+	t.Helper()
+	var events []TraceEvent
+	eng := mkEng(func(e TraceEvent) { events = append(events, e) })
+	protos, rep, err := RunCompiled(eng, c, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return protos, rep, events
+}
+
+// TestCheckpointResumeEveryBarrier is the core differential: a run
+// interrupted at every reachable round barrier and resumed must reproduce
+// the uninterrupted run's delivery trace (checkpoint-leg prefix + resume
+// leg), Report and final protocol states — on the round engine and on the
+// sharded engine, resuming on either.
+func TestCheckpointResumeEveryBarrier(t *testing.T) {
+	c := graph.Gnm(24, 72, 5).Compile()
+	factory := tokenFactory(30)
+
+	fullProtos, fullRep, fullTrace := runTraced(t, func(tr func(TraceEvent)) Engine {
+		return &EventEngine{Delay: UnitDelay, FIFO: true, Trace: tr}
+	}, c, factory)
+	finalRound := int64(fullRep.VirtualTime)
+	if finalRound < 3 {
+		t.Fatalf("workload too short for the barrier sweep: %v rounds", finalRound)
+	}
+
+	type resumeEngine struct {
+		name string
+		mk   func(trace func(TraceEvent)) ResumableEngine
+	}
+	resumers := []resumeEngine{
+		{"event", func(tr func(TraceEvent)) ResumableEngine {
+			return &EventEngine{Delay: UnitDelay, FIFO: true, Trace: tr}
+		}},
+		{"sharded-3", func(tr func(TraceEvent)) ResumableEngine {
+			return &ShardedEngine{Shards: 3, Delay: UnitDelay, FIFO: true, Trace: tr}
+		}},
+	}
+	checkpointers := []struct {
+		name string
+		mk   func(spec *CheckpointSpec, trace func(TraceEvent)) Engine
+	}{
+		{"event", func(spec *CheckpointSpec, tr func(TraceEvent)) Engine {
+			return &EventEngine{Delay: UnitDelay, FIFO: true, Trace: tr, Checkpoint: spec}
+		}},
+		{"sharded-3", func(spec *CheckpointSpec, tr func(TraceEvent)) Engine {
+			return &ShardedEngine{Shards: 3, Delay: UnitDelay, FIFO: true, Trace: tr, Checkpoint: spec}
+		}},
+	}
+
+	for _, ckEng := range checkpointers {
+		for r := int64(0); r <= finalRound; r++ {
+			var buf bytes.Buffer
+			var prefix []TraceEvent
+			eng := ckEng.mk(&CheckpointSpec{Round: r, W: &buf}, func(e TraceEvent) { prefix = append(prefix, e) })
+			_, _, err := RunCompiled(eng, c, factory)
+			if !errors.Is(err, ErrCheckpointed) {
+				t.Fatalf("%s r=%d: err = %v, want ErrCheckpointed", ckEng.name, r, err)
+			}
+			ck, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s r=%d: read: %v", ckEng.name, r, err)
+			}
+			if ck.Round != r {
+				t.Fatalf("%s r=%d: checkpoint round %d", ckEng.name, r, ck.Round)
+			}
+			for _, res := range resumers {
+				var resumeTrace []TraceEvent
+				reng := res.mk(func(e TraceEvent) { resumeTrace = append(resumeTrace, e) })
+				protos, rep, err := reng.ResumeSnapshot(c, factory, ck)
+				if err != nil {
+					t.Fatalf("%s r=%d resume on %s: %v", ckEng.name, r, res.name, err)
+				}
+				whole := append(append([]TraceEvent{}, prefix...), resumeTrace...)
+				if !reflect.DeepEqual(whole, fullTrace) {
+					t.Fatalf("%s r=%d resume on %s: stitched trace diverges (%d+%d vs %d events)",
+						ckEng.name, r, res.name, len(prefix), len(resumeTrace), len(fullTrace))
+				}
+				assertReportsEqual(t, fmt.Sprintf("%s r=%d on %s", ckEng.name, r, res.name), rep, fullRep)
+				for id, p := range protos {
+					if p.(*tokenNode).seen != fullProtos[id].(*tokenNode).seen {
+						t.Fatalf("%s r=%d resume on %s: node %d state diverged", ckEng.name, r, res.name, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assertReportsEqual compares every deterministic Report field (Wall is
+// host time and excluded).
+func assertReportsEqual(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	got.finalize()
+	want.finalize()
+	if got.Messages != want.Messages || got.Words != want.Words || got.MaxWords != want.MaxWords ||
+		got.CausalDepth != want.CausalDepth || got.VirtualTime != want.VirtualTime {
+		t.Fatalf("%s: scalar report fields diverge:\n got %+v\nwant %+v", label, got, want)
+	}
+	if !reflect.DeepEqual(got.ByKind, want.ByKind) || !reflect.DeepEqual(got.ByRound, want.ByRound) ||
+		!reflect.DeepEqual(got.ByKindRound, want.ByKindRound) || !reflect.DeepEqual(got.SentBy, want.SentBy) {
+		t.Fatalf("%s: report breakdowns diverge:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestCheckpointFileDeterminism pins byte-exactness: the same barrier
+// produces the same file on the round engine and any sharded engine.
+func TestCheckpointFileDeterminism(t *testing.T) {
+	c := graph.Gnm(24, 72, 5).Compile()
+	factory := tokenFactory(30)
+	write := func(eng Engine) []byte {
+		var buf bytes.Buffer
+		switch e := eng.(type) {
+		case *EventEngine:
+			e.Checkpoint = &CheckpointSpec{Round: 4, W: &buf}
+		case *ShardedEngine:
+			e.Checkpoint = &CheckpointSpec{Round: 4, W: &buf}
+		}
+		if _, _, err := RunCompiled(eng, c, factory); !errors.Is(err, ErrCheckpointed) {
+			t.Fatalf("err = %v", err)
+		}
+		return buf.Bytes()
+	}
+	ref := write(&EventEngine{Delay: UnitDelay, FIFO: true})
+	for _, shards := range []int{2, 3, 5} {
+		got := write(&ShardedEngine{Shards: shards, Delay: UnitDelay, FIFO: true})
+		if !bytes.Equal(ref, got) {
+			t.Errorf("shards=%d: checkpoint bytes differ from the round engine's", shards)
+		}
+	}
+	if again := write(&EventEngine{Delay: UnitDelay, FIFO: true}); !bytes.Equal(ref, again) {
+		t.Error("repeated checkpoint not byte-identical")
+	}
+}
+
+// TestCheckpointErrors pins the typed failure modes.
+func TestCheckpointErrors(t *testing.T) {
+	c := graph.Gnm(12, 30, 1).Compile()
+	var ce *CheckpointError
+
+	// Non-unit tiers have no barriers.
+	var buf bytes.Buffer
+	eng := &EventEngine{Delay: UniformDelay(0.1), FIFO: true, Checkpoint: &CheckpointSpec{Round: 1, W: &buf}}
+	if _, _, err := RunCompiled(eng, c, tokenFactory(10)); !errors.Is(err, errCheckpointTier) {
+		t.Errorf("wheel tier checkpoint: %v", err)
+	}
+
+	// A checkpoint resumed against a different graph is rejected.
+	buf.Reset()
+	eng = &EventEngine{Delay: UnitDelay, FIFO: true, Checkpoint: &CheckpointSpec{Round: 2, W: &buf}}
+	if _, _, err := RunCompiled(eng, c, tokenFactory(10)); !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	ck, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := graph.Gnm(13, 30, 2).Compile()
+	if _, _, err := (&EventEngine{Delay: UnitDelay, FIFO: true}).ResumeSnapshot(other, tokenFactory(10), ck); !errors.As(err, &ce) {
+		t.Errorf("mismatched snapshot: %v", err)
+	}
+
+	// Protocols without StateCodec cannot checkpoint.
+	buf.Reset()
+	eng = &EventEngine{Delay: UnitDelay, Checkpoint: &CheckpointSpec{Round: 1, W: &buf}}
+	if _, _, err := eng.Run(graph.Ring(4), func(NodeID, []NodeID) Protocol { return chainReaction{} }); !errors.As(err, &ce) {
+		t.Errorf("no StateCodec: %v", err)
+	}
+
+	// Corrupted files fail with a typed error.
+	buf.Reset()
+	eng = &EventEngine{Delay: UnitDelay, FIFO: true, Checkpoint: &CheckpointSpec{Round: 2, W: &buf}}
+	if _, _, err := RunCompiled(eng, c, tokenFactory(10)); !errors.Is(err, ErrCheckpointed) {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte{}, buf.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := ReadCheckpoint(bytes.NewReader(corrupt)); !errors.As(err, &ce) {
+		t.Errorf("corrupted file: %v", err)
+	}
+}
+
+// TestBinaryTraceRoundTrip pins the compact trace form: every engine trace
+// (deliveries and Logf notes) survives the byte round trip exactly.
+func TestBinaryTraceRoundTrip(t *testing.T) {
+	c := graph.Gnp(20, 0.3, 3).Compile()
+	var want []TraceEvent
+	var buf bytes.Buffer
+	bw := NewBinaryTraceWriter(&buf)
+	eng := &EventEngine{Delay: UnitDelay, FIFO: true, Trace: func(e TraceEvent) {
+		want = append(want, e)
+		bw.Trace(e)
+	}}
+	if _, _, err := RunCompiled(eng, c, loggingTokenFactory(40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("binary trace round trip diverged: %d vs %d events", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("trace empty; workload misconfigured")
+	}
+	// The binary form must undercut a naive textual rendering.
+	var text int
+	for _, e := range want {
+		text += len(e.String())
+	}
+	if buf.Len() >= text {
+		t.Errorf("binary trace (%d bytes) not smaller than text (%d bytes)", buf.Len(), text)
+	}
+
+	// Malformed bytes fail cleanly.
+	if _, err := ReadBinaryTrace(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk accepted as a binary trace")
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinaryTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+// TestCheckpointHugeCountsRejected pins the allocation bound: a tiny
+// CRC-valid file declaring enormous element counts must fail with a typed
+// error before any count-sized allocation happens (a crafted file must
+// never be able to take the process down).
+func TestCheckpointHugeCountsRejected(t *testing.T) {
+	craft := func(mutate func(body []byte) []byte) []byte {
+		var body []byte
+		body = appendVarint(body, 2)      // round
+		body = appendUvarint(body, 4)     // n
+		body = appendUvarint(body, 8)     // halfEdges
+		body = appendVarint(body, 10)     // messages
+		body = appendVarint(body, 20)     // words
+		body = appendUvarint(body, 2)     // maxWords
+		body = appendVarint(body, 2)      // causalDepth
+		body = mutate(body)               // section counts under attack
+		var out []byte
+		out = append(out, ckptMagic[:]...)
+		out = appendUvarint(out, CheckpointVersion)
+		out = appendUvarint(out, 0) // empty opcode table
+		out = appendUvarint(out, uint64(len(body)))
+		out = append(out, body...)
+		return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	}
+	var ce *CheckpointError
+	for name, mutate := range map[string]func([]byte) []byte{
+		"kindRounds": func(b []byte) []byte { return appendUvarint(b, 1<<35) },
+		"sentBy": func(b []byte) []byte {
+			b = appendUvarint(b, 0) // kindRounds
+			return appendUvarint(b, 1<<35)
+		},
+		"states": func(b []byte) []byte {
+			b = appendUvarint(b, 0) // kindRounds
+			b = appendUvarint(b, 0) // sentBy
+			return appendUvarint(b, 1<<35)
+		},
+		"pending": func(b []byte) []byte {
+			b = appendUvarint(b, 0) // kindRounds
+			b = appendUvarint(b, 0) // sentBy
+			b = appendUvarint(b, 0) // states (n mismatch is fine: count check runs first)
+			return appendUvarint(b, 1<<35)
+		},
+	} {
+		if _, err := ReadCheckpoint(bytes.NewReader(craft(mutate))); !errors.As(err, &ce) {
+			t.Errorf("%s: err = %v, want *CheckpointError", name, err)
+		}
+	}
+}

@@ -96,12 +96,17 @@ type EventEngine struct {
 	// MaxMessages aborts the run when exceeded (0 means
 	// DefaultMaxMessages); it converts protocol livelock into an error.
 	MaxMessages int64
-	// Trace, when non-nil, observes every delivery and Logf note. The
-	// Message in a TraceEvent is only valid during the callback: protocols
-	// may recycle message values after processing.
+	// Trace, when non-nil, observes every delivery and Logf note.
 	Trace func(TraceEvent)
+	// Checkpoint, when non-nil, arms barrier checkpointing: the run stops
+	// at the round barrier after Checkpoint.Round (unit-delay tier only)
+	// and writes the frozen run to Checkpoint.W. See checkpoint.go.
+	Checkpoint *CheckpointSpec
 }
 
+// event is one scheduled delivery. With the flat message plane it is a
+// pure value record — no pointers anywhere — so queues of events are plain
+// slabs the GC never scans.
 type event struct {
 	t       float64
 	seq     int64
@@ -109,7 +114,7 @@ type event struct {
 	from    NodeID
 	to      NodeID
 	toDense int32
-	msg     Message
+	msg     WireMsg
 }
 
 func (e event) before(o event) bool {
@@ -139,7 +144,7 @@ type eventCtx struct {
 func (c *eventCtx) ID() NodeID          { return c.id }
 func (c *eventCtx) Neighbors() []NodeID { return c.neighbors }
 
-func (c *eventCtx) Send(to NodeID, m Message) {
+func (c *eventCtx) Send(to NodeID, m WireMsg) {
 	i := neighborIndex(c.neighbors, to)
 	if i < 0 {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
@@ -175,7 +180,7 @@ type eventRun struct {
 	report *Report
 }
 
-func (er *eventRun) send(c *eventCtx, ni int, to NodeID, m Message) {
+func (er *eventRun) send(c *eventCtx, ni int, to NodeID, m WireMsg) {
 	d := er.delay(er.rng, c.id, to)
 	checkDelay(d, c.id, to)
 	t := c.now + d
@@ -221,9 +226,10 @@ func (s *eventScratch) reset(n, halfEdges int) {
 }
 
 func (s *eventScratch) release() {
-	// Zero any events left in the wheel (abnormal exits), the contexts and
-	// the protocol slots so pooled memory does not pin messages, protocol
-	// state or the snapshot's neighbour arrays.
+	// Reset the wheel (abnormal exits leave events behind — flat records,
+	// but stale ones must not leak into the next run) and zero the contexts
+	// and protocol slots so pooled memory does not pin protocol state or
+	// the snapshot's neighbour arrays.
 	s.wheel.reset()
 	for i := range s.ctxs {
 		s.ctxs[i] = eventCtx{}
@@ -257,6 +263,9 @@ func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Pr
 	}
 	if isUnitDelay(delay) {
 		return e.runRounds(c, f, maxMsgs, start)
+	}
+	if e.Checkpoint != nil {
+		return nil, nil, errCheckpointTier
 	}
 	er := &eventRun{
 		rng:    rand.New(rand.NewSource(e.Seed)),
@@ -314,4 +323,37 @@ func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Pr
 	return protos, er.report, nil
 }
 
+// Resume compiles g and continues a checkpointed run (see ResumeSnapshot).
+func (e *EventEngine) Resume(g *graph.Graph, f Factory, ck *Checkpoint) (map[NodeID]Protocol, *Report, error) {
+	return e.ResumeSnapshot(g.Compile(), f, ck)
+}
+
+// ResumeSnapshot continues a run frozen at a round barrier: the factory
+// rebuilds the protocol instances (each must implement StateCodec), the
+// checkpoint restores their states, the report counters and the pending
+// delivery slab, and the run proceeds to quiescence. The resumed run's
+// Report, delivery trace and final protocol states are identical to the
+// uninterrupted run's.
+func (e *EventEngine) ResumeSnapshot(c *graph.CSR, f Factory, ck *Checkpoint) (protos map[NodeID]Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = recoverRun(p)
+		}
+	}()
+	start := time.Now()
+	if !isUnitDelay(e.Delay) {
+		return nil, nil, errCheckpointTier
+	}
+	if err := ck.validateAgainst(c); err != nil {
+		return nil, nil, err
+	}
+	maxMsgs := e.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = DefaultMaxMessages
+	}
+	return e.runRoundsFrom(c, f, maxMsgs, start, ck)
+}
+
 var _ SnapshotEngine = (*EventEngine)(nil)
+var _ ResumableEngine = (*EventEngine)(nil)

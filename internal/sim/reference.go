@@ -56,7 +56,7 @@ type refCtx struct {
 func (c *refCtx) ID() NodeID          { return c.id }
 func (c *refCtx) Neighbors() []NodeID { return c.neighbors }
 
-func (c *refCtx) Send(to NodeID, m Message) {
+func (c *refCtx) Send(to NodeID, m WireMsg) {
 	checkNeighbor(c.neighbors, c.id, to)
 	c.run.send(c, to, m)
 }
@@ -78,7 +78,7 @@ type refRun struct {
 	report   *Report
 }
 
-func (rr *refRun) send(c *refCtx, to NodeID, m Message) {
+func (rr *refRun) send(c *refCtx, to NodeID, m WireMsg) {
 	d := rr.delay(rr.rng, c.id, to)
 	checkDelay(d, c.id, to)
 	t := c.now + d

@@ -39,16 +39,18 @@ type Report struct {
 	// Wall is the host wall-clock duration of the run.
 	Wall time.Duration
 
-	// kindRound accumulates per-(kind, round) counts during the run without
-	// building a "kind/round" string per message; finalize materialises the
-	// public ByKind, ByRound and ByKindRound maps from it once at the end.
+	// kindRound accumulates per-(opcode, round) counts during the run
+	// without touching a kind string per message; finalize materialises the
+	// public ByKind, ByRound and ByKindRound maps from it once at the end,
+	// rendering opcodes back to their registered kind strings.
 	kindRound map[kindRoundKey]int64
 	finalized bool
 }
 
-// kindRoundKey is the allocation-free composite key of the hot-path counter.
+// kindRoundKey is the allocation-free composite key of the hot-path
+// counter: the wire opcode and the algorithm round.
 type kindRoundKey struct {
-	kind  string
+	op    Op
 	round int
 }
 
@@ -68,14 +70,12 @@ func newReport() *Report { return NewReport() }
 
 // record accounts one delivery. It is the per-message hot path: two map
 // increments on composite keys and a handful of scalar updates, no
-// allocations. Engines must call finalize before handing the report out.
-func (r *Report) record(from NodeID, m Message, depth int64) {
+// allocations, no interface dispatch — kind and round come straight off
+// the wire record. Engines must call finalize before handing the report
+// out.
+func (r *Report) record(from NodeID, m WireMsg, depth int64) {
 	r.Messages++
-	round := 0
-	if rr, ok := m.(Rounder); ok {
-		round = rr.MsgRound()
-	}
-	r.kindRound[kindRoundKey{m.Kind(), round}]++
+	r.kindRound[kindRoundKey{m.Op, m.MsgRound()}]++
 	w := m.Words()
 	r.Words += int64(w)
 	if w > r.MaxWords {
@@ -96,9 +96,10 @@ func (r *Report) finalize() {
 	}
 	r.finalized = true
 	for k, v := range r.kindRound {
-		r.ByKind[k.kind] += v
+		kind := opKind(k.op)
+		r.ByKind[kind] += v
 		r.ByRound[k.round] += v
-		r.ByKindRound[fmt.Sprintf("%s/%d", k.kind, k.round)] += v
+		r.ByKindRound[fmt.Sprintf("%s/%d", kind, k.round)] += v
 	}
 }
 

@@ -16,10 +16,17 @@ import (
 // all deliveries of round r, in global send order, then all of round r+1.
 // No timestamps, no RNG, no FIFO clamps (per-link send times are already
 // non-decreasing, so the clamp can never bind): just two flat delivery
-// slices swapped per round over the CSR snapshot. Causal depth equals the
-// round number equals the virtual time, which is exactly what the heap path
-// computes under unit delays — the differential tests hold the two (and
-// ReferenceEngine) to identical delivery traces.
+// slices swapped per round over the CSR snapshot. Deliveries are flat
+// WireMsg records, so the slabs hold no pointers and the swap is the whole
+// round hand-off. Causal depth equals the round number equals the virtual
+// time, which is exactly what the heap path computes under unit delays —
+// the differential tests hold the two (and ReferenceEngine) to identical
+// delivery traces.
+//
+// The inter-round barrier is also the checkpoint cut (DESIGN.md §8): with
+// rr.cur drained, the entire in-flight state of the run is rr.next (flat
+// records in exactly the global send order) plus the per-node protocol
+// states — which is what runRoundsFrom snapshots and reseeds.
 
 // isUnitDelay reports whether d is the package's UnitDelay (or nil, which
 // defaults to it). Wrappers around UnitDelay are not detected and take the
@@ -32,7 +39,7 @@ func isUnitDelay(d DelayFn) bool {
 type roundDelivery struct {
 	from    NodeID
 	toDense int32
-	msg     Message
+	msg     WireMsg
 }
 
 type roundRun struct {
@@ -53,7 +60,7 @@ type roundCtx struct {
 func (c *roundCtx) ID() NodeID          { return c.id }
 func (c *roundCtx) Neighbors() []NodeID { return c.neighbors }
 
-func (c *roundCtx) Send(to NodeID, m Message) {
+func (c *roundCtx) Send(to NodeID, m WireMsg) {
 	ni := neighborIndex(c.neighbors, to)
 	if ni < 0 {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
@@ -69,7 +76,8 @@ func (c *roundCtx) Logf(format string, args ...any) {
 }
 
 // roundScratch pools the per-run state of the round engine, mirroring
-// eventScratch for the wheel path.
+// eventScratch for the wheel path. The delivery slabs are pointer-free
+// flat buffers, so pooling them costs the GC nothing.
 type roundScratch struct {
 	ctxs      []roundCtx
 	protos    []Protocol
@@ -91,14 +99,8 @@ func (s *roundScratch) reset(n int) {
 }
 
 func (s *roundScratch) release() {
-	// Zero everything that can pin messages, protocol state or snapshot
-	// arrays. Normal runs zero delivery slots as they process them; this
-	// also covers abnormal exits mid-round.
-	for _, q := range [][]roundDelivery{s.cur[:cap(s.cur)], s.next[:cap(s.next)]} {
-		for i := range q {
-			q[i] = roundDelivery{}
-		}
-	}
+	// Zero what can pin protocol state or snapshot arrays. The delivery
+	// slabs are flat records and only need truncating.
 	s.cur, s.next = s.cur[:0], s.next[:0]
 	for i := range s.ctxs {
 		s.ctxs[i] = roundCtx{}
@@ -111,6 +113,15 @@ func (s *roundScratch) release() {
 // Called from EventEngine.RunSnapshot (which owns panic recovery) when the
 // delay model is UnitDelay.
 func (e *EventEngine) runRounds(c *graph.CSR, f Factory, maxMsgs int64, start time.Time) (map[NodeID]Protocol, *Report, error) {
+	return e.runRoundsFrom(c, f, maxMsgs, start, nil)
+}
+
+// runRoundsFrom is runRounds optionally reseeded from a checkpoint: with
+// ck nil the run starts at Init; otherwise the protocols decode their
+// saved states, the report counters are restored and rr.next is refilled
+// with the checkpoint's pending slab — the run continues as if it had
+// never stopped.
+func (e *EventEngine) runRoundsFrom(c *graph.CSR, f Factory, maxMsgs int64, start time.Time, ck *Checkpoint) (map[NodeID]Protocol, *Report, error) {
 	rr := &roundRun{trace: e.Trace, report: newReport()}
 	n := c.N()
 	ids := c.Index().IDs()
@@ -129,23 +140,36 @@ func (e *EventEngine) runRounds(c *graph.CSR, f Factory, maxMsgs int64, start ti
 		}
 		scratch.protos[i] = f(ids[i], scratch.ctxs[i].neighbors)
 	}
-	// All nodes start independently; Init runs at time zero in ID order and
-	// its sends form round 1.
-	for i := 0; i < n; i++ {
-		scratch.protos[i].Init(&scratch.ctxs[i])
+	if ck == nil {
+		// All nodes start independently; Init runs at time zero in ID order
+		// and its sends form round 1.
+		for i := 0; i < n; i++ {
+			scratch.protos[i].Init(&scratch.ctxs[i])
+		}
+	} else {
+		if err := ck.decodeStates(scratch.protos); err != nil {
+			return nil, nil, err
+		}
+		ck.restoreReport(rr.report)
+		rr.round = ck.Round
+		for _, p := range ck.Pending {
+			rr.next = append(rr.next, roundDelivery{from: ids[p.From], toDense: p.To, msg: p.Msg})
+		}
+	}
+	spec := e.Checkpoint
+	if spec != nil && spec.Round == 0 && ck == nil {
+		// Barrier 0: the state right after Init, before any delivery.
+		return nil, nil, e.writeRoundCheckpoint(rr, scratch.protos, c)
 	}
 	for len(rr.next) > 0 {
 		rr.cur, rr.next = rr.next, rr.cur[:0]
-		// Mirror the swap onto the scratch so release zeroes the live
-		// backing arrays even when Recv panics mid-round. (rr.next may
-		// still outgrow scratch.next's view inside the loop; the regrown
-		// array is then unreachable after the panic and needs no zeroing.)
+		// Mirror the swap onto the scratch so release keeps the live backing
+		// arrays pooled even when Recv panics mid-round.
 		scratch.cur, scratch.next = rr.cur, rr.next
 		rr.round++
 		t := float64(rr.round)
 		for i := range rr.cur {
 			d := rr.cur[i]
-			rr.cur[i] = roundDelivery{} // unpin: protocols may recycle the message after Recv
 			if rr.report.Messages >= maxMsgs {
 				return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
 			}
@@ -156,6 +180,9 @@ func (e *EventEngine) runRounds(c *graph.CSR, f Factory, maxMsgs int64, start ti
 			scratch.protos[d.toDense].Recv(&scratch.ctxs[d.toDense], d.from, d.msg)
 		}
 		scratch.next = rr.next
+		if spec != nil && rr.round == spec.Round {
+			return nil, nil, e.writeRoundCheckpoint(rr, scratch.protos, c)
+		}
 	}
 	scratch.cur, scratch.next = rr.cur, rr.next
 	rr.report.VirtualTime = float64(rr.round)
@@ -166,4 +193,24 @@ func (e *EventEngine) runRounds(c *graph.CSR, f Factory, maxMsgs int64, start ti
 		protos[ids[i]] = p
 	}
 	return protos, rr.report, nil
+}
+
+// writeRoundCheckpoint freezes the run at the current barrier — rr.cur
+// drained, rr.next holding round rr.round+1 in global send order — writes
+// it to the armed CheckpointSpec and returns ErrCheckpointed.
+func (e *EventEngine) writeRoundCheckpoint(rr *roundRun, protos []Protocol, c *graph.CSR) error {
+	idx := c.Index()
+	ck := &Checkpoint{Round: rr.round, N: c.N(), HalfEdges: c.HalfEdges()}
+	ck.captureReport(rr.report)
+	if err := ck.encodeStates(protos); err != nil {
+		return err
+	}
+	ck.Pending = make([]PendingDelivery, len(rr.next))
+	for i, d := range rr.next {
+		ck.Pending[i] = PendingDelivery{From: idx.MustOf(d.from), To: d.toDense, Msg: d.msg}
+	}
+	if err := ck.Write(e.Checkpoint.W); err != nil {
+		return err
+	}
+	return ErrCheckpointed
 }

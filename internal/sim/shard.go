@@ -81,9 +81,15 @@ type ShardedEngine struct {
 	// Trace, when non-nil, observes every delivery and Logf note in the
 	// exact global delivery order. Tracing forces the round path through
 	// its serial schedule (one goroutine walking the shards' merged
-	// streams in rank order) because trace callbacks must see messages
-	// before handlers recycle them.
+	// streams in rank order) so events fire at their exact global
+	// positions.
 	Trace func(TraceEvent)
+	// Checkpoint, when non-nil, arms barrier checkpointing exactly as on
+	// EventEngine: the sharded round path stops at the barrier after
+	// Checkpoint.Round and writes the frozen run (the checkpoint is
+	// engine-agnostic — a sharded checkpoint resumes on the unsharded
+	// engine and vice versa).
+	Checkpoint *CheckpointSpec
 }
 
 // sendKey orders the messages of one delivery window canonically: by the
@@ -102,12 +108,15 @@ func (k sendKey) less(o sendKey) bool {
 	return k.pos < o.pos
 }
 
-// shardDelivery is one queued message of the sharded round path.
+// shardDelivery is one queued message of the sharded round path: a flat
+// record (key, endpoints, WireMsg) with no pointers, so outboxes are plain
+// slabs — refilled by append, consumed by indexed reads, merged by key
+// comparisons, and invisible to the GC.
 type shardDelivery struct {
 	key     sendKey
 	from    NodeID
 	toLocal int32 // index of the destination in its owner shard's node list
-	msg     Message
+	msg     WireMsg
 }
 
 // shardRoundCtx is the Context handed to protocols on the sharded round
@@ -126,7 +135,7 @@ type shardRoundCtx struct {
 func (c *shardRoundCtx) ID() NodeID          { return c.id }
 func (c *shardRoundCtx) Neighbors() []NodeID { return c.neighbors }
 
-func (c *shardRoundCtx) Send(to NodeID, m Message) {
+func (c *shardRoundCtx) Send(to NodeID, m WireMsg) {
 	ni := neighborIndex(c.neighbors, to)
 	if ni < 0 {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
@@ -193,8 +202,7 @@ type shardedRoundRun struct {
 // gather merges the S source outboxes destined to this shard into cur,
 // ordered by sendKey — the canonical cross-shard merge order. Each source
 // list is already key-sorted (sources process their deliveries in rank
-// order and append), so this is an S-way sorted merge. Consumed entries
-// are zeroed in place so the source outbox pins no messages.
+// order and append), so this is an S-way sorted merge of flat records.
 func (sh *roundShard) gather(parity int) {
 	r := sh.run
 	srcs := r.shards
@@ -220,7 +228,6 @@ func (sh *roundShard) gather(parity int) {
 		}
 		q := srcs[best].out[parity][sh.index]
 		sh.cur = append(sh.cur, q[sh.heads[best]])
-		q[sh.heads[best]] = shardDelivery{}
 		sh.heads[best]++
 	}
 }
@@ -297,7 +304,6 @@ func (sh *roundShard) playRound() {
 		h := heads[best]
 		for h < len(q) && (!hasLimit || q[h].key.less(limit)) {
 			d := q[h]
-			q[h] = shardDelivery{} // unpin: handlers may recycle the message
 			h++
 			rank := r.off[d.key.parent] + int64(d.key.pos)
 			ctx := &sh.ctxs[d.toLocal]
@@ -343,7 +349,6 @@ func (r *shardedRoundRun) playRoundSerial() {
 		}
 		sh := &r.shards[best]
 		d := sh.cur[cursors[best]]
-		sh.cur[cursors[best]] = shardDelivery{}
 		cursors[best]++
 		rank := r.off[d.key.parent] + int64(d.key.pos)
 		ctx := &sh.ctxs[d.toLocal]
@@ -461,26 +466,20 @@ func (s *shardedScratch) reset(c *graph.CSR, part *graph.Partition) {
 	}
 }
 
-// release zeroes everything that can pin messages, protocol state or
-// snapshot arrays (abnormal exits leave live entries behind) and returns
-// the scratch to the pool.
+// release zeroes everything that can pin protocol state or snapshot
+// arrays (abnormal exits leave live entries behind) and returns the
+// scratch to the pool. The delivery slabs are flat pointer-free records
+// and only need truncating — pooling them is what keeps sharded allocs
+// flat at any shard count.
 func (s *shardedScratch) release() {
 	for si := range s.run.shards {
 		sh := &s.run.shards[si]
 		for p := range sh.out {
 			for d := range sh.out[p] {
-				q := sh.out[p][d][:cap(sh.out[p][d])]
-				for i := range q {
-					q[i] = shardDelivery{}
-				}
-				sh.out[p][d] = q[:0]
+				sh.out[p][d] = sh.out[p][d][:0]
 			}
 		}
-		cu := sh.cur[:cap(sh.cur)]
-		for i := range cu {
-			cu[i] = shardDelivery{}
-		}
-		sh.cur = cu[:0]
+		sh.cur = sh.cur[:0]
 		for i := range sh.ctxs {
 			sh.ctxs[i] = shardRoundCtx{}
 		}
@@ -531,16 +530,72 @@ func (e *ShardedEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]
 	if S <= 1 {
 		// One shard is the event engine, definitionally: the N-shard runs
 		// are trace-equivalent to this path.
-		ev := &EventEngine{Seed: e.Seed, Delay: e.Delay, FIFO: e.FIFO, MaxMessages: e.MaxMessages, Trace: e.Trace}
+		ev := &EventEngine{Seed: e.Seed, Delay: e.Delay, FIFO: e.FIFO, MaxMessages: e.MaxMessages, Trace: e.Trace, Checkpoint: e.Checkpoint}
 		return ev.RunSnapshot(c, f)
 	}
 	if part == nil {
 		part = graph.PartitionContiguous(c, S)
 	}
 	if isUnitDelay(e.Delay) {
-		return e.runShardedRounds(c, part, f, maxMsgs, start)
+		return e.runShardedRounds(c, part, f, maxMsgs, start, nil)
+	}
+	if e.Checkpoint != nil {
+		return nil, nil, errCheckpointTier
 	}
 	return e.runShardedWheel(c, part, f, maxMsgs, start)
+}
+
+// Resume compiles g and continues a checkpointed run (see ResumeSnapshot).
+func (e *ShardedEngine) Resume(g *graph.Graph, f Factory, ck *Checkpoint) (map[NodeID]Protocol, *Report, error) {
+	return e.ResumeSnapshot(g.Compile(), f, ck)
+}
+
+// ResumeSnapshot continues a run frozen at a round barrier with the state
+// plane sharded: protocol states decode into their owner shards, the
+// pending slab reseeds the cross-shard outboxes in canonical rank order,
+// and the run proceeds window-parallel. Checkpoints are engine-agnostic:
+// any unit-delay engine resumes any barrier checkpoint to the identical
+// report, trace and final states.
+func (e *ShardedEngine) ResumeSnapshot(c *graph.CSR, f Factory, ck *Checkpoint) (protos map[NodeID]Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = recoverRun(p)
+		}
+	}()
+	start := time.Now()
+	if !isUnitDelay(e.Delay) {
+		return nil, nil, errCheckpointTier
+	}
+	if err := ck.validateAgainst(c); err != nil {
+		return nil, nil, err
+	}
+	part := e.Partition
+	S := e.Shards
+	if part != nil {
+		if err := part.Validate(c); err != nil {
+			return nil, nil, err
+		}
+		if S > 0 && S != part.Shards() {
+			return nil, nil, fmt.Errorf("sim: ShardedEngine.Shards=%d disagrees with the %d-shard partition", S, part.Shards())
+		}
+		S = part.Shards()
+	}
+	if n := c.N(); S > n && n > 0 {
+		S = n
+	}
+	maxMsgs := e.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = DefaultMaxMessages
+	}
+	if S <= 1 {
+		ev := &EventEngine{Delay: e.Delay, FIFO: e.FIFO, MaxMessages: e.MaxMessages, Trace: e.Trace, Checkpoint: e.Checkpoint}
+		return ev.ResumeSnapshot(c, f, ck)
+	}
+	if part == nil {
+		part = graph.PartitionContiguous(c, S)
+	}
+	return e.runShardedRounds(c, part, f, maxMsgs, start, ck)
 }
 
 // workerCount resolves the effective OS-level parallelism of the round
@@ -561,8 +616,9 @@ func (e *ShardedEngine) workerCount(shards int) int {
 
 // runShardedRounds is the unit-delay fast path: rounds execute as barrier-
 // separated parallel phases over the shard set (serial schedule when
-// tracing or when only one worker is available).
-func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time) (map[NodeID]Protocol, *Report, error) {
+// tracing or when only one worker is available). With ck non-nil the run
+// resumes from that barrier instead of starting at Init.
+func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time, ck *Checkpoint) (map[NodeID]Protocol, *Report, error) {
 	n := c.N()
 	S := part.Shards()
 	ids := c.Index().IDs()
@@ -627,8 +683,57 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		runPhase = phase
 	}
 
-	runPhase(true)
-	total := run.barrier()
+	spec := e.Checkpoint
+	var total int64
+	if ck == nil {
+		runPhase(true)
+		total = run.barrier()
+		if spec != nil && spec.Round == 0 {
+			// Barrier 0: the state right after Init, before any delivery.
+			return nil, nil, e.writeShardedCheckpoint(run, c, total)
+		}
+	} else {
+		// Reseed the post-barrier state from the checkpoint: protocol
+		// states decode in their owner shards, the report counters land in
+		// shard 0 (the merge sums them back), and the pending slab refills
+		// the cross-shard outboxes — delivery i gets key (i, 0) and the
+		// rank offsets become the identity, so the canonical merge replays
+		// the slab in exactly its global send order.
+		protoView := make([]Protocol, n)
+		for si := range run.shards {
+			sh := &run.shards[si]
+			for li, v := range sh.nodes {
+				protoView[v] = sh.protos[li]
+			}
+		}
+		if err := ck.decodeStates(protoView); err != nil {
+			return nil, nil, err
+		}
+		ck.restoreReport(run.shards[0].report)
+		run.round = ck.Round
+		run.readParity, run.writeParity = 0, 1
+		if int64(cap(run.off)) < int64(len(ck.Pending)) {
+			run.off = make([]int64, len(ck.Pending))
+		}
+		run.off = run.off[:len(ck.Pending)]
+		if cap(run.cnt) < len(ck.Pending) {
+			run.cnt = make([]int64, len(ck.Pending))
+		}
+		run.cnt = run.cnt[:len(ck.Pending)]
+		ids := run.ids
+		for i, p := range ck.Pending {
+			run.off[i] = int64(i)
+			src := &run.shards[run.owner[p.From]]
+			dst := run.owner[p.To]
+			src.out[run.readParity][dst] = append(src.out[run.readParity][dst], shardDelivery{
+				key:     sendKey{parent: int64(i)},
+				from:    ids[p.From],
+				toLocal: run.local[p.To],
+				msg:     p.Msg,
+			})
+		}
+		total = int64(len(ck.Pending))
+	}
 	for {
 		// Match the single-shard cap predicate at window granularity: the
 		// event engine errors exactly when the planned deliveries exceed
@@ -644,6 +749,9 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		run.round++
 		runPhase(false)
 		total = run.barrier()
+		if spec != nil && run.round == spec.Round {
+			return nil, nil, e.writeShardedCheckpoint(run, c, total)
+		}
 	}
 
 	rep := newReport()
@@ -662,6 +770,49 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		}
 	}
 	return protos, rep, nil
+}
+
+// writeShardedCheckpoint freezes the run at the just-closed barrier: the
+// outboxes at read parity hold the next round's deliveries (total of
+// them), off maps their parent keys to global ranks, and the shard
+// reports merge into the frozen counters. Writes to the armed spec and
+// returns ErrCheckpointed.
+func (e *ShardedEngine) writeShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) error {
+	ck := &Checkpoint{Round: run.round, N: c.N(), HalfEdges: c.HalfEdges()}
+	merged := newReport()
+	for si := range run.shards {
+		merged.MergeParallel(run.shards[si].report)
+	}
+	ck.captureReport(merged)
+	protoView := make([]Protocol, c.N())
+	for si := range run.shards {
+		sh := &run.shards[si]
+		for li, v := range sh.nodes {
+			protoView[v] = sh.protos[li]
+		}
+	}
+	if err := ck.encodeStates(protoView); err != nil {
+		return err
+	}
+	idx := c.Index()
+	ck.Pending = make([]PendingDelivery, total)
+	for si := range run.shards {
+		src := &run.shards[si]
+		for d := range src.out[run.readParity] {
+			for _, del := range src.out[run.readParity][d] {
+				rank := run.off[del.key.parent] + int64(del.key.pos)
+				ck.Pending[rank] = PendingDelivery{
+					From: idx.MustOf(del.from),
+					To:   run.shards[d].nodes[del.toLocal],
+					Msg:  del.msg,
+				}
+			}
+		}
+	}
+	if err := ck.Write(e.Checkpoint.W); err != nil {
+		return err
+	}
+	return ErrCheckpointed
 }
 
 // startWorkers launches the persistent phase workers of the parallel
@@ -747,7 +898,7 @@ type shardWheelCtx struct {
 func (c *shardWheelCtx) ID() NodeID          { return c.id }
 func (c *shardWheelCtx) Neighbors() []NodeID { return c.neighbors }
 
-func (c *shardWheelCtx) Send(to NodeID, m Message) {
+func (c *shardWheelCtx) Send(to NodeID, m WireMsg) {
 	ni := neighborIndex(c.neighbors, to)
 	if ni < 0 {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
@@ -887,3 +1038,4 @@ func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f F
 }
 
 var _ SnapshotEngine = (*ShardedEngine)(nil)
+var _ ResumableEngine = (*ShardedEngine)(nil)

@@ -165,7 +165,7 @@ func TestShardedTraceUnit(t *testing.T) {
 	collect := func(eng Engine) []step {
 		var steps []step
 		tr := func(ev TraceEvent) {
-			if ev.Msg == nil {
+			if !ev.IsMessage() {
 				steps = append(steps, step{ev.Time, 0, ev.To, "note:" + ev.Note})
 				return
 			}
@@ -207,7 +207,7 @@ func (l *loggingProto) Init(ctx Context) {
 	l.p.Init(ctx)
 }
 
-func (l *loggingProto) Recv(ctx Context, from NodeID, m Message) {
+func (l *loggingProto) Recv(ctx Context, from NodeID, m WireMsg) {
 	ctx.Logf("recv %d<-%d", ctx.ID(), from)
 	l.p.Recv(ctx, from, m)
 }
@@ -379,16 +379,16 @@ type panicNode struct{ at, seen int }
 
 func (p *panicNode) Init(ctx Context) {
 	if ctx.ID() == 0 {
-		ctx.Send(ctx.Neighbors()[0], tokenMsg{hops: 1})
+		ctx.Send(ctx.Neighbors()[0], tokenMsg(1))
 	}
 }
 
-func (p *panicNode) Recv(ctx Context, from NodeID, m Message) {
+func (p *panicNode) Recv(ctx Context, from NodeID, m WireMsg) {
 	p.seen++
 	if p.seen >= p.at {
 		panic("boom")
 	}
-	ctx.Send(ctx.Neighbors()[0], tokenMsg{hops: m.(tokenMsg).hops + 1})
+	ctx.Send(ctx.Neighbors()[0], tokenMsg(int(m.W[0])+1))
 }
 
 // TestMergeParallel pins the exported merge semantics on both finalization
@@ -397,7 +397,7 @@ func TestMergeParallel(t *testing.T) {
 	mk := func(n int64, depth int64, vt float64) *Report {
 		r := NewReport()
 		for i := int64(0); i < n; i++ {
-			r.record(1, tokenMsg{hops: 1}, depth)
+			r.record(1, tokenMsg(1), depth)
 		}
 		r.VirtualTime = vt
 		return r
@@ -417,5 +417,32 @@ func TestMergeParallel(t *testing.T) {
 		if a.ByKind["token"] != 5 || a.SentBy[1] != 5 {
 			t.Fatalf("preFinalize=%v: breakdowns %v %v", preFinalize, a.ByKind, a.SentBy)
 		}
+	}
+}
+
+// TestShardedOutboxAllocsFlat pins the flat-slab pooling of the sharded
+// round path: after a warm-up run, the per-run allocation count must not
+// scale with message volume — the outbox, merge and delivery buffers come
+// from the pooled scratch, and the wire records inside them are flat
+// values the GC never sees. (Per-run allocations that remain are the
+// protocol instances, contexts and report maps, which depend on n and the
+// shard count, not on traffic.)
+func TestShardedOutboxAllocsFlat(t *testing.T) {
+	c := graph.Gnm(64, 256, 11).Compile()
+	part := graph.PartitionContiguous(c, 4)
+	measure := func(hops int) float64 {
+		run := func() {
+			eng := &ShardedEngine{Shards: 4, Workers: 1, Partition: part, Delay: UnitDelay, FIFO: true}
+			if _, _, err := eng.RunSnapshot(c, tokenFactory(hops)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the pooled slabs for this volume
+		return testing.AllocsPerRun(5, run)
+	}
+	small, large := measure(20), measure(400)
+	if large > small*1.25+16 {
+		t.Errorf("allocs scale with traffic: %d hops -> %.0f allocs, %d hops -> %.0f allocs",
+			20, small, 400, large)
 	}
 }

@@ -27,7 +27,13 @@
 //     message interleaving comes from the Go scheduler — true concurrency
 //     for race detection and delivery-order-independence tests.
 //
-// Both engines produce a Report with message counts (total, by kind, by
+// Messages travel as flat wire records (wire.go): each protocol registers
+// an opcode schema and sends WireMsg values — an opcode plus up to a few
+// int64 payload words — so engines carry pointer-free delivery slabs, the
+// report keys off opcodes, and the in-flight state of a run serialises
+// byte-exactly (checkpoint.go, tracebin.go).
+//
+// All engines produce a Report with message counts (total, by kind, by
 // round), message sizes in O(log n)-bit words, the causal depth (asynchronous
 // time complexity) and, for the event engine, the virtual completion time.
 package sim
@@ -42,28 +48,15 @@ import (
 // NodeID identifies a processor; it is the graph's node identity.
 type NodeID = graph.NodeID
 
-// Message is a unit of communication. Words reports its size in abstract
-// machine words (identities, degrees, counters — each O(log n) bits), used
-// for the paper's bit-complexity accounting.
-type Message interface {
-	Kind() string
-	Words() int
-}
-
-// Rounder is implemented by messages that belong to an algorithm round;
-// engines use it to attribute message counts to rounds.
-type Rounder interface {
-	MsgRound() int
-}
-
 // Protocol is the state machine run at one node. Init fires once when the
 // node starts (the algorithm "is started independently by all nodes");
-// Recv fires for every delivered message. Both may send messages through the
+// Recv fires for every delivered message — a flat WireMsg the protocol
+// decodes at its boundary (see wire.go). Both may send messages through the
 // Context. Engines guarantee that Init and all Recv calls for one node are
 // serialised.
 type Protocol interface {
 	Init(ctx Context)
-	Recv(ctx Context, from NodeID, m Message)
+	Recv(ctx Context, from NodeID, m WireMsg)
 }
 
 // Context is a node's interface to the network. Sends are restricted to
@@ -76,7 +69,7 @@ type Context interface {
 	Neighbors() []NodeID
 	// Send queues m for delivery to a neighbouring node. Sending to a
 	// non-neighbour panics: it is a protocol bug, not a runtime condition.
-	Send(to NodeID, m Message)
+	Send(to NodeID, m WireMsg)
 	// Logf records a trace note if tracing is enabled, else does nothing.
 	Logf(format string, args ...any)
 }
@@ -121,12 +114,16 @@ type TraceEvent struct {
 	Depth int64   // causal depth of the delivery
 	From  NodeID
 	To    NodeID
-	Msg   Message // nil for Logf notes
+	Msg   WireMsg // zero (Msg.IsZero()) for Logf notes
 	Note  string
 }
 
+// IsMessage reports whether the event is a delivery (as opposed to a Logf
+// note).
+func (e TraceEvent) IsMessage() bool { return !e.Msg.IsZero() }
+
 func (e TraceEvent) String() string {
-	if e.Msg == nil {
+	if !e.IsMessage() {
 		return fmt.Sprintf("t=%6.2f  %d: %s", e.Time, e.To, e.Note)
 	}
 	return fmt.Sprintf("t=%6.2f  %d -> %d  %s(%d words)", e.Time, e.From, e.To, e.Msg.Kind(), e.Msg.Words())

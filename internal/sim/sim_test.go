@@ -7,11 +7,26 @@ import (
 	"mdegst/internal/graph"
 )
 
-// tokenMsg circulates around a ring a fixed number of hops.
-type tokenMsg struct{ hops int }
+// The test schema: token carries a hop count, seq a per-link sequence
+// number, flood nothing. Registered once per test binary.
+var testWire = Register("simtest",
+	OpSpec{Kind: "token", MinPayload: 1, MaxPayload: 1},
+	OpSpec{Kind: "seq", MinPayload: 1, MaxPayload: 1},
+	OpSpec{Kind: "flood"},
+)
 
-func (tokenMsg) Kind() string { return "token" }
-func (tokenMsg) Words() int   { return 2 }
+var (
+	opToken = testWire.Op(0)
+	opSeq   = testWire.Op(1)
+	opFlood = testWire.Op(2)
+)
+
+// tokenMsg circulates around a ring a fixed number of hops.
+func tokenMsg(hops int) WireMsg {
+	m := WireMsg{Op: opToken, Nw: 1}
+	m.W[0] = int64(hops)
+	return m
+}
 
 type tokenNode struct {
 	id    NodeID
@@ -24,13 +39,13 @@ func (n *tokenNode) Init(ctx Context) {
 	if !n.start {
 		return
 	}
-	ctx.Send(ctx.Neighbors()[len(ctx.Neighbors())-1], tokenMsg{hops: 1})
+	ctx.Send(ctx.Neighbors()[len(ctx.Neighbors())-1], tokenMsg(1))
 }
 
-func (n *tokenNode) Recv(ctx Context, from NodeID, m Message) {
-	tok := m.(tokenMsg)
+func (n *tokenNode) Recv(ctx Context, from NodeID, m WireMsg) {
+	hops := int(m.W[0])
 	n.seen++
-	if tok.hops >= n.limit {
+	if hops >= n.limit {
 		return
 	}
 	// Forward away from the sender (bounce back on a dead end).
@@ -39,7 +54,7 @@ func (n *tokenNode) Recv(ctx Context, from NodeID, m Message) {
 	if next == from && len(ns) > 1 {
 		next = ns[1]
 	}
-	ctx.Send(next, tokenMsg{hops: tok.hops + 1})
+	ctx.Send(next, tokenMsg(hops+1))
 }
 
 func tokenFactory(limit int) Factory {
@@ -120,10 +135,11 @@ func TestEventEngineDeterminism(t *testing.T) {
 }
 
 // seqMsg carries a per-link sequence number for FIFO tests.
-type seqMsg struct{ seq int }
-
-func (seqMsg) Kind() string { return "seq" }
-func (seqMsg) Words() int   { return 2 }
+func seqMsg(seq int) WireMsg {
+	m := WireMsg{Op: opSeq, Nw: 1}
+	m.W[0] = int64(seq)
+	return m
+}
 
 type seqSender struct {
 	id    NodeID
@@ -136,12 +152,12 @@ func (s *seqSender) Init(ctx Context) {
 		return
 	}
 	for i := 0; i < s.count; i++ {
-		ctx.Send(1, seqMsg{seq: i})
+		ctx.Send(1, seqMsg(i))
 	}
 }
 
-func (s *seqSender) Recv(_ Context, _ NodeID, m Message) {
-	s.got = append(s.got, m.(seqMsg).seq)
+func (s *seqSender) Recv(_ Context, _ NodeID, m WireMsg) {
+	s.got = append(s.got, int(m.W[0]))
 }
 
 func TestFIFOOrdering(t *testing.T) {
@@ -187,10 +203,10 @@ type badSender struct{ id NodeID }
 
 func (b *badSender) Init(ctx Context) {
 	if b.id == 0 {
-		ctx.Send(99, tokenMsg{})
+		ctx.Send(99, tokenMsg(0))
 	}
 }
-func (b *badSender) Recv(Context, NodeID, Message) {}
+func (b *badSender) Recv(Context, NodeID, WireMsg) {}
 
 func TestNonNeighborSendFails(t *testing.T) {
 	g := graph.Path(3)
@@ -210,11 +226,11 @@ type chainReaction struct{}
 
 func (chainReaction) Init(ctx Context) {
 	for _, w := range ctx.Neighbors() {
-		ctx.Send(w, tokenMsg{})
+		ctx.Send(w, tokenMsg(0))
 	}
 }
-func (chainReaction) Recv(ctx Context, from NodeID, _ Message) {
-	ctx.Send(from, tokenMsg{})
+func (chainReaction) Recv(ctx Context, from NodeID, _ WireMsg) {
+	ctx.Send(from, tokenMsg(0))
 }
 
 func TestLivelockGuard(t *testing.T) {
@@ -228,9 +244,9 @@ func TestLivelockGuard(t *testing.T) {
 
 func TestReportMerge(t *testing.T) {
 	a, b := newReport(), newReport()
-	a.record(1, tokenMsg{}, 3)
-	b.record(2, tokenMsg{}, 5)
-	b.record(2, seqMsg{}, 1)
+	a.record(1, tokenMsg(0), 3)
+	b.record(2, tokenMsg(0), 5)
+	b.record(2, seqMsg(0), 1)
 	a.Add(b)
 	if a.Messages != 3 {
 		t.Errorf("messages = %d, want 3", a.Messages)

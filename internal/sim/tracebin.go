@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// The compact binary trace form. A text trace of a large run is hundreds
+// of megabytes of formatted strings; the binary form writes each delivery
+// as a handful of varints (the flat wire record serialises directly) and
+// renders back to the exact same TraceEvents on read. The file carries the
+// same kind-string opcode table as checkpoints, so traces survive registry
+// renumbering across binaries.
+//
+// Format: magic | version | record stream. The opcode table is inline:
+// the first time an opcode appears it is written as 0 followed by its kind
+// string, assigning the next file-local index; later occurrences write the
+// index. Records:
+//
+//	0x01 delivery: time (uvarint of float64 bits), depth, from, to, wire record
+//	0x02 note:     time, depth, to, len-prefixed string
+
+var traceMagic = [8]byte{'M', 'D', 'G', 'S', 'T', 'T', 'R', '1'}
+
+// TraceVersion is the binary trace format version.
+const TraceVersion = 1
+
+const (
+	traceRecDelivery = 0x01
+	traceRecNote     = 0x02
+)
+
+// traceScratchPool recycles the writer's encode buffer: tracing is per
+// delivery, and the harness runs thousands of traced executions, so the
+// scratch must not be a per-writer (let alone per-event) allocation.
+var traceScratchPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// BinaryTraceWriter encodes TraceEvents to w in the compact binary form.
+// Use the Trace method as an engine's Trace callback and Close when the
+// run finished. Not safe for concurrent use (engine trace callbacks are
+// serialised).
+type BinaryTraceWriter struct {
+	w      io.Writer
+	buf    []byte   // pooled scratch, flushed when it grows past flushAt
+	fileOf []uint64 // process Op -> file index + 0 (0 = unassigned)
+	next   uint64
+	err    error
+}
+
+const traceFlushAt = 1 << 15
+
+// NewBinaryTraceWriter starts a binary trace on w, writing the header.
+func NewBinaryTraceWriter(w io.Writer) *BinaryTraceWriter {
+	t := &BinaryTraceWriter{
+		w:      w,
+		buf:    traceScratchPool.Get().([]byte)[:0],
+		fileOf: make([]uint64, NumOps()),
+	}
+	t.buf = append(t.buf, traceMagic[:]...)
+	t.buf = appendUvarint(t.buf, TraceVersion)
+	return t
+}
+
+// Trace encodes one event; it is shaped to be an engine Trace callback.
+func (t *BinaryTraceWriter) Trace(e TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	if e.IsMessage() {
+		t.buf = append(t.buf, traceRecDelivery)
+		t.buf = appendUvarint(t.buf, math.Float64bits(e.Time))
+		t.buf = appendVarint(t.buf, e.Depth)
+		t.buf = appendVarint(t.buf, int64(e.From))
+		t.buf = appendVarint(t.buf, int64(e.To))
+		// The opcode is resolved before the record's wire bytes so encOp
+		// can splice the inline table entry ahead of them.
+		fileOp := t.encOp(e.Msg.Op)
+		t.buf = appendUvarint(t.buf, fileOp)
+		t.buf = appendUvarint(t.buf, uint64(e.Msg.Nw))
+		for i := 0; i < int(e.Msg.Nw); i++ {
+			t.buf = appendVarint(t.buf, e.Msg.W[i])
+		}
+	} else {
+		t.buf = append(t.buf, traceRecNote)
+		t.buf = appendUvarint(t.buf, math.Float64bits(e.Time))
+		t.buf = appendVarint(t.buf, e.Depth)
+		t.buf = appendVarint(t.buf, int64(e.To))
+		t.buf = appendUvarint(t.buf, uint64(len(e.Note)))
+		t.buf = append(t.buf, e.Note...)
+	}
+	if len(t.buf) >= traceFlushAt {
+		t.flush()
+	}
+}
+
+// encOp translates an opcode to its file-local index, emitting the inline
+// table entry (0 + kind string) on first use.
+func (t *BinaryTraceWriter) encOp(op Op) uint64 {
+	if int(op) >= len(t.fileOf) {
+		// Op registered after the writer started (test registration);
+		// grow the table.
+		grown := make([]uint64, NumOps())
+		copy(grown, t.fileOf)
+		t.fileOf = grown
+	}
+	if t.fileOf[op] == 0 {
+		kind := opKind(op)
+		t.buf = appendUvarint(t.buf, 0)
+		t.buf = appendUvarint(t.buf, uint64(len(kind)))
+		t.buf = append(t.buf, kind...)
+		t.next++
+		t.fileOf[op] = t.next
+	}
+	return t.fileOf[op]
+}
+
+func (t *BinaryTraceWriter) flush() {
+	if t.err != nil || len(t.buf) == 0 {
+		return
+	}
+	_, t.err = t.w.Write(t.buf)
+	t.buf = t.buf[:0]
+}
+
+// Err returns the first write error.
+func (t *BinaryTraceWriter) Err() error { return t.err }
+
+// Close flushes buffered records and returns the pooled scratch. The
+// writer must not be used afterwards.
+func (t *BinaryTraceWriter) Close() error {
+	t.flush()
+	if t.buf != nil {
+		traceScratchPool.Put(t.buf[:0])
+		t.buf = nil
+	}
+	return t.err
+}
+
+// ReadBinaryTrace decodes a binary trace back into TraceEvents. Malformed
+// input returns a typed *WireError or a wrapped description, never a
+// panic.
+func ReadBinaryTrace(r io.Reader) ([]TraceEvent, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(traceMagic)+1 || string(raw[:len(traceMagic)]) != string(traceMagic[:]) {
+		return nil, fmt.Errorf("sim: not a binary trace (bad magic)")
+	}
+	at := len(traceMagic)
+	version, n := binary.Uvarint(raw[at:])
+	if n <= 0 || version != TraceVersion {
+		return nil, fmt.Errorf("sim: unsupported binary trace version")
+	}
+	at += n
+	ops := []Op{OpNone} // file index -> registry opcode
+	decOp := func(fileOp uint64) (Op, error) {
+		if fileOp == 0 || fileOp >= uint64(len(ops)) {
+			return OpNone, &WireError{Reason: fmt.Sprintf("trace opcode %d outside the inline table", fileOp)}
+		}
+		return ops[fileOp], nil
+	}
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(raw[at:])
+		if n <= 0 {
+			return 0, fmt.Errorf("sim: truncated binary trace")
+		}
+		at += n
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, n := binary.Varint(raw[at:])
+		if n <= 0 {
+			return 0, fmt.Errorf("sim: truncated binary trace")
+		}
+		at += n
+		return v, nil
+	}
+	var events []TraceEvent
+	for at < len(raw) {
+		tag := raw[at]
+		at++
+		bits, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		depth, err := sv()
+		if err != nil {
+			return nil, err
+		}
+		e := TraceEvent{Time: math.Float64frombits(bits), Depth: depth}
+		switch tag {
+		case traceRecDelivery:
+			from, err := sv()
+			if err != nil {
+				return nil, err
+			}
+			to, err := sv()
+			if err != nil {
+				return nil, err
+			}
+			// Inline table entries precede the opcode they define.
+			for {
+				peek, n := binary.Uvarint(raw[at:])
+				if n <= 0 {
+					return nil, fmt.Errorf("sim: truncated binary trace")
+				}
+				if peek != 0 {
+					break
+				}
+				at += n
+				klen, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				if klen > uint64(len(raw)-at) {
+					return nil, fmt.Errorf("sim: truncated binary trace")
+				}
+				kind := string(raw[at : at+int(klen)])
+				at += int(klen)
+				op, ok := OpByKind(kind)
+				if !ok {
+					return nil, &WireError{Reason: fmt.Sprintf("unknown message kind %q in trace", kind)}
+				}
+				ops = append(ops, op)
+			}
+			m, used, err := DecodeWire(raw[at:], decOp)
+			if err != nil {
+				return nil, err
+			}
+			at += used
+			e.From, e.To, e.Msg = NodeID(from), NodeID(to), m
+		case traceRecNote:
+			to, err := sv()
+			if err != nil {
+				return nil, err
+			}
+			nlen, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if nlen > uint64(len(raw)-at) {
+				return nil, fmt.Errorf("sim: truncated binary trace")
+			}
+			e.To = NodeID(to)
+			e.Note = string(raw[at : at+int(nlen)])
+			at += int(nlen)
+		default:
+			return nil, fmt.Errorf("sim: unknown binary trace record 0x%02x", tag)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

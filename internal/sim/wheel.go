@@ -100,10 +100,10 @@ func (q *bucketQueue) peek() event {
 }
 
 // pop removes and returns the minimum (time, sequence) event. The caller
-// must ensure the queue is non-empty.
+// must ensure the queue is non-empty. Events are flat wire records — no
+// pointers — so drained slots need no zeroing.
 func (q *bucketQueue) pop() event {
 	e := q.peek()
-	q.buckets[q.cur&wheelMask][q.pos] = event{} // drop the Message reference so pooled storage does not pin it
 	q.pos++
 	q.size--
 	return e
@@ -123,17 +123,14 @@ func (q *bucketQueue) nextOccupied(v int64) int64 {
 	}
 }
 
-// reset zeroes any events left behind by an abnormal exit (protocol panic,
+// reset drops any events left behind by an abnormal exit (protocol panic,
 // livelock abort) and returns the wheel to its initial state, keeping the
-// per-bucket backing arrays for reuse.
+// per-bucket backing arrays for reuse. Events are pointer-free records, so
+// truncation suffices.
 func (q *bucketQueue) reset() {
 	if q.size > 0 || q.pos > 0 {
 		for slot := range q.buckets {
-			b := q.buckets[slot]
-			for i := range b {
-				b[i] = event{}
-			}
-			q.buckets[slot] = b[:0]
+			q.buckets[slot] = q.buckets[slot][:0]
 		}
 	}
 	q.occupied = [wheelWords]uint64{}

@@ -10,16 +10,8 @@ import "mdegst/internal/sim"
 // hands it back, reporting whether the candidate joined as a child. At most
 // two messages cross each edge in each direction: O(m) messages, O(m) time.
 
-type dfsDiscover struct{}
+// dfsReturn is the typed view of the token-return record.
 type dfsReturn struct{ accepted bool }
-type dfsDone struct{}
-
-func (dfsDiscover) Kind() string { return "st.discover" }
-func (dfsDiscover) Words() int   { return 1 }
-func (dfsReturn) Kind() string   { return "st.return" }
-func (dfsReturn) Words() int     { return 2 }
-func (dfsDone) Kind() string     { return "st.done" }
-func (dfsDone) Words() int       { return 1 }
 
 // DFSNode is one node of the token-DFS protocol.
 type DFSNode struct {
@@ -48,23 +40,25 @@ func (n *DFSNode) Init(ctx sim.Context) {
 	n.advance(ctx)
 }
 
-// Recv handles token arrival and return.
-func (n *DFSNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
-	switch msg := m.(type) {
-	case dfsDiscover:
+// Recv handles token arrival and return, decoding the return record's
+// accepted flag at the boundary.
+func (n *DFSNode) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
+	switch m.Op {
+	case opDFSDiscover:
 		if n.visited {
-			ctx.Send(from, dfsReturn{accepted: false})
+			ctx.Send(from, sim.Msg(opDFSReturn, sim.B2W(false)))
 			return
 		}
 		n.visited = true
 		n.parent = from
 		n.advance(ctx)
-	case dfsReturn:
+	case opDFSReturn:
+		msg := dfsReturn{accepted: m.W[0] != 0}
 		if msg.accepted {
 			n.children = insertID(n.children, from)
 		}
 		n.advance(ctx)
-	case dfsDone:
+	case opStDone:
 		n.finish(ctx)
 	}
 }
@@ -79,20 +73,20 @@ func (n *DFSNode) advance(ctx sim.Context) {
 		if !n.root && w == n.parent {
 			continue
 		}
-		ctx.Send(w, dfsDiscover{})
+		ctx.Send(w, sim.Msg(opDFSDiscover))
 		return
 	}
 	if n.root {
 		n.finish(ctx)
 		return
 	}
-	ctx.Send(n.parent, dfsReturn{accepted: true})
+	ctx.Send(n.parent, sim.Msg(opDFSReturn, sim.B2W(true)))
 }
 
 func (n *DFSNode) finish(ctx sim.Context) {
 	n.finished = true
 	for _, c := range n.children {
-		ctx.Send(c, dfsDone{})
+		ctx.Send(c, sim.Msg(opStDone))
 	}
 }
 

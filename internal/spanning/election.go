@@ -9,17 +9,6 @@ import "mdegst/internal/sim"
 // tree; a Done broadcast gives termination by process. Worst case O(n·m)
 // messages, O(diameter) time — the classic extrema-finding flood.
 
-type elExplore struct{ init sim.NodeID }
-type elEcho struct{ init sim.NodeID }
-type elDone struct{}
-
-func (elExplore) Kind() string { return "el.explore" }
-func (elExplore) Words() int   { return 2 }
-func (elEcho) Kind() string    { return "el.echo" }
-func (elEcho) Words() int      { return 2 }
-func (elDone) Kind() string    { return "el.done" }
-func (elDone) Words() int      { return 1 }
-
 // ElectionNode is one node of the extinction protocol.
 type ElectionNode struct {
 	id       sim.NodeID
@@ -47,40 +36,41 @@ func (n *ElectionNode) Init(ctx sim.Context) {
 		return
 	}
 	for _, w := range ctx.Neighbors() {
-		ctx.Send(w, elExplore{init: n.id})
+		ctx.Send(w, sim.Msg(opElExplore, int64(n.id)))
 	}
 }
 
 // Recv drives extinction: adopt strictly smaller waves, resolve equal ones,
 // ignore larger ones (their senders will adopt ours instead).
-func (n *ElectionNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
-	switch msg := m.(type) {
-	case elExplore:
+func (n *ElectionNode) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
+	switch m.Op {
+	case opElExplore:
+		init := sim.NodeID(m.W[0])
 		switch {
-		case msg.init < n.best:
-			n.best = msg.init
+		case init < n.best:
+			n.best = init
 			n.parent = from
 			n.children = nil
 			n.pending = len(ctx.Neighbors()) - 1
 			if n.pending == 0 {
-				ctx.Send(n.parent, elEcho{init: n.best})
+				ctx.Send(n.parent, sim.Msg(opElEcho, int64(n.best)))
 				return
 			}
 			for _, w := range ctx.Neighbors() {
 				if w != from {
-					ctx.Send(w, elExplore{init: n.best})
+					ctx.Send(w, sim.Msg(opElExplore, int64(n.best)))
 				}
 			}
-		case msg.init == n.best:
+		case init == n.best:
 			n.resolve(ctx)
 		}
-	case elEcho:
-		if msg.init != n.best {
+	case opElEcho:
+		if sim.NodeID(m.W[0]) != n.best {
 			return // echo of an extinguished wave
 		}
 		n.children = insertID(n.children, from)
 		n.resolve(ctx)
-	case elDone:
+	case opElDone:
 		n.finish(ctx)
 	}
 }
@@ -95,13 +85,13 @@ func (n *ElectionNode) resolve(ctx sim.Context) {
 		n.finish(ctx)
 		return
 	}
-	ctx.Send(n.parent, elEcho{init: n.best})
+	ctx.Send(n.parent, sim.Msg(opElEcho, int64(n.best)))
 }
 
 func (n *ElectionNode) finish(ctx sim.Context) {
 	n.finished = true
 	for _, c := range n.children {
-		ctx.Send(c, elDone{})
+		ctx.Send(c, sim.Msg(opElDone))
 	}
 }
 

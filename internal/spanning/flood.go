@@ -12,17 +12,6 @@ import "mdegst/internal/sim"
 // plus n-1 Done, i.e. O(m). Time O(diameter). Under unit delays the result
 // is a BFS tree; under asynchrony an arbitrary spanning tree.
 
-type floodExplore struct{}
-type floodEcho struct{}
-type floodDone struct{}
-
-func (floodExplore) Kind() string { return "st.explore" }
-func (floodExplore) Words() int   { return 1 }
-func (floodEcho) Kind() string    { return "st.echo" }
-func (floodEcho) Words() int      { return 1 }
-func (floodDone) Kind() string    { return "st.done" }
-func (floodDone) Words() int      { return 1 }
-
 // FloodNode is one node of the flooding protocol.
 type FloodNode struct {
 	id       sim.NodeID
@@ -53,35 +42,36 @@ func (n *FloodNode) Init(ctx sim.Context) {
 		return
 	}
 	for _, w := range ctx.Neighbors() {
-		ctx.Send(w, floodExplore{})
+		ctx.Send(w, sim.Msg(opFloodExplore))
 	}
 }
 
-// Recv drives the explore/echo state machine.
-func (n *FloodNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
-	switch m.(type) {
-	case floodExplore:
+// Recv drives the explore/echo state machine; the wire records carry no
+// payload, so the opcode is the whole decode.
+func (n *FloodNode) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
+	switch m.Op {
+	case opFloodExplore:
 		if !n.started {
 			n.started = true
 			n.parent = from
 			n.pending = len(ctx.Neighbors()) - 1
 			if n.pending == 0 {
-				ctx.Send(n.parent, floodEcho{})
+				ctx.Send(n.parent, sim.Msg(opFloodEcho))
 				return
 			}
 			for _, w := range ctx.Neighbors() {
 				if w != from {
-					ctx.Send(w, floodExplore{})
+					ctx.Send(w, sim.Msg(opFloodExplore))
 				}
 			}
 			return
 		}
 		// Crossing explore on a non-tree edge: both sides resolve it.
 		n.resolve(ctx)
-	case floodEcho:
+	case opFloodEcho:
 		n.children = insertID(n.children, from)
 		n.resolve(ctx)
-	case floodDone:
+	case opStDone:
 		n.finish(ctx)
 	}
 }
@@ -95,13 +85,13 @@ func (n *FloodNode) resolve(ctx sim.Context) {
 		n.finish(ctx)
 		return
 	}
-	ctx.Send(n.parent, floodEcho{})
+	ctx.Send(n.parent, sim.Msg(opFloodEcho))
 }
 
 func (n *FloodNode) finish(ctx sim.Context) {
 	n.finished = true
 	for _, c := range n.children {
-		ctx.Send(c, floodDone{})
+		ctx.Send(c, sim.Msg(opStDone))
 	}
 }
 
@@ -112,3 +102,26 @@ func (n *FloodNode) TreeInfo() (sim.NodeID, []sim.NodeID, bool) {
 
 // Finished implements TreeNode.
 func (n *FloodNode) Finished() bool { return n.finished }
+
+// EncodeState implements sim.StateCodec: flood supports barrier
+// checkpoint/resume. The designated-root flag is factory state and not
+// encoded.
+func (n *FloodNode) EncodeState(e *sim.StateEncoder) {
+	e.Bool(n.started)
+	e.Bool(n.finished)
+	e.ID(n.parent)
+	e.IDs(n.children)
+	e.Int(int64(n.pending))
+}
+
+// DecodeState implements sim.StateCodec.
+func (n *FloodNode) DecodeState(d *sim.StateDecoder) error {
+	n.started = d.Bool()
+	n.finished = d.Bool()
+	n.parent = d.ID()
+	n.children = d.IDs()
+	n.pending = int(d.Int())
+	return d.Err()
+}
+
+var _ sim.StateCodec = (*FloodNode)(nil)

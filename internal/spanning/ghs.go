@@ -60,7 +60,9 @@ const (
 	ghsFound
 )
 
-// GHS messages. Words counts the identities/integers carried plus the kind.
+// Typed views of the GHS wire records, decoded at the protocol boundary.
+// Word accounting (kind tag + payload): connect 2, initiate 5, test 4,
+// report 3, the rest 1.
 type ghsConnect struct{ level int }
 type ghsInitiate struct {
 	level int
@@ -71,32 +73,31 @@ type ghsTest struct {
 	level int
 	frag  ghsWeight
 }
-type ghsAccept struct{}
-type ghsReject struct{}
 type ghsReport struct{ best ghsWeight }
-type ghsChangeRoot struct{}
-type ghsDone struct{}
 
-func (ghsConnect) Kind() string    { return "ghs.connect" }
-func (ghsConnect) Words() int      { return 2 }
-func (ghsInitiate) Kind() string   { return "ghs.initiate" }
-func (ghsInitiate) Words() int     { return 5 }
-func (ghsTest) Kind() string       { return "ghs.test" }
-func (ghsTest) Words() int         { return 4 }
-func (ghsAccept) Kind() string     { return "ghs.accept" }
-func (ghsAccept) Words() int       { return 1 }
-func (ghsReject) Kind() string     { return "ghs.reject" }
-func (ghsReject) Words() int       { return 1 }
-func (ghsReport) Kind() string     { return "ghs.report" }
-func (ghsReport) Words() int       { return 3 }
-func (ghsChangeRoot) Kind() string { return "ghs.changeroot" }
-func (ghsChangeRoot) Words() int   { return 1 }
-func (ghsDone) Kind() string       { return "ghs.done" }
-func (ghsDone) Words() int         { return 1 }
+func newGHSConnect(level int) sim.WireMsg { return sim.Msg(opGHSConnect, int64(level)) }
+
+func newGHSInitiate(level int, frag ghsWeight, state ghsNodeState) sim.WireMsg {
+	m := sim.WireMsg{Op: opGHSInitiate, Nw: 4}
+	m.W[0], m.W[1], m.W[2], m.W[3] = int64(level), int64(frag.a), int64(frag.b), int64(state)
+	return m
+}
+
+func newGHSTest(level int, frag ghsWeight) sim.WireMsg {
+	m := sim.WireMsg{Op: opGHSTest, Nw: 3}
+	m.W[0], m.W[1], m.W[2] = int64(level), int64(frag.a), int64(frag.b)
+	return m
+}
+
+func newGHSReport(best ghsWeight) sim.WireMsg {
+	m := sim.WireMsg{Op: opGHSReport, Nw: 2}
+	m.W[0], m.W[1] = int64(best.a), int64(best.b)
+	return m
+}
 
 type ghsDeferred struct {
 	from sim.NodeID
-	msg  sim.Message
+	msg  sim.WireMsg
 }
 
 // GHSNode is one node of the GHS protocol.
@@ -155,12 +156,12 @@ func (n *GHSNode) Init(ctx sim.Context) {
 	n.level = 0
 	n.state = ghsFound
 	n.bestWt = ghsInfinity
-	ctx.Send(m, ghsConnect{level: 0})
+	ctx.Send(m, newGHSConnect(0))
 }
 
 // Recv processes one message, then retries deferred messages until no more
 // can make progress.
-func (n *GHSNode) Recv(ctx sim.Context, from sim.NodeID, m sim.Message) {
+func (n *GHSNode) Recv(ctx sim.Context, from sim.NodeID, m sim.WireMsg) {
 	if !n.process(ctx, from, m) {
 		n.deferred = append(n.deferred, ghsDeferred{from: from, msg: m})
 		return
@@ -183,32 +184,40 @@ func (n *GHSNode) retryDeferred(ctx sim.Context) {
 }
 
 // process handles one message; it returns false when the message must be
-// deferred per the GHS pseudocode.
-func (n *GHSNode) process(ctx sim.Context, from sim.NodeID, m sim.Message) bool {
-	switch msg := m.(type) {
-	case ghsConnect:
-		return n.onConnect(ctx, from, msg)
-	case ghsInitiate:
-		n.onInitiate(ctx, from, msg)
+// deferred per the GHS pseudocode. Wire records decode to their typed
+// views here, at the protocol boundary.
+func (n *GHSNode) process(ctx sim.Context, from sim.NodeID, m sim.WireMsg) bool {
+	switch m.Op {
+	case opGHSConnect:
+		return n.onConnect(ctx, from, ghsConnect{level: int(m.W[0])})
+	case opGHSInitiate:
+		n.onInitiate(ctx, from, ghsInitiate{
+			level: int(m.W[0]),
+			frag:  ghsWeight{a: sim.NodeID(m.W[1]), b: sim.NodeID(m.W[2])},
+			state: ghsNodeState(m.W[3]),
+		})
 		return true
-	case ghsTest:
-		return n.onTest(ctx, from, msg)
-	case ghsAccept:
+	case opGHSTest:
+		return n.onTest(ctx, from, ghsTest{
+			level: int(m.W[0]),
+			frag:  ghsWeight{a: sim.NodeID(m.W[1]), b: sim.NodeID(m.W[2])},
+		})
+	case opGHSAccept:
 		n.onAccept(ctx, from)
 		return true
-	case ghsReject:
+	case opGHSReject:
 		n.onReject(ctx, from)
 		return true
-	case ghsReport:
-		return n.onReport(ctx, from, msg)
-	case ghsChangeRoot:
+	case opGHSReport:
+		return n.onReport(ctx, from, ghsReport{best: ghsWeight{a: sim.NodeID(m.W[0]), b: sim.NodeID(m.W[1])}})
+	case opGHSChangeRt:
 		n.changeRoot(ctx)
 		return true
-	case ghsDone:
+	case opGHSDone:
 		n.onDone(ctx, from)
 		return true
 	default:
-		panic(fmt.Sprintf("ghs: unexpected message %T", m))
+		panic(fmt.Sprintf("ghs: unexpected message %s", m.Kind()))
 	}
 }
 
@@ -217,7 +226,7 @@ func (n *GHSNode) onConnect(ctx sim.Context, from sim.NodeID, msg ghsConnect) bo
 	case msg.level < n.level:
 		// Absorb the lower-level fragment.
 		n.edges[from] = ghsBranch
-		ctx.Send(from, ghsInitiate{level: n.level, frag: n.frag, state: n.state})
+		ctx.Send(from, newGHSInitiate(n.level, n.frag, n.state))
 		if n.state == ghsFind {
 			n.findCount++
 		}
@@ -226,7 +235,7 @@ func (n *GHSNode) onConnect(ctx sim.Context, from sim.NodeID, msg ghsConnect) bo
 		return false // defer: same/higher level over an untested edge
 	default:
 		// Merge: this edge becomes the new core at level+1.
-		ctx.Send(from, ghsInitiate{level: n.level + 1, frag: ghsEdgeWeight(n.id, from), state: ghsFind})
+		ctx.Send(from, newGHSInitiate(n.level+1, ghsEdgeWeight(n.id, from), ghsFind))
 		return true
 	}
 }
@@ -243,7 +252,7 @@ func (n *GHSNode) onInitiate(ctx sim.Context, from sim.NodeID, msg ghsInitiate) 
 		if w == from || n.edges[w] != ghsBranch {
 			continue
 		}
-		ctx.Send(w, ghsInitiate{level: msg.level, frag: msg.frag, state: msg.state})
+		ctx.Send(w, newGHSInitiate(msg.level, msg.frag, msg.state))
 		if msg.state == ghsFind {
 			n.findCount++
 		}
@@ -273,7 +282,7 @@ func (n *GHSNode) test(ctx sim.Context) {
 	}
 	n.testing = true
 	n.testEdge = best
-	ctx.Send(best, ghsTest{level: n.level, frag: n.frag})
+	ctx.Send(best, newGHSTest(n.level, n.frag))
 }
 
 func (n *GHSNode) onTest(ctx sim.Context, from sim.NodeID, msg ghsTest) bool {
@@ -281,14 +290,14 @@ func (n *GHSNode) onTest(ctx sim.Context, from sim.NodeID, msg ghsTest) bool {
 		return false // defer until this node catches up
 	}
 	if msg.frag != n.frag {
-		ctx.Send(from, ghsAccept{})
+		ctx.Send(from, sim.Msg(opGHSAccept))
 		return true
 	}
 	if n.edges[from] == ghsBasic {
 		n.edges[from] = ghsRejected
 	}
 	if !(n.testing && n.testEdge == from) {
-		ctx.Send(from, ghsReject{})
+		ctx.Send(from, sim.Msg(opGHSReject))
 	} else {
 		n.test(ctx)
 	}
@@ -316,7 +325,7 @@ func (n *GHSNode) onReject(ctx sim.Context, from sim.NodeID) {
 func (n *GHSNode) report(ctx sim.Context) {
 	if n.findCount == 0 && !n.testing {
 		n.state = ghsFound
-		ctx.Send(n.inBranch, ghsReport{best: n.bestWt})
+		ctx.Send(n.inBranch, newGHSReport(n.bestWt))
 	}
 }
 
@@ -348,10 +357,10 @@ func (n *GHSNode) onReport(ctx sim.Context, from sim.NodeID, msg ghsReport) bool
 // Connect across it.
 func (n *GHSNode) changeRoot(ctx sim.Context) {
 	if n.edges[n.bestEdge] == ghsBranch {
-		ctx.Send(n.bestEdge, ghsChangeRoot{})
+		ctx.Send(n.bestEdge, sim.Msg(opGHSChangeRt))
 		return
 	}
-	ctx.Send(n.bestEdge, ghsConnect{level: n.level})
+	ctx.Send(n.bestEdge, newGHSConnect(n.level))
 	n.edges[n.bestEdge] = ghsBranch
 }
 
@@ -364,7 +373,7 @@ func (n *GHSNode) halt(ctx sim.Context, otherCore sim.NodeID) {
 		n.finished = true
 		for _, w := range ctx.Neighbors() {
 			if n.edges[w] == ghsBranch {
-				ctx.Send(w, ghsDone{})
+				ctx.Send(w, sim.Msg(opGHSDone))
 			}
 		}
 	}
@@ -379,7 +388,7 @@ func (n *GHSNode) onDone(ctx sim.Context, from sim.NodeID) {
 	n.hasParent = true
 	for _, w := range ctx.Neighbors() {
 		if w != from && n.edges[w] == ghsBranch {
-			ctx.Send(w, ghsDone{})
+			ctx.Send(w, sim.Msg(opGHSDone))
 		}
 	}
 }

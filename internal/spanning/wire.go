@@ -1,0 +1,50 @@
+package spanning
+
+import "mdegst/internal/sim"
+
+// The package's wire schema: all four distributed spanning-tree protocols
+// register in one vocabulary (flood and DFS share the "st.done"
+// termination broadcast, so the kinds must live in one schema). Payload
+// word counts reproduce the historical Words() accounting exactly:
+// 1 (kind tag) + payload.
+var wire = sim.Register("spanning",
+	// Flood (Chang's echo): explore/echo/done carry no payload.
+	sim.OpSpec{Kind: "st.explore"},
+	sim.OpSpec{Kind: "st.echo"},
+	sim.OpSpec{Kind: "st.done"},
+	// Token DFS: return carries the accepted flag.
+	sim.OpSpec{Kind: "st.discover"},
+	sim.OpSpec{Kind: "st.return", MinPayload: 1, MaxPayload: 1},
+	// Election (echo-wave extinction): explore/echo carry the initiator.
+	sim.OpSpec{Kind: "el.explore", MinPayload: 1, MaxPayload: 1},
+	sim.OpSpec{Kind: "el.echo", MinPayload: 1, MaxPayload: 1},
+	sim.OpSpec{Kind: "el.done"},
+	// GHS: level/fragment/state per the original pseudocode.
+	sim.OpSpec{Kind: "ghs.connect", MinPayload: 1, MaxPayload: 1},
+	sim.OpSpec{Kind: "ghs.initiate", MinPayload: 4, MaxPayload: 4},
+	sim.OpSpec{Kind: "ghs.test", MinPayload: 3, MaxPayload: 3},
+	sim.OpSpec{Kind: "ghs.accept"},
+	sim.OpSpec{Kind: "ghs.reject"},
+	sim.OpSpec{Kind: "ghs.report", MinPayload: 2, MaxPayload: 2},
+	sim.OpSpec{Kind: "ghs.changeroot"},
+	sim.OpSpec{Kind: "ghs.done"},
+)
+
+var (
+	opFloodExplore = wire.Op(0)
+	opFloodEcho    = wire.Op(1)
+	opStDone       = wire.Op(2)
+	opDFSDiscover  = wire.Op(3)
+	opDFSReturn    = wire.Op(4)
+	opElExplore    = wire.Op(5)
+	opElEcho       = wire.Op(6)
+	opElDone       = wire.Op(7)
+	opGHSConnect   = wire.Op(8)
+	opGHSInitiate  = wire.Op(9)
+	opGHSTest      = wire.Op(10)
+	opGHSAccept    = wire.Op(11)
+	opGHSReject    = wire.Op(12)
+	opGHSReport    = wire.Op(13)
+	opGHSChangeRt  = wire.Op(14)
+	opGHSDone      = wire.Op(15)
+)

@@ -1,6 +1,7 @@
 package mdegst
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -172,16 +173,37 @@ func NewAsyncEngine() Engine {
 }
 
 // TraceEvent describes one observable simulator step (a message delivery).
+// Its Msg is a flat wire-format value record (no pointers), safe to retain.
 type TraceEvent = sim.TraceEvent
 
 // NewTracingEngine returns a unit-delay deterministic engine that reports
 // every delivery to fn — the tool behind the Figure 2 wave visualisation.
-//
-// The event's Msg is only valid during the callback: protocols may recycle
-// message objects after a handler processed them. Extract what you need
-// (Kind(), Words(), ...) inside fn instead of retaining the Message.
+// A nil fn disables tracing, making it equivalent to NewUnitEngine.
 func NewTracingEngine(fn func(TraceEvent)) Engine {
 	return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true, Trace: fn}
+}
+
+// NewTracingShardedEngine is NewShardedEngine with a trace callback
+// observing every delivery in the exact global order (which forces the
+// serial schedule; see DESIGN.md §7). A nil fn disables tracing.
+func NewTracingShardedEngine(shards int, fn func(TraceEvent)) Engine {
+	return &sim.ShardedEngine{Shards: shards, Delay: sim.UnitDelay, FIFO: true, Trace: fn}
+}
+
+// NewTracingRandomDelayEngine is NewRandomDelayEngine with a trace
+// callback. A nil fn disables tracing.
+func NewTracingRandomDelayEngine(seed int64, fn func(TraceEvent)) Engine {
+	return &sim.EventEngine{Delay: sim.UniformDelay(0.05), Seed: seed, FIFO: true, Trace: fn}
+}
+
+// BinaryTraceWriter encodes TraceEvents in the compact binary trace form
+// (DESIGN.md §8); pair its Trace method with the tracing engine
+// constructors and Close it when the run finished.
+type BinaryTraceWriter = sim.BinaryTraceWriter
+
+// NewBinaryTraceWriter starts a binary trace on w.
+func NewBinaryTraceWriter(w io.Writer) *BinaryTraceWriter {
+	return sim.NewBinaryTraceWriter(w)
 }
 
 // Result reports a full pipeline run.
@@ -286,6 +308,76 @@ func ImproveCompiled(c *CompiledGraph, initial *Tree, opts Options) (*Result, er
 		Improvement:   r.Report,
 		Total:         total,
 	}, nil
+}
+
+// Checkpoint is a run of the improvement protocol frozen at a round
+// barrier (the serialisable form the flat wire-format message plane makes
+// possible; see DESIGN.md §8).
+type Checkpoint = sim.Checkpoint
+
+// CheckpointImprove runs the improvement protocol like ImproveCompiled but
+// arms a checkpoint at the barrier after `round` improvement rounds
+// (0 freezes the state right after all Inits). If the run reaches the
+// barrier, the frozen run — protocol states, pending messages, report
+// counters — is written to w as a versioned byte-exact file and (true,
+// nil) returns; if it quiesces earlier the run completes and (false, nil)
+// returns with nothing written. Unit-delay engines only (the default and
+// the sharded engine; Options.Engine must be nil).
+func CheckpointImprove(c *CompiledGraph, initial *Tree, opts Options, round int64, w io.Writer) (bool, error) {
+	if opts.Engine != nil {
+		return false, fmt.Errorf("mdegst: checkpointing picks its own unit-delay engine; Options.Engine must be nil")
+	}
+	spec := &sim.CheckpointSpec{Round: round, W: w}
+	_, err := mdst.RunTargetSnapshot(opts.checkpointEngine(spec), c, initial, opts.Mode, opts.TargetDegree)
+	switch {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, sim.ErrCheckpointed):
+		return true, nil
+	default:
+		return false, err
+	}
+}
+
+// ResumeImprove continues a checkpointed improvement run read from r. The
+// graph, initial tree and options must match the checkpointing run; the
+// returned Result (tree, report, rounds, swaps) is bitwise-identical to
+// the run never having been interrupted. Resuming is engine-agnostic
+// across shard counts: a sharded checkpoint resumes unsharded and vice
+// versa.
+func ResumeImprove(c *CompiledGraph, initial *Tree, opts Options, r io.Reader) (*Result, error) {
+	if opts.Engine != nil {
+		return nil, fmt.Errorf("mdegst: resuming picks its own unit-delay engine; Options.Engine must be nil")
+	}
+	ck, err := sim.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mdst.ResumeTargetSnapshot(opts.checkpointEngine(nil), c, initial, opts.Mode, opts.TargetDegree, ck)
+	if err != nil {
+		return nil, err
+	}
+	total := sim.NewReport()
+	total.Add(res.Report)
+	return &Result{
+		Initial:       initial,
+		Final:         res.Tree,
+		InitialDegree: res.InitialDegree,
+		FinalDegree:   res.FinalDegree,
+		Rounds:        res.Rounds,
+		Swaps:         res.Swaps,
+		Improvement:   res.Report,
+		Total:         total,
+	}, nil
+}
+
+// checkpointEngine builds the concrete unit-delay engine (sharded per
+// Options.Shards) with an armed checkpoint spec (nil for resume).
+func (o Options) checkpointEngine(spec *sim.CheckpointSpec) sim.ResumableEngine {
+	if o.Shards > 1 {
+		return &sim.ShardedEngine{Shards: o.Shards, Delay: sim.UnitDelay, FIFO: true, Checkpoint: spec}
+	}
+	return &sim.EventEngine{Delay: sim.UnitDelay, FIFO: true, Checkpoint: spec}
 }
 
 // ImproveSequential runs the sequential twin of the distributed protocol —
