@@ -1,0 +1,374 @@
+// Command mdstd hosts one process of a networked MDegST deployment: many
+// protocol nodes per OS process, connected to its peer processes by the
+// length-framed TCP transport of internal/net (DESIGN.md §9). Every
+// process of a cluster runs the identical pipeline — flood spanning tree,
+// then the improvement protocol — over unit-delay rounds separated by a
+// barrier protocol that reuses the sharded engine's rank machinery, so a
+// K-process run produces the tree, report and checkpoint files
+// byte-identical to the in-process simulator.
+//
+// The cluster is described by a JSON topology config naming the peer
+// addresses, the graph, the partition strategy assigning nodes to
+// processes, and the protocol parameters. Every process must be started
+// with the same config.
+//
+// Usage:
+//
+//	mdstd -config cluster.json -id 0            # run as process 0
+//	mdstd -config cluster.json -launch          # spawn the whole cluster over loopback
+//	mdstd -config cluster.json -launch -json -  # ... and print the mdstrun-compatible JSON
+//
+// Crash recovery: -checkpoint FILE -checkpoint-round R freezes the
+// improvement phase at round barrier R (process 0 writes FILE, all
+// processes stop after the commit is acknowledged); -resume FILE restarts
+// the cluster from the file — every process reads it — and finishes the
+// run with results bitwise-identical to an uninterrupted one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	gonet "net"
+	"os"
+	"os/exec"
+	"time"
+
+	"mdegst"
+	"mdegst/internal/graph"
+	"mdegst/internal/mdst"
+	"mdegst/internal/net"
+	"mdegst/internal/sim"
+)
+
+// clusterConfig is the topology config file: one JSON document shared by
+// every process of a deployment.
+type clusterConfig struct {
+	// Addrs lists the processes' listen addresses; process i binds
+	// Addrs[i]. Length fixes the cluster size. -launch rewrites these with
+	// fresh loopback ports.
+	Addrs []string `json:"addrs"`
+	// Graph names the generated workload (the same surface as mdstrun's
+	// -graph family flags).
+	Graph graphSpec `json:"graph"`
+	// Partition assigns dense nodes to processes: "contiguous" (default)
+	// or "bfs".
+	Partition string `json:"partition,omitempty"`
+	// Mode is the improvement variant: "single" (default), "multi" or
+	// "hybrid".
+	Mode string `json:"mode,omitempty"`
+	// Target stops improvement at this maximum degree (0: full optimality).
+	Target int `json:"target,omitempty"`
+	// MaxMessages caps either phase (0: the engine default).
+	MaxMessages int64 `json:"max_messages,omitempty"`
+}
+
+type graphSpec struct {
+	Family string  `json:"family"`
+	N      int     `json:"n"`
+	M      int     `json:"m,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	K      int     `json:"k,omitempty"`
+	Seed   int64   `json:"seed"`
+}
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "", "topology config file (JSON; required)")
+		id      = flag.Int("id", -1, "this process's id in the cluster (required unless -launch)")
+		launch  = flag.Bool("launch", false, "coordinator mode: rewrite the config with fresh loopback ports, spawn every process, wait for all")
+		jsonOut = flag.String("json", "", "write the mdstrun-compatible JSON summary to this file (\"-\" for stdout; process 0 / launcher)")
+		ckptOut = flag.String("checkpoint", "", "freeze the improvement phase at -checkpoint-round; process 0 writes the checkpoint file here")
+		ckptRnd = flag.Int64("checkpoint-round", 2, "round barrier the -checkpoint freeze happens at (0: right after Init)")
+		resume  = flag.String("resume", "", "resume the improvement phase from this checkpoint file (readable by every process)")
+		timeout = flag.Duration("timeout", 30*time.Second, "mesh establishment deadline")
+	)
+	flag.Parse()
+
+	if *cfgPath == "" {
+		fatal(fmt.Errorf("-config is required"))
+	}
+	cfg, err := readConfig(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *ckptOut != "" && *resume != "" {
+		fatal(fmt.Errorf("-checkpoint and -resume are mutually exclusive"))
+	}
+
+	if *launch {
+		if err := launchCluster(cfg, *jsonOut, *ckptOut, *ckptRnd, *resume, *timeout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *id < 0 || *id >= len(cfg.Addrs) {
+		fatal(fmt.Errorf("-id must be in [0, %d)", len(cfg.Addrs)))
+	}
+	if err := runProcess(cfg, *id, *jsonOut, *ckptOut, *ckptRnd, *resume, *timeout); err != nil {
+		fatal(err)
+	}
+}
+
+func readConfig(path string) (*clusterConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &clusterConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("%s: config names no process addresses", path)
+	}
+	if cfg.Graph.Family == "" || cfg.Graph.N <= 0 {
+		return nil, fmt.Errorf("%s: config needs graph.family and graph.n", path)
+	}
+	return cfg, nil
+}
+
+// compile builds and freezes the configured workload — deterministically,
+// so every process of the cluster derives the identical snapshot and
+// partition from the shared config.
+func (cfg *clusterConfig) compile() (*mdegst.CompiledGraph, []int32, error) {
+	g, _, err := mdegst.NamedGraph(cfg.Graph.Family, cfg.Graph.N, cfg.Graph.M, cfg.Graph.P, cfg.Graph.K, cfg.Graph.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := mdegst.Compile(g)
+	part, err := graph.PartitionNamed(c, cfg.Partition, len(cfg.Addrs))
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, part.Owners(), nil
+}
+
+func (cfg *clusterConfig) mode() (mdst.Mode, error) {
+	switch cfg.Mode {
+	case "", "single":
+		return mdst.Single, nil
+	case "multi":
+		return mdst.Multi, nil
+	case "hybrid":
+		return mdst.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", cfg.Mode)
+	}
+}
+
+// runProcess is the daemon proper: establish the mesh, run the pipeline,
+// and let process 0 report.
+func runProcess(cfg *clusterConfig, id int, jsonOut, ckptOut string, ckptRnd int64, resume string, timeout time.Duration) error {
+	c, owner, err := cfg.compile()
+	if err != nil {
+		return err
+	}
+	mode, err := cfg.mode()
+	if err != nil {
+		return err
+	}
+	p := net.Pipeline{Mode: mode, Target: cfg.Target, MaxMessages: cfg.MaxMessages, CheckpointRound: -1}
+	var ckptFile *os.File
+	if ckptOut != "" {
+		p.CheckpointRound = ckptRnd
+		if id == 0 {
+			if ckptFile, err = os.Create(ckptOut); err != nil {
+				return err
+			}
+			p.CheckpointW = ckptFile
+		}
+	}
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			return err
+		}
+		ck, err := sim.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		p.Resume = ck
+	}
+
+	ln, err := net.Listen(cfg.Addrs[id])
+	if err != nil {
+		return err
+	}
+	t := net.NewTransport(ln, id, cfg.Addrs, net.Fingerprint{Procs: len(cfg.Addrs), N: c.N(), HalfEdges: c.HalfEdges()})
+	if err := t.Establish(timeout); err != nil {
+		return err
+	}
+	defer t.Close()
+
+	res, err := net.RunPipeline(t, c, owner, p)
+	if ckptFile != nil {
+		if cerr := ckptFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if id != 0 {
+		return nil
+	}
+	if res.Checkpointed {
+		fmt.Printf("improvement frozen at round barrier %d -> %s (resume with -resume %s)\n", ckptRnd, ckptOut, ckptOut)
+		return nil
+	}
+	return report(cfg, c, res, jsonOut)
+}
+
+// report prints process 0's run summary and optionally the
+// mdstrun-compatible JSON, assembled through the same facade helpers so
+// equal runs yield equal bytes.
+func report(cfg *clusterConfig, c *mdegst.CompiledGraph, res *net.PipelineResult, jsonOut string) error {
+	r := res.Result
+	total := sim.NewReport()
+	total.Add(r.Report)
+	if res.Setup != nil {
+		total.Add(res.Setup)
+	}
+	full := &mdegst.Result{
+		Initial:       res.Initial,
+		Final:         r.Tree,
+		InitialDegree: r.InitialDegree,
+		FinalDegree:   r.FinalDegree,
+		Rounds:        r.Rounds,
+		Swaps:         r.Swaps,
+		Setup:         res.Setup,
+		Improvement:   r.Report,
+		Total:         total,
+	}
+	g := c.Source()
+	fmt.Printf("cluster:      %d processes, partition %s\n", len(cfg.Addrs), partitionName(cfg.Partition))
+	fmt.Printf("graph:        %s n=%d m=%d maxdeg=%d\n", cfg.Graph.Family, g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("initial tree: flood, degree k=%d\n", full.InitialDegree)
+	fmt.Printf("final tree:   degree k*=%d (lower bound on Δ*: %d)\n", full.FinalDegree, mdegst.DegreeLowerBound(g))
+	fmt.Printf("improvement:  %d rounds, %d exchanges, %d messages, causal depth %d\n",
+		full.Rounds, full.Swaps, full.Improvement.Messages, full.Improvement.CausalDepth)
+	fmt.Printf("total:        %d messages, %d words, max message %d words\n",
+		full.Total.Messages, full.Total.Words, full.Total.MaxWords)
+	if jsonOut == "" {
+		return nil
+	}
+	sums := []mdegst.TrialSummary{mdegst.NewTrialSummary(cfg.Graph.Seed, g, full)}
+	if jsonOut == "-" {
+		return mdegst.WriteTrialSummaries(os.Stdout, sums)
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	if err := mdegst.WriteTrialSummaries(f, sums); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func partitionName(s string) string {
+	if s == "" {
+		return "contiguous"
+	}
+	return s
+}
+
+// launchCluster is coordinator mode: pick fresh loopback ports, write a
+// concrete config next to the original, spawn one child per process and
+// wait for the whole cluster. Child 0 inherits stdout (and the -json /
+// -checkpoint flags); all children share stderr.
+func launchCluster(cfg *clusterConfig, jsonOut, ckptOut string, ckptRnd int64, resume string, timeout time.Duration) error {
+	k := len(cfg.Addrs)
+	addrs, err := freeLoopbackAddrs(k)
+	if err != nil {
+		return err
+	}
+	cfg.Addrs = addrs
+	dir, err := os.MkdirTemp("", "mdstd-launch-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	concrete := dir + "/cluster.json"
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(concrete, data, 0o644); err != nil {
+		return err
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmds := make([]*exec.Cmd, k)
+	for i := 0; i < k; i++ {
+		args := []string{"-config", concrete, "-id", fmt.Sprint(i), "-timeout", timeout.String()}
+		if resume != "" {
+			args = append(args, "-resume", resume)
+		}
+		if ckptOut != "" {
+			args = append(args, "-checkpoint", ckptOut, "-checkpoint-round", fmt.Sprint(ckptRnd))
+		}
+		if i == 0 && jsonOut != "" {
+			args = append(args, "-json", jsonOut)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		if i == 0 {
+			cmd.Stdout = os.Stdout
+		}
+		if err := cmd.Start(); err != nil {
+			stopAll(cmds[:i])
+			return fmt.Errorf("spawning process %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+	var firstErr error
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("process %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// freeLoopbackAddrs reserves k distinct loopback ports by binding and
+// immediately releasing them — the usual pre-bind trick; the window
+// between release and the child's bind is negligible on a loopback
+// deployment.
+func freeLoopbackAddrs(k int) ([]string, error) {
+	addrs := make([]string, k)
+	lns := make([]gonet.Listener, 0, k)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < k; i++ {
+		ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+func stopAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdstd:", err)
+	os.Exit(1)
+}

@@ -18,10 +18,8 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -180,7 +178,7 @@ func main() {
 			writeDOT(*dotOut, c.Source(), res)
 		}
 		if *jsonOut != "" {
-			if err := writeResults(*jsonOut, []trialResult{toTrialResult(*seed, c.Source(), res)}); err != nil {
+			if err := writeResults(*jsonOut, []mdegst.TrialSummary{mdegst.NewTrialSummary(*seed, c.Source(), res)}); err != nil {
 				fatal(err)
 			}
 		}
@@ -254,7 +252,7 @@ func main() {
 			writeDOT(*dotOut, g, res)
 		}
 		if *jsonOut != "" {
-			if err := writeResults(*jsonOut, []trialResult{toTrialResult(*seed, g, res)}); err != nil {
+			if err := writeResults(*jsonOut, []mdegst.TrialSummary{mdegst.NewTrialSummary(*seed, g, res)}); err != nil {
 				fatal(err)
 			}
 		}
@@ -263,7 +261,7 @@ func main() {
 
 	// Seeded sweep: independent trials over a worker pool; output order is
 	// by seed regardless of completion order.
-	results := make([]trialResult, *trials)
+	results := make([]mdegst.TrialSummary, *trials)
 	errs := make([]error, *trials)
 	workers := *parallel
 	if workers <= 0 {
@@ -285,7 +283,7 @@ func main() {
 					errs[i] = err
 					continue
 				}
-				results[i] = toTrialResult(s, g, res)
+				results[i] = mdegst.NewTrialSummary(s, g, res)
 			}
 		}()
 	}
@@ -326,63 +324,17 @@ func main() {
 	}
 }
 
-// trialResult is the machine-readable summary of one pipeline run.
-type trialResult struct {
-	Seed           int64 `json:"seed"`
-	N              int   `json:"n"`
-	M              int   `json:"m"`
-	GraphMaxDegree int   `json:"graph_max_degree"`
-	InitialDegree  int   `json:"initial_degree"`
-	FinalDegree    int   `json:"final_degree"`
-	LowerBound     int   `json:"degree_lower_bound"`
-	Rounds         int   `json:"rounds"`
-	Swaps          int   `json:"swaps"`
-	SetupMessages  int64 `json:"setup_messages"`
-	TotalMessages  int64 `json:"total_messages"`
-	TotalWords     int64 `json:"total_words"`
-	MaxWords       int   `json:"max_message_words"`
-	CausalDepth    int64 `json:"causal_depth"`
-	Shards         int   `json:"shards"`
-}
-
-func toTrialResult(seed int64, g *mdegst.Graph, res *mdegst.Result) trialResult {
-	setup := int64(0)
-	if res.Setup != nil {
-		setup = res.Setup.Messages
-	}
-	return trialResult{
-		Seed:           seed,
-		N:              g.N(),
-		M:              g.M(),
-		GraphMaxDegree: g.MaxDegree(),
-		InitialDegree:  res.InitialDegree,
-		FinalDegree:    res.FinalDegree,
-		LowerBound:     mdegst.DegreeLowerBound(g),
-		Rounds:         res.Rounds,
-		Swaps:          res.Swaps,
-		SetupMessages:  setup,
-		TotalMessages:  res.Total.Messages,
-		TotalWords:     res.Total.Words,
-		MaxWords:       res.Total.MaxWords,
-		CausalDepth:    res.Improvement.CausalDepth,
-		Shards:         res.Total.Shards,
-	}
-}
-
-func writeResults(path string, results []trialResult) error {
-	encode := func(w io.Writer) error {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(results)
-	}
+// writeResults writes the shared machine-readable summary form (the same
+// bytes cmd/mdstd emits for an equal run) to a file or stdout.
+func writeResults(path string, results []mdegst.TrialSummary) error {
 	if path == "-" {
-		return encode(os.Stdout)
+		return mdegst.WriteTrialSummaries(os.Stdout, results)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := encode(f); err != nil {
+	if err := mdegst.WriteTrialSummaries(f, results); err != nil {
 		f.Close()
 		return err
 	}
@@ -450,47 +402,11 @@ func writeDOT(path string, g *mdegst.Graph, res *mdegst.Result) {
 	fmt.Printf("dot:          wrote %s\n", path)
 }
 
-// buildGraph constructs the selected family. The second result reports
-// whether the construction consumed the seed: deterministic families return
-// false, letting a sweep share one compiled snapshot across all trials.
+// buildGraph constructs the selected family through the facade's shared
+// generator surface (also behind mdstd's topology config). The second
+// result reports whether the construction consumed the seed.
 func buildGraph(family string, n, m int, p float64, k int, seed int64) (*mdegst.Graph, bool, error) {
-	if m == 0 {
-		m = 3 * n
-	}
-	switch family {
-	case "gnp":
-		return mdegst.Gnp(n, p, seed), true, nil
-	case "gnm":
-		return mdegst.Gnm(n, m, seed), true, nil
-	case "ba":
-		return mdegst.BarabasiAlbert(n, k, seed), true, nil
-	case "geo":
-		return mdegst.RandomGeometric(n, 0.25, seed), true, nil
-	case "wheel":
-		return mdegst.Wheel(n), false, nil
-	case "ring":
-		return mdegst.Ring(n), false, nil
-	case "star":
-		return mdegst.StarGraph(n), false, nil
-	case "complete":
-		return mdegst.Complete(n), false, nil
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= n {
-			side++
-		}
-		return mdegst.Grid(side, side), false, nil
-	case "hypercube":
-		d := 1
-		for 1<<(d+1) <= n {
-			d++
-		}
-		return mdegst.Hypercube(d), false, nil
-	case "hamchords":
-		return mdegst.HamiltonianPlusChords(n, k*n, seed), true, nil
-	default:
-		return nil, false, fmt.Errorf("unknown graph family %q", family)
-	}
+	return mdegst.NamedGraph(family, n, m, p, k, seed)
 }
 
 func parseMode(s string) (mdegst.Mode, error) {

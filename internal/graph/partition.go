@@ -117,6 +117,21 @@ func finishPartition(c *CSR, owner []int32, k int) *Partition {
 	return p
 }
 
+// PartitionNamed builds a partition by strategy name — the config-file
+// surface of the networked deployment plane, where a topology file names
+// how the node range is assigned to processes. Valid names are
+// "contiguous" (default for "") and "bfs".
+func PartitionNamed(c *CSR, strategy string, k int) (*Partition, error) {
+	switch strategy {
+	case "", "contiguous":
+		return PartitionContiguous(c, k), nil
+	case "bfs":
+		return PartitionBFS(c, k), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown partition strategy %q (want contiguous or bfs)", strategy)
+	}
+}
+
 // PartitionContiguous splits the dense index range into k balanced
 // contiguous blocks: shard s owns one run of consecutive dense indices, and
 // block sizes differ by at most one node.

@@ -1,0 +1,346 @@
+package net
+
+import (
+	"fmt"
+
+	"mdegst/internal/sim"
+)
+
+// Frame payload codecs. Every multi-byte payload is varint-packed behind
+// the frame's type byte; element counts are bounded by the remaining
+// payload bytes before allocation, and wire records translate their
+// opcodes through the handshake's canonical table, so a malformed or
+// skewed frame fails with a typed *FrameError instead of corrupting a
+// run or taking the process down (FuzzFrameCodec pins this).
+
+// roundMsg is one process's barrier contribution: which run and round it
+// belongs to, the (rank, send count) pairs of the deliveries the sender
+// played, and the delivery batch destined to the receiving process.
+type roundMsg struct {
+	seq    uint64
+	round  int64
+	counts []sim.RankCount
+	batch  []sim.OutMsg
+}
+
+func appendRoundMsg(b []byte, seq uint64, round int64, counts []sim.RankCount, batch []sim.OutMsg, t *WireTable) []byte {
+	b = appendUvarint(b, seq)
+	b = appendVarint(b, round)
+	b = appendUvarint(b, uint64(len(counts)))
+	for _, c := range counts {
+		b = appendVarint(b, c.Rank)
+		b = appendVarint(b, c.Count)
+	}
+	b = appendUvarint(b, uint64(len(batch)))
+	for _, m := range batch {
+		b = appendOutMsg(b, m, t)
+	}
+	return b
+}
+
+func parseRoundMsg(payload []byte, t *WireTable) (*roundMsg, error) {
+	r := &frameReader{typ: frameRound, buf: payload}
+	m := &roundMsg{}
+	var err error
+	if m.seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.round, err = r.varint(); err != nil {
+		return nil, err
+	}
+	nc, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	m.counts = make([]sim.RankCount, nc)
+	for i := range m.counts {
+		if m.counts[i].Rank, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if m.counts[i].Count, err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	if m.batch, err = parseBatch(r, t); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// appendOutMsg encodes one delivery record: merge key, dense endpoints,
+// wire record with table-translated opcode.
+func appendOutMsg(b []byte, m sim.OutMsg, t *WireTable) []byte {
+	b = appendVarint(b, m.Parent)
+	b = appendUvarint(b, uint64(m.Pos))
+	b = appendUvarint(b, uint64(m.From))
+	b = appendUvarint(b, uint64(m.To))
+	return sim.AppendWire(b, m.Msg, t.Enc)
+}
+
+func parseBatch(r *frameReader, t *WireTable) ([]sim.OutMsg, error) {
+	n, err := r.count(5)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]sim.OutMsg, n)
+	for i := range batch {
+		if err := parseOutMsg(r, t, &batch[i]); err != nil {
+			return nil, err
+		}
+	}
+	return batch, nil
+}
+
+func parseOutMsg(r *frameReader, t *WireTable, m *sim.OutMsg) error {
+	parent, err := r.varint()
+	if err != nil {
+		return err
+	}
+	pos, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	from, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	to, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	wm, used, err := sim.DecodeWire(r.buf[r.at:], t.Dec)
+	if err != nil {
+		return &FrameError{Type: r.typ, Reason: fmt.Sprintf("wire record: %v", err)}
+	}
+	r.at += used
+	*m = sim.OutMsg{Parent: parent, Pos: int32(pos), From: int32(from), To: int32(to), Msg: wm}
+	return nil
+}
+
+// counters is the frozen-report block shared by final and checkpoint
+// frames: the summable scalars plus the sorted (opcode, round) and
+// per-node breakdowns, with opcodes as canonical table indices.
+func appendCounters(b []byte, ck *sim.Checkpoint, t *WireTable) []byte {
+	b = appendVarint(b, ck.Messages)
+	b = appendVarint(b, ck.Words)
+	b = appendUvarint(b, uint64(ck.MaxWords))
+	b = appendVarint(b, ck.CausalDepth)
+	b = appendUvarint(b, uint64(len(ck.KindRounds)))
+	for _, kr := range ck.KindRounds {
+		b = appendUvarint(b, t.Enc(kr.Op))
+		b = appendVarint(b, int64(kr.Round))
+		b = appendVarint(b, kr.Count)
+	}
+	b = appendUvarint(b, uint64(len(ck.SentBy)))
+	for _, s := range ck.SentBy {
+		b = appendVarint(b, int64(s.Node))
+		b = appendVarint(b, s.Count)
+	}
+	return b
+}
+
+func parseCounters(r *frameReader, t *WireTable, ck *sim.Checkpoint) error {
+	var err error
+	if ck.Messages, err = r.varint(); err != nil {
+		return err
+	}
+	if ck.Words, err = r.varint(); err != nil {
+		return err
+	}
+	mw, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	ck.MaxWords = int(mw)
+	if ck.CausalDepth, err = r.varint(); err != nil {
+		return err
+	}
+	nkr, err := r.count(3)
+	if err != nil {
+		return err
+	}
+	ck.KindRounds = make([]sim.KindRoundCount, nkr)
+	for i := range ck.KindRounds {
+		opIdx, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		op, err := t.Dec(opIdx)
+		if err != nil {
+			return err
+		}
+		round, err := r.varint()
+		if err != nil {
+			return err
+		}
+		count, err := r.varint()
+		if err != nil {
+			return err
+		}
+		ck.KindRounds[i] = sim.KindRoundCount{Op: op, Round: int(round), Count: count}
+	}
+	nsb, err := r.count(2)
+	if err != nil {
+		return err
+	}
+	ck.SentBy = make([]sim.SentByCount, nsb)
+	for i := range ck.SentBy {
+		node, err := r.varint()
+		if err != nil {
+			return err
+		}
+		count, err := r.varint()
+		if err != nil {
+			return err
+		}
+		ck.SentBy[i] = sim.SentByCount{Node: sim.NodeID(node), Count: count}
+	}
+	return nil
+}
+
+// ownedState pairs a dense node index with its encoded protocol state.
+type ownedState struct {
+	dense int32
+	blob  []byte
+}
+
+func appendOwnedStates(b []byte, states []ownedState) []byte {
+	b = appendUvarint(b, uint64(len(states)))
+	for _, s := range states {
+		b = appendUvarint(b, uint64(s.dense))
+		b = appendUvarint(b, uint64(len(s.blob)))
+		b = append(b, s.blob...)
+	}
+	return b
+}
+
+func parseOwnedStates(r *frameReader) ([]ownedState, error) {
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]ownedState, n)
+	for i := range states {
+		dense, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		blen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		blob, err := r.bytes(blen)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = ownedState{dense: int32(dense), blob: blob}
+	}
+	return states, nil
+}
+
+// finalMsg is one process's quiescence all-gather contribution: its report
+// counters and the encoded states of the nodes it owns. Receiving all K-1
+// finals is also the run's closing barrier — no frame of the next run can
+// overtake it on any connection.
+type finalMsg struct {
+	seq      uint64
+	counters sim.Checkpoint
+	states   []ownedState
+}
+
+func appendFinalMsg(b []byte, seq uint64, ck *sim.Checkpoint, states []ownedState, t *WireTable) []byte {
+	b = appendUvarint(b, seq)
+	b = appendCounters(b, ck, t)
+	return appendOwnedStates(b, states)
+}
+
+func parseFinalMsg(payload []byte, t *WireTable) (*finalMsg, error) {
+	r := &frameReader{typ: frameFinal, buf: payload}
+	m := &finalMsg{}
+	var err error
+	if m.seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if err := parseCounters(r, t, &m.counters); err != nil {
+		return nil, err
+	}
+	if m.states, err = parseOwnedStates(r); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ckptMsg is one process's checkpoint shard, uploaded to the coordinator
+// at an armed barrier: counters, owned states and the full key-sorted
+// stream of deliveries the process sent into the frozen round.
+type ckptMsg struct {
+	seq      uint64
+	round    int64
+	counters sim.Checkpoint
+	states   []ownedState
+	pending  []sim.OutMsg
+}
+
+func appendCkptMsg(b []byte, seq uint64, round int64, ck *sim.Checkpoint, states []ownedState, pending []sim.OutMsg, t *WireTable) []byte {
+	b = appendUvarint(b, seq)
+	b = appendVarint(b, round)
+	b = appendCounters(b, ck, t)
+	b = appendOwnedStates(b, states)
+	b = appendUvarint(b, uint64(len(pending)))
+	for _, m := range pending {
+		b = appendOutMsg(b, m, t)
+	}
+	return b
+}
+
+func parseCkptMsg(payload []byte, t *WireTable) (*ckptMsg, error) {
+	r := &frameReader{typ: frameCkpt, buf: payload}
+	m := &ckptMsg{}
+	var err error
+	if m.seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.round, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if err := parseCounters(r, t, &m.counters); err != nil {
+		return nil, err
+	}
+	if m.states, err = parseOwnedStates(r); err != nil {
+		return nil, err
+	}
+	if m.pending, err = parseBatch(r, t); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ckptAck is the coordinator's commit acknowledgement: the checkpoint file
+// for (seq, round) hit stable storage, peers may stop.
+func appendCkptAck(b []byte, seq uint64, round int64) []byte {
+	b = appendUvarint(b, seq)
+	return appendVarint(b, round)
+}
+
+func parseCkptAck(payload []byte) (seq uint64, round int64, err error) {
+	r := &frameReader{typ: frameCkptAck, buf: payload}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if round, err = r.varint(); err != nil {
+		return 0, 0, err
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, err
+	}
+	return seq, round, nil
+}

@@ -1,0 +1,491 @@
+package net
+
+import (
+	"fmt"
+	"time"
+
+	"mdegst/internal/graph"
+	"mdegst/internal/sim"
+)
+
+// DistEngine executes a protocol run across the OS processes of an
+// established Transport mesh: each process hosts the nodes its Owner table
+// assigns to it and drives unit-delay rounds separated by an all-to-all
+// barrier. The barrier reuses the sharded engine's determinism machinery
+// (DESIGN.md §7) verbatim — deliveries keyed (parent rank, send position),
+// rank offsets from a prefix sum over broadcast send counts — so the
+// distributed run is tree-, report- and checkpoint-byte-equivalent to the
+// in-process engines. DistEngine is a drop-in sim.SnapshotEngine: the
+// spanning and mdst pipelines run on it unchanged.
+//
+// One barrier exchange per round, per peer: a single round frame carrying
+// the sender's (rank, count) pairs and the delivery batch destined to that
+// peer, coalesced and flushed once. Quiescence (a round with no sends
+// anywhere) triggers the final all-gather: every process broadcasts its
+// report counters and its owned nodes' encoded states, so every process
+// finishes holding the complete final state plane and extracts the
+// identical tree. The all-gather doubles as the run-closing barrier; a
+// run-sequence number in every frame keeps the two pipeline phases (flood
+// build, improvement) apart on the shared connections.
+//
+// All processes of one run must be constructed with identical Owner,
+// MaxMessages and Checkpoint.Round configuration — the topology config
+// file is that single source of truth for cmd/mdstd.
+type DistEngine struct {
+	// T is the established transport mesh.
+	T *Transport
+	// Owner maps every dense node to its owning process.
+	Owner []int32
+	// MaxMessages aborts the run when exceeded, checked at barrier
+	// granularity exactly like the sharded engine (0 means
+	// sim.DefaultMaxMessages).
+	MaxMessages int64
+	// Checkpoint, when non-nil, freezes the run at the barrier after round
+	// Checkpoint.Round: the peers upload their shards to process 0, which
+	// assembles and writes a file byte-identical to the in-process
+	// engines' (Checkpoint.W is used on process 0 only) and acknowledges
+	// the commit before anyone stops.
+	Checkpoint *sim.CheckpointSpec
+
+	// seq numbers the runs driven over this engine's transport, separating
+	// the phases' frames on the shared connections.
+	seq uint64
+}
+
+// Run compiles g and executes the protocol (see RunSnapshot).
+func (e *DistEngine) Run(g *graph.Graph, f sim.Factory) (map[sim.NodeID]sim.Protocol, *sim.Report, error) {
+	return e.RunSnapshot(g.Compile(), f)
+}
+
+// RunSnapshot executes the protocol to quiescence across the mesh.
+func (e *DistEngine) RunSnapshot(c *graph.CSR, f sim.Factory) (map[sim.NodeID]sim.Protocol, *sim.Report, error) {
+	return e.run(c, f, nil)
+}
+
+// ResumeSnapshot continues a checkpointed run: every process decodes the
+// full frozen state plane from ck (each process reads the checkpoint file
+// itself — there is no state redistribution), takes over the pending
+// deliveries it owns, and the run proceeds exactly as if never stopped.
+func (e *DistEngine) ResumeSnapshot(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (map[sim.NodeID]sim.Protocol, *sim.Report, error) {
+	if ck == nil {
+		return nil, nil, &sim.CheckpointError{Reason: "nil checkpoint"}
+	}
+	return e.run(c, f, ck)
+}
+
+func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (protos map[sim.NodeID]sim.Protocol, rep *sim.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = fmt.Errorf("sim: protocol panic: %v", p)
+		}
+	}()
+	start := time.Now()
+	t := e.T
+	if len(e.Owner) != c.N() {
+		return nil, nil, fmt.Errorf("net: owner table covers %d nodes, snapshot has %d", len(e.Owner), c.N())
+	}
+	maxMsgs := e.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = sim.DefaultMaxMessages
+	}
+	e.seq++
+	seq := e.seq
+	r := sim.NewDistRunner(c, e.Owner, t.Procs(), t.Self(), f)
+
+	var (
+		off       []int64
+		total     int64
+		streams   [][]sim.OutMsg
+		round     int64
+		delivered int64
+	)
+	if ck == nil {
+		r.PlayInit()
+		off, total, streams, err = e.barrier(r, seq, 0, int64(c.N()))
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		// Reseed from the checkpoint: full state plane everywhere, the
+		// counters on process 0 only (the final merge sums them back), and
+		// the pending slab as one identity-keyed stream filtered to the
+		// deliveries this process owns — the same reseeding the sharded
+		// engine does, with processes for shards.
+		if err := ck.ValidateAgainst(c); err != nil {
+			return nil, nil, err
+		}
+		if err := ck.RestoreStates(r.Protos()); err != nil {
+			return nil, nil, err
+		}
+		if t.Self() == 0 {
+			ck.RestoreCounters(r.Report())
+		}
+		round = ck.Round
+		delivered = ck.Messages
+		total = int64(len(ck.Pending))
+		off = make([]int64, len(ck.Pending))
+		var mine []sim.OutMsg
+		for i, p := range ck.Pending {
+			off[i] = int64(i)
+			if e.Owner[p.To] == int32(t.Self()) {
+				mine = append(mine, sim.OutMsg{Parent: int64(i), From: p.From, To: p.To, Msg: p.Msg})
+			}
+		}
+		streams = [][]sim.OutMsg{mine}
+	}
+
+	spec := e.Checkpoint
+	for {
+		if spec != nil && round == spec.Round && ck == nil {
+			return nil, nil, e.checkpoint(r, c, seq, round, off, total)
+		}
+		// The sharded cap predicate at barrier granularity: delivered and
+		// total are barrier-agreed values, so every process takes the same
+		// branch.
+		if delivered > maxMsgs || (delivered >= maxMsgs && total > 0) {
+			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+		}
+		if total == 0 {
+			break
+		}
+		round++
+		r.PlayRound(round, off, streams)
+		delivered += total
+		off, total, streams, err = e.barrier(r, seq, round, total)
+		if err != nil {
+			return nil, nil, err
+		}
+		// A checkpoint barrier reached by replaying past a resume must not
+		// re-freeze; only the original run's spec round fires above.
+		if ck != nil && round > ck.Round {
+			ck = nil
+		}
+	}
+	return e.finish(r, c, seq, round, start)
+}
+
+// barrier closes one phase: broadcast this process's rank counts and
+// per-peer delivery batches, collect every peer's, scatter all counts into
+// the rank slab and prefix-sum it into the next round's offsets. Returns
+// the offsets, the next round's delivery total and the key-sorted incoming
+// streams (the process's own loopback outbox, copied, plus one batch per
+// peer).
+func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int64) ([]int64, int64, [][]sim.OutMsg, error) {
+	t := e.T
+	self := t.Self()
+	counts := r.Counts()
+	for q := 0; q < t.Procs(); q++ {
+		if q == self {
+			continue
+		}
+		body := appendRoundMsg(nil, seq, round, counts, r.Outbox(q), t.Table())
+		if err := t.Send(q, frameRound, body); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	if err := t.FlushAll(); err != nil {
+		return nil, 0, nil, err
+	}
+
+	// The loopback stream must outlive the next PlayRound's outbox reset.
+	streams := make([][]sim.OutMsg, 0, t.Procs())
+	streams = append(streams, append([]sim.OutMsg(nil), r.Outbox(self)...))
+
+	cnt := make([]int64, rankSpace)
+	covered := int64(0)
+	scatter := func(cs []sim.RankCount) error {
+		for _, c := range cs {
+			if c.Rank < 0 || c.Rank >= rankSpace {
+				return &FrameError{Type: frameRound, Reason: fmt.Sprintf("rank %d outside the round's %d-delivery rank space", c.Rank, rankSpace)}
+			}
+			cnt[c.Rank] = c.Count
+		}
+		covered += int64(len(cs))
+		return nil
+	}
+	if err := scatter(counts); err != nil {
+		return nil, 0, nil, err
+	}
+	for q := 0; q < t.Procs(); q++ {
+		if q == self {
+			continue
+		}
+		m, err := e.recvRound(q, seq, round)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if err := scatter(m.counts); err != nil {
+			return nil, 0, nil, err
+		}
+		streams = append(streams, m.batch)
+	}
+	if covered != rankSpace {
+		return nil, 0, nil, &FrameError{Type: frameRound, Reason: fmt.Sprintf("barrier covered %d of %d delivery ranks", covered, rankSpace)}
+	}
+	var total int64
+	for i, c := range cnt {
+		cnt[i] = total
+		total += c
+	}
+	return cnt, total, streams, nil
+}
+
+// recvRound reads the peer's round frame for (seq, round). Per-peer FIFO
+// delivery and the all-gather barrier between runs guarantee it is the
+// next frame on the connection; anything else is a protocol violation.
+func (e *DistEngine) recvRound(q int, seq uint64, round int64) (*roundMsg, error) {
+	typ, payload, err := e.T.Recv(q)
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameRound {
+		return nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at a round barrier", q, typ)}
+	}
+	m, err := parseRoundMsg(payload, e.T.Table())
+	if err != nil {
+		return nil, err
+	}
+	if m.seq != seq || m.round != round {
+		return nil, &FrameError{Type: typ, Reason: fmt.Sprintf(
+			"process %d is at run %d round %d, local barrier is run %d round %d", q, m.seq, m.round, seq, round)}
+	}
+	return m, nil
+}
+
+// ownedStates encodes the states of the nodes this process owns with the
+// canonical wire table.
+func (e *DistEngine) ownedStates(r *sim.DistRunner) ([]ownedState, error) {
+	t := e.T
+	states := make([]ownedState, 0, len(r.Owned()))
+	for _, v := range r.Owned() {
+		blob, err := r.EncodeOwnedState(v, t.Table().Enc)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, ownedState{dense: v, blob: blob})
+	}
+	return states, nil
+}
+
+// finish is the quiescence all-gather: broadcast counters and owned
+// states, decode every peer's states into the local instances, merge the
+// reports, and return the complete final state plane. Matching the
+// single-process engines, the merged report carries Shards=1 (the
+// distribution is a deployment detail, not a different execution) and
+// VirtualTime = the final round.
+func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, start time.Time) (map[sim.NodeID]sim.Protocol, *sim.Report, error) {
+	t := e.T
+	self := t.Self()
+	states, err := e.ownedStates(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cb sim.Checkpoint
+	cb.CaptureCounters(r.Report())
+	for q := 0; q < t.Procs(); q++ {
+		if q == self {
+			continue
+		}
+		body := appendFinalMsg(nil, seq, &cb, states, t.Table())
+		if err := t.Send(q, frameFinal, body); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := t.FlushAll(); err != nil {
+		return nil, nil, err
+	}
+
+	merged := sim.NewReport()
+	merged.MergeParallel(r.Report())
+	for q := 0; q < t.Procs(); q++ {
+		if q == self {
+			continue
+		}
+		typ, payload, err := t.Recv(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		if typ != frameFinal {
+			return nil, nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at the final all-gather", q, typ)}
+		}
+		m, err := parseFinalMsg(payload, t.Table())
+		if err != nil {
+			return nil, nil, err
+		}
+		if m.seq != seq {
+			return nil, nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d finished run %d, local run is %d", q, m.seq, seq)}
+		}
+		peerRep := sim.NewReport()
+		m.counters.RestoreCounters(peerRep)
+		merged.MergeParallel(peerRep)
+		for _, s := range m.states {
+			if int(s.dense) >= c.N() || e.Owner[s.dense] != int32(q) {
+				return nil, nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent the state of node %d it does not own", q, s.dense)}
+			}
+			if err := r.DecodeStateInto(s.dense, s.blob, t.Table().Dec); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	merged.Shards = 1
+	merged.VirtualTime = float64(round)
+	merged.Finalize()
+	merged.Wall = time.Since(start)
+	return r.FinalProtos(), merged, nil
+}
+
+// checkpoint freezes the run at the just-closed barrier. Peers upload
+// their shard — counters, owned states and the key-sorted stream of all
+// deliveries they sent into the frozen round — to process 0, which decodes
+// the full state plane, merges the counters, reconstructs the global
+// pending slab by the canonical key merge, writes the file (byte-identical
+// to the in-process engines' by construction) and acknowledges the commit.
+// Everyone returns sim.ErrCheckpointed.
+func (e *DistEngine) checkpoint(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, off []int64, total int64) error {
+	t := e.T
+	self := t.Self()
+	// This process's complete send set, merged across its per-destination
+	// outboxes into one key-sorted stream.
+	own := mergeByKey(collectOutboxes(r, t.Procs()))
+
+	if self != 0 {
+		states, err := e.ownedStates(r)
+		if err != nil {
+			return err
+		}
+		var cb sim.Checkpoint
+		cb.CaptureCounters(r.Report())
+		body := appendCkptMsg(nil, seq, round, &cb, states, own, t.Table())
+		if err := t.Send(0, frameCkpt, body); err != nil {
+			return err
+		}
+		if err := t.Flush(0); err != nil {
+			return err
+		}
+		typ, payload, err := t.Recv(0)
+		if err != nil {
+			return err
+		}
+		if typ != frameCkptAck {
+			return &FrameError{Type: typ, Reason: fmt.Sprintf("coordinator sent frame type %d at a checkpoint barrier", typ)}
+		}
+		ackSeq, ackRound, err := parseCkptAck(payload)
+		if err != nil {
+			return err
+		}
+		if ackSeq != seq || ackRound != round {
+			return &FrameError{Type: typ, Reason: fmt.Sprintf("checkpoint ack for run %d round %d, expected run %d round %d", ackSeq, ackRound, seq, round)}
+		}
+		return sim.ErrCheckpointed
+	}
+
+	if e.Checkpoint.W == nil {
+		return &sim.CheckpointError{Reason: "coordinator has no checkpoint writer"}
+	}
+	merged := sim.NewReport()
+	merged.MergeParallel(r.Report())
+	streams := make([][]sim.OutMsg, 0, t.Procs())
+	streams = append(streams, own)
+	for q := 1; q < t.Procs(); q++ {
+		typ, payload, err := t.Recv(q)
+		if err != nil {
+			return err
+		}
+		if typ != frameCkpt {
+			return &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at a checkpoint barrier", q, typ)}
+		}
+		m, err := parseCkptMsg(payload, t.Table())
+		if err != nil {
+			return err
+		}
+		if m.seq != seq || m.round != round {
+			return &FrameError{Type: typ, Reason: fmt.Sprintf(
+				"process %d checkpoints run %d round %d, coordinator is at run %d round %d", q, m.seq, m.round, seq, round)}
+		}
+		peerRep := sim.NewReport()
+		m.counters.RestoreCounters(peerRep)
+		merged.MergeParallel(peerRep)
+		for _, s := range m.states {
+			if int(s.dense) >= c.N() || e.Owner[s.dense] != int32(q) {
+				return &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent the state of node %d it does not own", q, s.dense)}
+			}
+			if err := r.DecodeStateInto(s.dense, s.blob, t.Table().Dec); err != nil {
+				return err
+			}
+		}
+		streams = append(streams, m.pending)
+	}
+
+	// The exact in-process capture sequence, so the file's internal opcode
+	// numbering — fixed by state-encoding order — matches byte for byte.
+	ck := &sim.Checkpoint{Round: round, N: c.N(), HalfEdges: c.HalfEdges()}
+	ck.CaptureCounters(merged)
+	if err := ck.EncodeStates(r.Protos()); err != nil {
+		return err
+	}
+	ck.Pending = make([]sim.PendingDelivery, total)
+	placed := int64(0)
+	for _, m := range mergeByKey(streams) {
+		rank := off[m.Parent] + int64(m.Pos)
+		if rank < 0 || rank >= total {
+			return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("pending delivery rank %d outside [0, %d)", rank, total)}
+		}
+		ck.Pending[rank] = sim.PendingDelivery{From: m.From, To: m.To, Msg: m.Msg}
+		placed++
+	}
+	if placed != total {
+		return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("checkpoint gathered %d of %d pending deliveries", placed, total)}
+	}
+	if err := ck.Write(e.Checkpoint.W); err != nil {
+		return err
+	}
+	for q := 1; q < t.Procs(); q++ {
+		if err := t.Send(q, frameCkptAck, appendCkptAck(nil, seq, round)); err != nil {
+			return err
+		}
+	}
+	if err := t.FlushAll(); err != nil {
+		return err
+	}
+	return sim.ErrCheckpointed
+}
+
+// collectOutboxes snapshots every per-destination outbox of the phase.
+func collectOutboxes(r *sim.DistRunner, nprocs int) [][]sim.OutMsg {
+	streams := make([][]sim.OutMsg, 0, nprocs)
+	for d := 0; d < nprocs; d++ {
+		streams = append(streams, r.Outbox(d))
+	}
+	return streams
+}
+
+// mergeByKey merges key-sorted delivery streams into one stream in
+// canonical (Parent, Pos) order.
+func mergeByKey(streams [][]sim.OutMsg) []sim.OutMsg {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	out := make([]sim.OutMsg, 0, n)
+	heads := make([]int, len(streams))
+	for {
+		best := -1
+		for s, q := range streams {
+			if heads[s] >= len(q) {
+				continue
+			}
+			if best < 0 || q[heads[s]].KeyLess(streams[best][heads[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, streams[best][heads[best]])
+		heads[best]++
+	}
+}
+
+var _ sim.SnapshotEngine = (*DistEngine)(nil)
+var _ sim.ResumableEngine = (*DistEngine)(nil)

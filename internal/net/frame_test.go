@@ -1,0 +1,250 @@
+package net
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mdegst/internal/sim"
+)
+
+// Codec tests: framing, handshake and payload parsers must round-trip
+// valid input and fail malformed input with typed errors — *FrameError or
+// *HandshakeError — and never panic, no matter the bytes (FuzzFrameCodec).
+
+func testFingerprint() Fingerprint { return Fingerprint{Procs: 3, N: 96, HalfEdges: 576} }
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := map[byte][]byte{
+		frameHello:   []byte("hello body"),
+		frameRound:   {},
+		frameFinal:   bytes.Repeat([]byte{7}, 1000),
+		frameCkpt:    {0},
+		frameCkptAck: {1, 2, 3},
+	}
+	order := []byte{frameHello, frameRound, frameFinal, frameCkpt, frameCkptAck}
+	for _, typ := range order {
+		if err := writeFrame(&buf, typ, bodies[typ]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, typ := range order {
+		got, payload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("type %d: %v", typ, err)
+		}
+		if got != typ || !bytes.Equal(payload, bodies[typ]) {
+			t.Fatalf("type %d: got type %d payload %v", typ, got, payload)
+		}
+	}
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("clean boundary: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"truncated header", []byte{1, 0}},
+		{"empty frame", []byte{0, 0, 0, 0}},
+		{"oversize frame", []byte{0xFF, 0xFF, 0xFF, 0xFF}},
+		{"truncated payload", []byte{5, 0, 0, 0, frameRound, 1}},
+		{"unknown type", []byte{1, 0, 0, 0, 99}},
+		{"type zero", []byte{1, 0, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := readFrame(bytes.NewReader(tc.in))
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("got %v, want *FrameError", err)
+			}
+		})
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	fp := testFingerprint()
+	table := CanonicalTable()
+	if table.Len() < 2 {
+		t.Fatal("registry has no opcodes; protocol packages not linked into the test binary")
+	}
+	payload := appendHello(nil, 2, fp, table)
+	h, err := parseHello(payload, fp, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.self != 2 || h.fp != fp {
+		t.Fatalf("round trip lost fields: %+v", h)
+	}
+}
+
+func TestHandshakeRejections(t *testing.T) {
+	fp := testFingerprint()
+	table := CanonicalTable()
+	good := appendHello(nil, 1, fp, table)
+	badMagic := append([]byte("NOTMDST!"), good[8:]...)
+	otherFp := appendHello(nil, 1, Fingerprint{Procs: 3, N: 97, HalfEdges: 576}, table)
+	badID := appendHello(nil, 7, fp, table)
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"bad magic", badMagic},
+		{"truncated", good[:len(good)/2]},
+		{"fingerprint mismatch", otherFp},
+		{"identity outside cluster", badID},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseHello(tc.in, fp, table)
+			var he *HandshakeError
+			if !errors.As(err, &he) {
+				t.Fatalf("got %v, want *HandshakeError", err)
+			}
+		})
+	}
+}
+
+// wireSample builds a schema-conforming WireMsg from the table entry at
+// the given index, filling the minimum payload width with marker words.
+func wireSample(table *WireTable, idx uint64) sim.WireMsg {
+	op, err := table.Dec(idx)
+	if err != nil {
+		return sim.WireMsg{}
+	}
+	row := table.specs[idx]
+	m := sim.WireMsg{Op: op, Nw: row.minW}
+	for i := uint8(0); i < row.minW; i++ {
+		m.W[i] = int64(i) - 4
+	}
+	return m
+}
+
+// sampleIdx prefers a table entry that actually carries payload words.
+func sampleIdx(table *WireTable) uint64 {
+	for i := 1; i < table.Len(); i++ {
+		if table.specs[i].minW > 0 && !table.specs[i].rounded {
+			return uint64(i)
+		}
+	}
+	return 1
+}
+
+func TestRoundMsgRoundTrip(t *testing.T) {
+	table := CanonicalTable()
+	counts := []sim.RankCount{{Rank: 0, Count: 2}, {Rank: 5, Count: 0}}
+	batch := []sim.OutMsg{
+		{Parent: 3, Pos: 1, From: 2, To: 9, Msg: wireSample(table, sampleIdx(table))},
+	}
+	payload := appendRoundMsg(nil, 11, 4, counts, batch, table)
+	m, err := parseRoundMsg(payload, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.seq != 11 || m.round != 4 {
+		t.Fatalf("header lost: %+v", m)
+	}
+	if len(m.counts) != 2 || m.counts[0] != counts[0] || m.counts[1] != counts[1] {
+		t.Fatalf("counts lost: %+v", m.counts)
+	}
+	if len(m.batch) != 1 || m.batch[0] != batch[0] {
+		t.Fatalf("batch lost: %+v", m.batch)
+	}
+}
+
+func TestCkptAckRoundTrip(t *testing.T) {
+	seq, round, err := parseCkptAck(appendCkptAck(nil, 9, -3))
+	if err != nil || seq != 9 || round != -3 {
+		t.Fatalf("got seq=%d round=%d err=%v", seq, round, err)
+	}
+	if _, _, err := parseCkptAck([]byte{0x80}); err == nil {
+		t.Fatal("truncated ack parsed")
+	}
+}
+
+// typedOrNil fails the fuzz run unless err is nil or one of the plane's
+// typed errors.
+func typedOrNil(t *testing.T, what string, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var fe *FrameError
+	var he *HandshakeError
+	if !errors.As(err, &fe) && !errors.As(err, &he) {
+		t.Errorf("%s: untyped error %T: %v", what, err, err)
+	}
+}
+
+// FuzzFrameCodec feeds arbitrary bytes to every parser of the plane — the
+// frame decoder, the handshake, and all payload codecs. The contract under
+// fuzzing: a parser either succeeds or returns its typed error; it never
+// panics, never allocates unboundedly (element counts are checked against
+// the remaining payload before any make), and readFrame returns io.EOF
+// only at a clean frame boundary.
+func FuzzFrameCodec(f *testing.F) {
+	fp := testFingerprint()
+	table := CanonicalTable()
+	wm := wireSample(table, sampleIdx(table))
+	batch := []sim.OutMsg{{Parent: 1, Pos: 0, From: 0, To: 1, Msg: wm}}
+	counters := &sim.Checkpoint{Messages: 10, Words: 30, MaxWords: 4, CausalDepth: 5}
+	states := []ownedState{{dense: 0, blob: []byte{1, 2, 3}}}
+
+	f.Add(appendFrame(nil, frameHello, appendHello(nil, 0, fp, table)))
+	f.Add(appendFrame(nil, frameRound, appendRoundMsg(nil, 1, 0, []sim.RankCount{{Rank: 0, Count: 1}}, batch, table)))
+	f.Add(appendFrame(nil, frameFinal, appendFinalMsg(nil, 1, counters, states, table)))
+	f.Add(appendFrame(nil, frameCkpt, appendCkptMsg(nil, 1, 2, counters, states, batch, table)))
+	f.Add(appendFrame(nil, frameCkptAck, appendCkptAck(nil, 1, 2)))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add(bytes.Repeat([]byte{0x80}, 32))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := bytes.NewReader(b)
+		for {
+			typ, payload, err := readFrame(r)
+			if err != nil {
+				if err != io.EOF {
+					typedOrNil(t, "readFrame", err)
+				}
+				break
+			}
+			switch typ {
+			case frameHello:
+				_, err := parseHello(payload, fp, table)
+				typedOrNil(t, "parseHello", err)
+			case frameRound:
+				_, err := parseRoundMsg(payload, table)
+				typedOrNil(t, "parseRoundMsg", err)
+			case frameFinal:
+				_, err := parseFinalMsg(payload, table)
+				typedOrNil(t, "parseFinalMsg", err)
+			case frameCkpt:
+				_, err := parseCkptMsg(payload, table)
+				typedOrNil(t, "parseCkptMsg", err)
+			case frameCkptAck:
+				_, _, err := parseCkptAck(payload)
+				typedOrNil(t, "parseCkptAck", err)
+			}
+		}
+		// The raw bytes, interpreted directly as each payload, must also
+		// fail typed: frames from a corrupt peer can declare any type.
+		_, err := parseHello(b, fp, table)
+		typedOrNil(t, "parseHello(raw)", err)
+		_, err = parseRoundMsg(b, table)
+		typedOrNil(t, "parseRoundMsg(raw)", err)
+		_, err = parseFinalMsg(b, table)
+		typedOrNil(t, "parseFinalMsg(raw)", err)
+		_, err = parseCkptMsg(b, table)
+		typedOrNil(t, "parseCkptMsg(raw)", err)
+		_, _, err = parseCkptAck(b)
+		typedOrNil(t, "parseCkptAck(raw)", err)
+	})
+}

@@ -1,0 +1,225 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+
+	"mdegst/internal/sim"
+)
+
+// The versioned handshake. Opcode numbers are process-local (they depend
+// on package init order), so two processes must agree on a numbering
+// before any WireMsg crosses a socket. The canonical wire table fixes one:
+// every registered kind string, sorted, numbered from 1 (0 is reserved for
+// OpNone, mirroring the registry). The hello frame each side sends first
+// carries its protocol version, identity, cluster shape, snapshot
+// fingerprint and its full table — kind strings plus payload bounds and
+// the rounded flag — and the receiving side verifies the peer's table is
+// exactly its own. Agreement means batches, state blobs and counter
+// uploads can use table indices directly; disagreement (skewed binaries,
+// wrong cluster, wrong graph) fails fast with a typed *HandshakeError
+// before any protocol traffic flows.
+
+// handshakeVersion is the plane's wire-protocol version.
+const handshakeVersion = 1
+
+// handshakeMagic opens every hello payload.
+var handshakeMagic = [8]byte{'M', 'D', 'S', 'T', 'N', 'E', 'T', '1'}
+
+// HandshakeError is the typed error for hello frames that are malformed or
+// disagree with the local process: version skew, cluster-shape or
+// snapshot-fingerprint mismatches, identity conflicts, or an opcode table
+// that differs from the local registry's canonical form.
+type HandshakeError struct{ Reason string }
+
+func (e *HandshakeError) Error() string { return "net: handshake: " + e.Reason }
+
+// Fingerprint pins what a cluster of processes must agree on before
+// running: the process count and the compiled snapshot's shape.
+type Fingerprint struct {
+	Procs        int
+	N, HalfEdges int
+}
+
+// WireTable is the canonical cross-process opcode numbering: all
+// registered kinds, sorted, numbered from 1.
+type WireTable struct {
+	kinds   []string   // index -> kind; kinds[0] unused
+	ops     []sim.Op   // index -> process-local opcode
+	indexOf []uint64   // process-local opcode -> index (0 = unmapped)
+	specs   []tableRow // index-aligned payload bounds for verification
+}
+
+type tableRow struct {
+	minW, maxW uint8
+	rounded    bool
+}
+
+// CanonicalTable builds the local registry's canonical wire table.
+func CanonicalTable() *WireTable {
+	type entry struct {
+		kind string
+		op   sim.Op
+		row  tableRow
+	}
+	var entries []entry
+	for _, s := range sim.Schemas() {
+		for i := 0; i < s.Len(); i++ {
+			sp := s.Spec(i)
+			entries = append(entries, entry{
+				kind: sp.Kind,
+				op:   s.Op(i),
+				row:  tableRow{minW: uint8(sp.MinPayload), maxW: uint8(sp.MaxPayload), rounded: sp.Rounded},
+			})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].kind < entries[j].kind })
+	t := &WireTable{
+		kinds:   make([]string, 1, len(entries)+1),
+		ops:     make([]sim.Op, 1, len(entries)+1),
+		indexOf: make([]uint64, sim.NumOps()),
+		specs:   make([]tableRow, 1, len(entries)+1),
+	}
+	for _, e := range entries {
+		t.kinds = append(t.kinds, e.kind)
+		t.ops = append(t.ops, e.op)
+		t.specs = append(t.specs, e.row)
+		t.indexOf[e.op] = uint64(len(t.kinds) - 1)
+	}
+	return t
+}
+
+// Enc translates a process-local opcode to its table index — the encoder
+// handed to sim.AppendWire and the state encoders.
+func (t *WireTable) Enc(op sim.Op) uint64 {
+	if int(op) >= len(t.indexOf) {
+		return 0
+	}
+	return t.indexOf[op]
+}
+
+// Dec translates a table index back to the process-local opcode.
+func (t *WireTable) Dec(idx uint64) (sim.Op, error) {
+	if idx == 0 || idx >= uint64(len(t.ops)) {
+		return sim.OpNone, &FrameError{Reason: fmt.Sprintf("opcode index %d outside the wire table", idx)}
+	}
+	return t.ops[idx], nil
+}
+
+// Len returns the number of table entries including the reserved slot 0.
+func (t *WireTable) Len() int { return len(t.kinds) }
+
+// hello is the decoded form of a handshake frame.
+type hello struct {
+	version uint64
+	self    int
+	fp      Fingerprint
+}
+
+// appendHello encodes this process's hello payload.
+func appendHello(b []byte, self int, fp Fingerprint, t *WireTable) []byte {
+	b = append(b, handshakeMagic[:]...)
+	b = appendUvarint(b, handshakeVersion)
+	b = appendUvarint(b, uint64(self))
+	b = appendUvarint(b, uint64(fp.Procs))
+	b = appendUvarint(b, uint64(fp.N))
+	b = appendUvarint(b, uint64(fp.HalfEdges))
+	b = appendUvarint(b, uint64(len(t.kinds)-1))
+	for i := 1; i < len(t.kinds); i++ {
+		b = appendUvarint(b, uint64(len(t.kinds[i])))
+		b = append(b, t.kinds[i]...)
+		b = appendUvarint(b, uint64(t.specs[i].minW))
+		b = appendUvarint(b, uint64(t.specs[i].maxW))
+		if t.specs[i].rounded {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// parseHello decodes and verifies a peer's hello payload against the local
+// fingerprint and canonical table. Malformed bytes or any disagreement
+// return a typed *HandshakeError, never panic.
+func parseHello(payload []byte, fp Fingerprint, t *WireTable) (*hello, error) {
+	r := &frameReader{typ: frameHello, buf: payload}
+	magic, err := r.bytes(uint64(len(handshakeMagic)))
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated magic"}
+	}
+	if string(magic) != string(handshakeMagic[:]) {
+		return nil, &HandshakeError{Reason: "bad magic: not an mdst transport peer"}
+	}
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated version"}
+	}
+	if version != handshakeVersion {
+		return nil, &HandshakeError{Reason: fmt.Sprintf("protocol version %d (want %d)", version, handshakeVersion)}
+	}
+	self, err := r.uvarint()
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated identity"}
+	}
+	procs, err := r.uvarint()
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated process count"}
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated node count"}
+	}
+	he, err := r.uvarint()
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated edge count"}
+	}
+	if int(procs) != fp.Procs || int(n) != fp.N || int(he) != fp.HalfEdges {
+		return nil, &HandshakeError{Reason: fmt.Sprintf(
+			"cluster fingerprint mismatch: peer has procs=%d n=%d halfEdges=%d, local procs=%d n=%d halfEdges=%d",
+			procs, n, he, fp.Procs, fp.N, fp.HalfEdges)}
+	}
+	if self >= procs {
+		return nil, &HandshakeError{Reason: fmt.Sprintf("peer identity %d outside the %d-process cluster", self, procs)}
+	}
+	nKinds, err := r.count(4)
+	if err != nil {
+		return nil, &HandshakeError{Reason: "truncated opcode table"}
+	}
+	if nKinds != len(t.kinds)-1 {
+		return nil, &HandshakeError{Reason: fmt.Sprintf("opcode table has %d kinds, local registry has %d", nKinds, len(t.kinds)-1)}
+	}
+	for i := 1; i <= nKinds; i++ {
+		klen, err := r.uvarint()
+		if err != nil {
+			return nil, &HandshakeError{Reason: "truncated opcode table"}
+		}
+		kb, err := r.bytes(klen)
+		if err != nil {
+			return nil, &HandshakeError{Reason: "truncated opcode table"}
+		}
+		minW, err := r.uvarint()
+		if err != nil {
+			return nil, &HandshakeError{Reason: "truncated opcode table"}
+		}
+		maxW, err := r.uvarint()
+		if err != nil {
+			return nil, &HandshakeError{Reason: "truncated opcode table"}
+		}
+		rb, err := r.bytes(1)
+		if err != nil {
+			return nil, &HandshakeError{Reason: "truncated opcode table"}
+		}
+		if string(kb) != t.kinds[i] {
+			return nil, &HandshakeError{Reason: fmt.Sprintf("opcode table entry %d is %q, local registry has %q (binary skew?)", i, kb, t.kinds[i])}
+		}
+		row := t.specs[i]
+		if uint8(minW) != row.minW || uint8(maxW) != row.maxW || (rb[0] != 0) != row.rounded {
+			return nil, &HandshakeError{Reason: fmt.Sprintf("schema for kind %q disagrees with the local registry", kb)}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, &HandshakeError{Reason: "trailing bytes after opcode table"}
+	}
+	return &hello{version: version, self: int(self), fp: fp}, nil
+}

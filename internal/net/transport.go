@@ -1,0 +1,332 @@
+package net
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	gonet "net"
+	"sync"
+	"time"
+)
+
+// Transport is a full mesh of length-framed TCP connections between the K
+// processes of one deployment. Each pair of processes shares exactly one
+// multiplexed connection (the lower-id side accepts, the higher-id side
+// dials), writes are coalesced in per-peer buffers until an explicit
+// flush — the engine writes a whole barrier's frames, then flushes once —
+// and a reader goroutine per peer delivers incoming frames in order
+// through a bounded inbox, so a slow consumer exerts TCP backpressure
+// instead of growing memory.
+//
+// Send, Flush and Recv must be called from one goroutine (the engine's);
+// Close is safe from any goroutine, idempotent, and unblocks pending
+// Recvs and reader goroutines — shutdown leaks nothing, which the
+// transport's goroutine-accounting tests pin under -race.
+type Transport struct {
+	self  int
+	addrs []string
+	fp    Fingerprint
+	table *WireTable
+	ln    gonet.Listener
+	peers []*peerConn // indexed by process id; nil at self
+
+	done      chan struct{}
+	closeOnce sync.Once
+	readers   sync.WaitGroup
+}
+
+// ErrTransportClosed reports an operation on a transport whose Close has
+// begun.
+var ErrTransportClosed = errors.New("net: transport closed")
+
+// inboxDepth bounds buffered incoming frames per peer. The barrier
+// protocol keeps at most one round in flight, so the bound is never the
+// limiter in healthy runs; it exists so a wedged consumer degrades into
+// TCP backpressure.
+const inboxDepth = 128
+
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+type peerConn struct {
+	conn gonet.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	in   chan frame
+	mu   sync.Mutex
+	err  error
+}
+
+func (p *peerConn) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerConn) getErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err == nil {
+		return ErrTransportClosed
+	}
+	return p.err
+}
+
+// NewTransport wraps a bound listener as process self of the cluster
+// described by addrs (addrs[self] is this process's own address) and the
+// shared fingerprint. Establish must be called before any frame I/O.
+func NewTransport(ln gonet.Listener, self int, addrs []string, fp Fingerprint) *Transport {
+	return &Transport{
+		self:  self,
+		addrs: addrs,
+		fp:    fp,
+		table: CanonicalTable(),
+		ln:    ln,
+		peers: make([]*peerConn, len(addrs)),
+		done:  make(chan struct{}),
+	}
+}
+
+// Listen binds a TCP listener for NewTransport.
+func Listen(addr string) (gonet.Listener, error) { return gonet.Listen("tcp", addr) }
+
+// Self returns this process's id.
+func (t *Transport) Self() int { return t.self }
+
+// Procs returns the cluster's process count.
+func (t *Transport) Procs() int { return len(t.addrs) }
+
+// Table returns the canonical wire table the handshake agreed on.
+func (t *Transport) Table() *WireTable { return t.table }
+
+// Establish builds the full mesh: this process dials every lower id and
+// accepts from every higher id, exchanging and verifying hello frames on
+// each connection, all within the timeout. On success the per-peer reader
+// goroutines are running and the listener is closed (the mesh is static);
+// on failure everything opened so far is torn down.
+func (t *Transport) Establish(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	if err := t.establish(deadline); err != nil {
+		t.Close()
+		return err
+	}
+	// The mesh is complete and static; no more accepts can arrive.
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for id, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.conn.SetDeadline(time.Time{})
+		t.readers.Add(1)
+		go t.readLoop(id, p)
+	}
+	return nil
+}
+
+func (t *Transport) establish(deadline time.Time) error {
+	// Dial the lower ids. TCP listen backlogs decouple the processes'
+	// startup order: a dial succeeds as soon as the peer is bound, even
+	// before it calls Accept, so sequential dialing cannot deadlock.
+	for q := 0; q < t.self; q++ {
+		conn, err := dialRetry(t.addrs[q], deadline)
+		if err != nil {
+			return fmt.Errorf("net: dialing process %d at %s: %w", q, t.addrs[q], err)
+		}
+		conn.SetDeadline(deadline)
+		if err := writeFrame(conn, frameHello, appendHello(nil, t.self, t.fp, t.table)); err != nil {
+			conn.Close()
+			return fmt.Errorf("net: hello to process %d: %w", q, err)
+		}
+		h, err := t.readHello(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("net: hello from process %d: %w", q, err)
+		}
+		if h.self != q {
+			conn.Close()
+			return &HandshakeError{Reason: fmt.Sprintf("dialed process %d but peer identifies as %d", q, h.self)}
+		}
+		t.register(q, conn)
+	}
+	// Accept the higher ids, in whatever order they arrive.
+	if need := len(t.addrs) - 1 - t.self; need > 0 {
+		if t.ln == nil {
+			return fmt.Errorf("net: process %d needs a listener to accept %d peers", t.self, need)
+		}
+		if d, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(deadline)
+		}
+		for got := 0; got < need; {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				return fmt.Errorf("net: accepting peers (%d of %d connected): %w", got, need, err)
+			}
+			conn.SetDeadline(deadline)
+			h, err := t.readHello(conn)
+			if err != nil {
+				conn.Close()
+				return err
+			}
+			if h.self <= t.self || h.self >= len(t.addrs) || t.peers[h.self] != nil {
+				conn.Close()
+				return &HandshakeError{Reason: fmt.Sprintf("unexpected hello from process %d at process %d", h.self, t.self)}
+			}
+			if err := writeFrame(conn, frameHello, appendHello(nil, t.self, t.fp, t.table)); err != nil {
+				conn.Close()
+				return fmt.Errorf("net: hello to process %d: %w", h.self, err)
+			}
+			t.register(h.self, conn)
+			got++
+		}
+	}
+	return nil
+}
+
+func (t *Transport) readHello(conn gonet.Conn) (*hello, error) {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, &HandshakeError{Reason: fmt.Sprintf("reading hello: %v", err)}
+	}
+	if typ != frameHello {
+		return nil, &HandshakeError{Reason: fmt.Sprintf("first frame is type %d, want hello", typ)}
+	}
+	return parseHello(payload, t.fp, t.table)
+}
+
+func (t *Transport) register(id int, conn gonet.Conn) {
+	t.peers[id] = &peerConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+		in:   make(chan frame, inboxDepth),
+	}
+}
+
+func dialRetry(addr string, deadline time.Time) (gonet.Conn, error) {
+	for {
+		conn, err := gonet.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// readLoop delivers one peer's frames in order until the connection or the
+// transport closes. A read failure (including the peer's clean EOF) is
+// recorded and the inbox closed so a pending Recv observes it; a transport
+// close simply exits, leaving Recv to observe done.
+func (t *Transport) readLoop(id int, p *peerConn) {
+	defer t.readers.Done()
+	for {
+		typ, payload, err := readFrame(p.r)
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("net: process %d closed the connection", id)
+			}
+			p.setErr(err)
+			close(p.in)
+			return
+		}
+		select {
+		case p.in <- frame{typ: typ, payload: payload}:
+		case <-t.done:
+			p.setErr(ErrTransportClosed)
+			return
+		}
+	}
+}
+
+// Send coalesces one frame into the peer's write buffer. Nothing reaches
+// the socket until Flush (or the buffer fills).
+func (t *Transport) Send(peer int, typ byte, body []byte) error {
+	p := t.peers[peer]
+	if p == nil {
+		return fmt.Errorf("net: no connection to process %d", peer)
+	}
+	select {
+	case <-t.done:
+		return ErrTransportClosed
+	default:
+	}
+	return writeFrame(p.w, typ, body)
+}
+
+// Flush pushes the peer's coalesced frames to the socket.
+func (t *Transport) Flush(peer int) error {
+	p := t.peers[peer]
+	if p == nil {
+		return fmt.Errorf("net: no connection to process %d", peer)
+	}
+	return p.w.Flush()
+}
+
+// FlushAll flushes every peer buffer — the end of a barrier's write phase.
+func (t *Transport) FlushAll() error {
+	for id, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.w.Flush(); err != nil {
+			return fmt.Errorf("net: flushing to process %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Recv returns the next frame from the peer, blocking until one arrives,
+// the peer's connection fails, or the transport closes.
+func (t *Transport) Recv(peer int) (byte, []byte, error) {
+	p := t.peers[peer]
+	if p == nil {
+		return 0, nil, fmt.Errorf("net: no connection to process %d", peer)
+	}
+	select {
+	case f, ok := <-p.in:
+		if !ok {
+			return 0, nil, p.getErr()
+		}
+		return f.typ, f.payload, nil
+	case <-t.done:
+		// Prefer a frame that raced the close: drain without blocking.
+		select {
+		case f, ok := <-p.in:
+			if ok {
+				return f.typ, f.payload, nil
+			}
+			return 0, nil, p.getErr()
+		default:
+			return 0, nil, ErrTransportClosed
+		}
+	}
+}
+
+// Close tears the mesh down: flushes nothing (callers flush at barriers),
+// closes every connection and the listener, and waits for the reader
+// goroutines to exit. Idempotent and safe from any goroutine; double
+// Close is a no-op.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		t.readers.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"fmt"
+
+	"mdegst/internal/graph"
+)
+
+// The process-distributed face of the unit-delay round runtime (DESIGN.md
+// §9). A DistRunner hosts one process's share of a partitioned run — the
+// protocol instances, contexts and outboxes of the nodes a deployment
+// process owns — and exposes the sharded engine's rank/outbox machinery
+// (DESIGN.md §7) as explicit phases, so a transport layer (internal/net)
+// can drive barrier-separated rounds across OS processes connected by real
+// sockets. The determinism story is byte-for-byte the sharded engine's:
+//
+//   - Every delivery of a round has a global rank — its position in the
+//     1-shard engine's delivery order.
+//   - A message is keyed (Parent, Pos): the rank of the delivery whose
+//     handler sent it, and the send's index within that handler call.
+//     Merging incoming streams by key reconstructs the 1-shard order.
+//   - Ranks of the next round come from a prefix sum over per-delivery
+//     send counts. In-process the counts live in one shared slice; across
+//     processes each process broadcasts the (rank, count) pairs of the
+//     deliveries it played, and everyone scatters them into a local slab
+//     and prefix-sums identically.
+//
+// The runner deliberately holds protocol instances for every node, not
+// just owned ones: protocols implementing StateCodec let the processes
+// all-gather their owned nodes' encoded states at quiescence, so each
+// process finishes with the complete final state plane and extracts the
+// identical tree and report the simulator would.
+
+// OutMsg is one cross-process delivery record of the distributed round
+// plane: the canonical merge key (Parent, Pos), dense endpoints and the
+// flat wire record. Like shardDelivery it is pointer-free, so outboxes are
+// plain slabs and the byte form on the socket mirrors the in-memory form.
+type OutMsg struct {
+	Parent int64 // global rank of the sending delivery (dense index for Init sends)
+	Pos    int32 // index of this send within the sending handler call
+	From   int32 // dense index of the sender
+	To     int32 // dense index of the destination
+	Msg    WireMsg
+}
+
+// KeyLess orders OutMsgs by the canonical (Parent, Pos) key. Keys are
+// globally unique within a round, so the order is total.
+func (m OutMsg) KeyLess(o OutMsg) bool {
+	if m.Parent != o.Parent {
+		return m.Parent < o.Parent
+	}
+	return m.Pos < o.Pos
+}
+
+// RankCount reports the send count of one played delivery at its global
+// rank — the distributed form of the sharded engine's cnt slice. Each
+// barrier broadcast carries one entry per delivery the process played, in
+// ascending rank order.
+type RankCount struct {
+	Rank  int64
+	Count int64
+}
+
+// distCtx is the Context handed to protocols on the distributed round
+// plane, mirroring shardRoundCtx: rank is the global rank of the delivery
+// being processed (the dense node index while Init runs), sends counts the
+// handler's sends so far.
+type distCtx struct {
+	r         *DistRunner
+	id        NodeID
+	dense     int32
+	neighbors []NodeID
+	nbrDense  []int32
+	rank      int64
+	sends     int32
+}
+
+func (c *distCtx) ID() NodeID          { return c.id }
+func (c *distCtx) Neighbors() []NodeID { return c.neighbors }
+
+func (c *distCtx) Send(to NodeID, m WireMsg) {
+	ni := neighborIndex(c.neighbors, to)
+	if ni < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbour %d", c.id, to))
+	}
+	r := c.r
+	toDense := c.nbrDense[ni]
+	dst := r.owner[toDense]
+	r.out[dst] = append(r.out[dst], OutMsg{
+		Parent: c.rank,
+		Pos:    c.sends,
+		From:   c.dense,
+		To:     toDense,
+		Msg:    m,
+	})
+	c.sends++
+}
+
+// Logf is a no-op: the distributed plane does not support tracing (a
+// global-order trace would serialise the processes; use the simulator).
+func (c *distCtx) Logf(string, ...any) {}
+
+// DistRunner drives one process's shard of a partitioned unit-delay run.
+// The caller (the transport engine) owns the barrier: it exchanges the
+// outboxes and rank counts between phases, computes the next round's rank
+// offsets by prefix sum, and hands the merged incoming streams back to
+// PlayRound. All methods must be called from one goroutine.
+type DistRunner struct {
+	c      *graph.CSR
+	owner  []int32 // dense node -> owning process
+	self   int32
+	nprocs int
+	ids    []NodeID
+	protos []Protocol // every node; only owned ones execute here
+	owned  []int32    // dense indices owned by self, ascending
+	ctxs   []distCtx  // one per owned node
+	local  []int32    // dense -> index into owned/ctxs (-1 if not owned)
+	out    [][]OutMsg // per destination process, refilled each phase
+	counts []RankCount
+	report *Report
+}
+
+// NewDistRunner builds the process's share of a run: protocol instances
+// for every node (owned ones will execute; the rest exist to receive
+// all-gathered final states), contexts and outboxes for the owned range.
+// owner maps every dense node to its owning process in [0, nprocs).
+func NewDistRunner(c *graph.CSR, owner []int32, nprocs, self int, f Factory) *DistRunner {
+	n := c.N()
+	ids := c.Index().IDs()
+	r := &DistRunner{
+		c:      c,
+		owner:  owner,
+		self:   int32(self),
+		nprocs: nprocs,
+		ids:    ids,
+		protos: make([]Protocol, n),
+		local:  make([]int32, n),
+		out:    make([][]OutMsg, nprocs),
+		report: newReport(),
+	}
+	for v := 0; v < n; v++ {
+		r.local[v] = -1
+		r.protos[v] = f(ids[v], c.NeighborIDs(int32(v)))
+		if owner[v] == r.self {
+			r.owned = append(r.owned, int32(v))
+		}
+	}
+	r.ctxs = make([]distCtx, len(r.owned))
+	for li, v := range r.owned {
+		r.local[v] = int32(li)
+		r.ctxs[li] = distCtx{
+			r:         r,
+			id:        ids[v],
+			dense:     v,
+			neighbors: c.NeighborIDs(v),
+			nbrDense:  c.Neighbors(v),
+		}
+	}
+	return r
+}
+
+// N returns the node count of the snapshot.
+func (r *DistRunner) N() int { return r.c.N() }
+
+// Owned returns the dense indices this process owns, ascending. Shared; do
+// not modify.
+func (r *DistRunner) Owned() []int32 { return r.owned }
+
+// Owns reports whether this process owns dense node v.
+func (r *DistRunner) Owns(v int32) bool { return r.owner[v] == r.self }
+
+// Report returns the process's share of the run accounting. Merge the
+// processes' reports with MergeParallel at quiescence.
+func (r *DistRunner) Report() *Report { return r.report }
+
+// Protos returns the per-dense-node protocol instances. Owned entries hold
+// live state; the rest are factory-fresh until final states are decoded
+// into them. Shared; do not modify.
+func (r *DistRunner) Protos() []Protocol { return r.protos }
+
+// FinalProtos returns the NodeID-keyed protocol map engines hand back.
+func (r *DistRunner) FinalProtos() map[NodeID]Protocol {
+	m := make(map[NodeID]Protocol, len(r.protos))
+	for v, p := range r.protos {
+		m[r.ids[v]] = p
+	}
+	return m
+}
+
+func (r *DistRunner) resetPhase() {
+	for d := range r.out {
+		r.out[d] = r.out[d][:0]
+	}
+	r.counts = r.counts[:0]
+}
+
+// PlayInit runs Init for the owned nodes in ascending dense order. Sends
+// get key (dense index, pos) and the counts report one entry per owned
+// node at rank = dense index — globally the Init rank space is [0, N).
+func (r *DistRunner) PlayInit() {
+	r.resetPhase()
+	for li, v := range r.owned {
+		ctx := &r.ctxs[li]
+		ctx.rank = int64(v)
+		ctx.sends = 0
+		r.protos[v].Init(ctx)
+		r.counts = append(r.counts, RankCount{Rank: int64(v), Count: int64(ctx.sends)})
+	}
+}
+
+// PlayRound delivers one round to the owned nodes: the incoming streams
+// (each sorted by key — a process's own loopback outbox plus one batch per
+// peer) merge in canonical key order, each delivery's global rank is
+// off[Parent] + Pos, and the handler's sends refill the outboxes keyed by
+// that rank. round is the global round number (depth accounting).
+func (r *DistRunner) PlayRound(round int64, off []int64, streams [][]OutMsg) {
+	r.resetPhase()
+	heads := make([]int, len(streams))
+	for {
+		best := -1
+		for s, q := range streams {
+			if heads[s] >= len(q) {
+				continue
+			}
+			if best < 0 || q[heads[s]].KeyLess(streams[best][heads[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return
+		}
+		d := streams[best][heads[best]]
+		heads[best]++
+		rank := off[d.Parent] + int64(d.Pos)
+		li := r.local[d.To]
+		if li < 0 {
+			panic(fmt.Sprintf("sim: delivery for dense node %d not owned by process %d", d.To, r.self))
+		}
+		ctx := &r.ctxs[li]
+		ctx.rank = rank
+		ctx.sends = 0
+		r.report.record(r.ids[d.From], d.Msg, round)
+		r.protos[d.To].Recv(ctx, r.ids[d.From], d.Msg)
+		r.counts = append(r.counts, RankCount{Rank: rank, Count: int64(ctx.sends)})
+	}
+}
+
+// Outbox returns the phase's deliveries destined to process dst, sorted by
+// key. Valid until the next Play phase; the caller encodes or merges it
+// before then.
+func (r *DistRunner) Outbox(dst int) []OutMsg { return r.out[dst] }
+
+// Counts returns the (rank, send count) pairs of the deliveries played
+// this phase, ascending by rank — one entry per played delivery, including
+// zero-send ones (the barrier cross-checks that the union over processes
+// covers the whole rank space). Valid until the next Play phase.
+func (r *DistRunner) Counts() []RankCount { return r.counts }
+
+// EncodeOwnedState serialises the state of owned dense node v with the
+// given opcode encoder (the transport's canonical wire table). The
+// protocol must implement StateCodec.
+func (r *DistRunner) EncodeOwnedState(v int32, enc func(Op) uint64) ([]byte, error) {
+	return EncodeProtocolState(r.protos[v], enc)
+}
+
+// DecodeStateInto decodes a peer's state blob into dense node v's
+// instance — the receiving half of the final-state all-gather and of
+// checkpoint assembly.
+func (r *DistRunner) DecodeStateInto(v int32, blob []byte, dec func(uint64) (Op, error)) error {
+	return DecodeProtocolState(r.protos[v], blob, dec)
+}
+
+// EncodeProtocolState serialises one protocol's state as a varint word
+// stream using the given opcode encoder (nil keeps process-local opcodes).
+// The protocol must implement StateCodec.
+func EncodeProtocolState(p Protocol, enc func(Op) uint64) ([]byte, error) {
+	sc, ok := p.(StateCodec)
+	if !ok {
+		return nil, &CheckpointError{Reason: fmt.Sprintf("protocol %T does not implement StateCodec", p)}
+	}
+	e := StateEncoder{opEnc: enc}
+	sc.EncodeState(&e)
+	return e.buf, nil
+}
+
+// DecodeProtocolState mirrors EncodeProtocolState, enforcing the same
+// exact-consumption contract as checkpoint resume.
+func DecodeProtocolState(p Protocol, blob []byte, dec func(uint64) (Op, error)) error {
+	sc, ok := p.(StateCodec)
+	if !ok {
+		return &CheckpointError{Reason: fmt.Sprintf("protocol %T does not implement StateCodec", p)}
+	}
+	d := StateDecoder{buf: blob, opDec: dec}
+	if err := sc.DecodeState(&d); err != nil {
+		return err
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.at != len(d.buf) {
+		return &CheckpointError{Reason: fmt.Sprintf("node state: %d trailing bytes", len(d.buf)-d.at)}
+	}
+	return nil
+}
+
+// --- exported checkpoint plumbing for the network plane -----------------
+
+// CaptureCounters freezes r's counters into ck (sorted, deterministic) —
+// the exported form of the engines' capture step, used by the network
+// plane to ship per-process report shares and assemble checkpoint files.
+func (ck *Checkpoint) CaptureCounters(r *Report) { ck.captureReport(r) }
+
+// RestoreCounters loads ck's counters into a fresh report (set, not add).
+func (ck *Checkpoint) RestoreCounters(r *Report) { ck.restoreReport(r) }
+
+// EncodeStates freezes every protocol's state into ck, binding the
+// checkpoint's opcode table; protocols must implement StateCodec. The
+// order (node 0 first) fixes the file's opcode numbering, so assembling a
+// checkpoint from decoded states reproduces the in-process file byte for
+// byte.
+func (ck *Checkpoint) EncodeStates(protos []Protocol) error { return ck.encodeStates(protos) }
+
+// RestoreStates decodes ck's per-node states into the instances.
+func (ck *Checkpoint) RestoreStates(protos []Protocol) error { return ck.decodeStates(protos) }
+
+// ValidateAgainst checks ck's snapshot fingerprint and pending-slab
+// endpoint ranges against a compiled snapshot before resuming.
+func (ck *Checkpoint) ValidateAgainst(c *graph.CSR) error { return ck.validateAgainst(c) }
+
+// Finalize materialises the public breakdown maps — engines call this once
+// after merging shard or process reports. Idempotent.
+func (r *Report) Finalize() { r.finalize() }
