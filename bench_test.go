@@ -13,6 +13,7 @@ import (
 
 	"mdegst"
 	"mdegst/internal/exp"
+	"mdegst/internal/workload"
 )
 
 func benchConfig() exp.Config { return exp.Config{Seeds: 2, Scale: 0.5} }
@@ -162,25 +163,19 @@ func BenchmarkEngines(b *testing.B) {
 // one-off generation plus ~0.3s per iteration, affordable since the
 // schedulers and the O(n) tree extraction landed.
 func BenchmarkLargeFlood(b *testing.B) {
-	workloads := []struct {
-		name string
-		gen  func() *mdegst.Graph
-	}{
-		{"gnm-4096", func() *mdegst.Graph { return mdegst.Gnm(4096, 16384, 1) }},
-		{"ba-16384", func() *mdegst.Graph { return mdegst.BarabasiAlbert(16384, 2, 1) }},
-		{"grid-100k", func() *mdegst.Graph { return mdegst.Grid(316, 316) }},
-	}
-	for _, w := range workloads {
+	// The graphs come from the shared catalog (internal/workload) so these
+	// names stay byte-for-byte the workloads recorded in BENCH_*.json.
+	for _, w := range workload.Large() {
 		// shards=1 is the plain event engine; shards=4 runs the
 		// shard-partitioned runtime (window-parallel on multi-core hosts,
 		// same results everywhere — pinned by the sim differential tests).
 		for _, shards := range []int{1, 4} {
-			name := w.name
+			name := w.Name
 			if shards > 1 {
-				name = fmt.Sprintf("%s/shards=%d", w.name, shards)
+				name = fmt.Sprintf("%s/shards=%d", w.Name, shards)
 			}
 			b.Run(name, func(b *testing.B) {
-				c := mdegst.Compile(w.gen())
+				c := mdegst.Compile(w.Gen())
 				opts := mdegst.Options{Shards: shards}
 				b.ResetTimer()
 				var msgs int64

@@ -125,23 +125,41 @@ func inspectFile(path string) error {
 	return nil
 }
 
-// printPartitionStats reports the cut-edge fraction of the shipped
-// partitioners at typical shard counts, so a workload's shardability is
-// visible before committing to a `mdstrun -shards` run: the cut fraction
-// is the share of messages that crosses shard boundaries under uniform
-// edge load.
+// printPartitionStats reports, for each shipped partitioner at typical
+// shard counts, the numbers that decide a `mdstrun -shards` run's fate on
+// the sharded runtime: the cut fraction (share of messages crossing shards
+// under uniform edge load), the boundary-node count (states whose sends can
+// leave their shard — total and the worst shard's share), and the size
+// imbalance (the straggler factor of a window-parallel round).
 func printPartitionStats(c *mdegst.CompiledGraph) {
 	if c.N() < 2 || c.M() == 0 {
 		return
+	}
+	strategies := []struct {
+		name string
+		mk   func(*mdegst.CompiledGraph, int) *graph.Partition
+	}{
+		{"contiguous", graph.PartitionContiguous},
+		{"bfs", graph.PartitionBFS},
+		{"refined", graph.PartitionRefined},
 	}
 	for _, k := range []int{2, 4, 8} {
 		if k > c.N() {
 			break
 		}
-		cont := graph.PartitionContiguous(c, k)
-		bfs := graph.PartitionBFS(c, k)
-		fmt.Printf("partition k=%d: cut %5.1f%% contiguous, %5.1f%% bfs-grown (%d / %d of %d edges)\n",
-			k, 100*cont.CutFraction(), 100*bfs.CutFraction(), cont.CutEdges(), bfs.CutEdges(), c.M())
+		for _, s := range strategies {
+			p := s.mk(c, k)
+			boundary := p.BoundaryNodes(c)
+			total, max := 0, 0
+			for _, b := range boundary {
+				total += b
+				if b > max {
+					max = b
+				}
+			}
+			fmt.Printf("partition k=%d %-10s cut %5.1f%% (%d of %d edges)  boundary %d nodes (max shard %d)  imbalance %.2f\n",
+				k, s.name+":", 100*p.CutFraction(), p.CutEdges(), c.M(), total, max, p.Imbalance())
+		}
 	}
 }
 

@@ -18,6 +18,14 @@ import (
 // below old * allocThreshold.
 const allocThreshold = 1.10
 
+// allocSlackAbs exempts tiny absolute drifts from the ratio gate. The
+// dense-path entries run at a few hundred allocs/op, where a single GC
+// cycle evicting the engines' sync.Pools mid-benchmark shifts the count
+// by tens of allocs — 10%+ relative, pure noise in absolute terms. A real
+// regression on these workloads (reintroducing a per-node map, losing a
+// slab) costs thousands of allocs and still trips the gate.
+const allocSlackAbs = 64
+
 type comparison struct {
 	name          string
 	oldNs, newNs  int64
@@ -49,6 +57,17 @@ func comparePerf(baseline *perfReport, fresh *perfReport, nsThreshold float64) (
 	for _, w := range baseline.Workloads {
 		old[w.Name] = w
 	}
+	// Wall time across different parallelism widths is not a regression
+	// signal: a baseline recorded at GOMAXPROCS=8 compared on a 2-core
+	// runner would fail every sharded entry on hardware alone. On mismatch,
+	// warn loudly and downgrade ns/op regressions to warnings; allocation
+	// counts are deterministic regardless of width and stay a hard gate.
+	widthMismatch := baseline.GOMAXPROCS != fresh.GOMAXPROCS
+	if widthMismatch {
+		fmt.Fprintf(os.Stderr,
+			"mdstbench: WARNING: baseline recorded at GOMAXPROCS=%d, this run at GOMAXPROCS=%d — ns/op is not comparable across widths; time regressions are reported as warnings only, allocs/op still gates\n",
+			baseline.GOMAXPROCS, fresh.GOMAXPROCS)
+	}
 	fmt.Fprintf(os.Stderr, "mdstbench: comparing against baseline (ns/op threshold %.2fx, allocs/op threshold %.2fx)\n",
 		nsThreshold, allocThreshold)
 	seen := make(map[string]bool)
@@ -70,11 +89,14 @@ func comparePerf(baseline *perfReport, fresh *perfReport, nsThreshold float64) (
 			allocRatio: ratioF(w.AllocsPerOp, o.AllocsPerOp),
 		}
 		c.nsRegressed = c.nsRatio > nsThreshold
-		c.allocRegessed = c.allocRatio > allocThreshold
+		c.allocRegessed = c.allocRatio > allocThreshold && c.newAl-c.oldAl > allocSlackAbs
 		status := "ok"
-		if c.nsRegressed || c.allocRegessed {
+		switch {
+		case c.allocRegessed, c.nsRegressed && !widthMismatch:
 			status = "REGRESSED"
 			regressed = true
+		case c.nsRegressed:
+			status = "SLOWER (warning only: GOMAXPROCS mismatch)"
 		}
 		fmt.Fprintf(os.Stderr, "mdstbench: %-44s ns/op %12d -> %12d (%.2fx)  allocs/op %8d -> %8d (%.2fx)  %s\n",
 			c.name, c.oldNs, c.newNs, c.nsRatio, c.oldAl, c.newAl, c.allocRatio, status)

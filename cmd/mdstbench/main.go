@@ -19,6 +19,10 @@
 //	                            # ... and fail (exit 1) on regression vs the recorded trajectory
 //	mdstbench -perf bench.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                            # ... with pprof evidence for perf work
+//	mdstbench -scaling scale.json
+//	                            # shards×GOMAXPROCS scaling suite (BENCH_scale.json trajectory)
+//	mdstbench -scaling scale.json -procs 8 -compare BENCH_scale.json
+//	                            # ... gated against the recorded scaling baseline
 package main
 
 import (
@@ -47,6 +51,8 @@ type options struct {
 	progress   bool
 	jsonOut    string
 	perfOut    string
+	scaleOut   string
+	procs      int
 	compare    string
 	nsThresh   float64
 	shards     int
@@ -64,7 +70,9 @@ func parseFlags() options {
 	flag.BoolVar(&o.progress, "progress", false, "report per-trial progress on stderr")
 	flag.StringVar(&o.jsonOut, "json", "", "also write tables as JSON to this file (\"-\" for stdout)")
 	flag.StringVar(&o.perfOut, "perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
-	flag.StringVar(&o.compare, "compare", "", "with -perf: diff the fresh suite against this recorded baseline (e.g. BENCH_queue.json) and exit non-zero on regression")
+	flag.StringVar(&o.scaleOut, "scaling", "", "run the shards×GOMAXPROCS scaling suite instead of the tables and write JSON here (\"-\" for stdout)")
+	flag.IntVar(&o.procs, "procs", 8, "with -scaling: GOMAXPROCS forced for the suite (the recorded axis)")
+	flag.StringVar(&o.compare, "compare", "", "with -perf or -scaling: diff the fresh suite against this recorded baseline (e.g. BENCH_wire.json, BENCH_scale.json) and exit non-zero on regression")
 	flag.Float64Var(&o.nsThresh, "threshold", 1.25, "with -compare: allowed ns/op growth factor before the gate fails")
 	flag.IntVar(&o.shards, "shards", 4, "with -perf: state shards for the sharded scaling entries (flood/grid-*/sharded-N)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the whole run (tables or -perf) to this file")
@@ -119,11 +127,40 @@ func mainE() int {
 }
 
 func run(o options) error {
-	if o.compare != "" && o.perfOut == "" {
-		return fmt.Errorf("-compare requires -perf")
+	if o.compare != "" && o.perfOut == "" && o.scaleOut == "" {
+		return fmt.Errorf("-compare requires -perf or -scaling")
+	}
+	if o.perfOut != "" && o.scaleOut != "" {
+		return fmt.Errorf("-perf and -scaling are separate suites; run them separately")
 	}
 	if o.perfOut == "" && o.shards != 4 {
 		return fmt.Errorf("-shards configures the -perf suite's sharded entries")
+	}
+	if o.scaleOut == "" && o.procs != 8 {
+		return fmt.Errorf("-procs configures the -scaling suite's GOMAXPROCS axis")
+	}
+	if o.scaleOut != "" {
+		if o.which != "" || o.quick || o.seeds > 0 || o.scale > 0 || o.jsonOut != "" || o.progress || o.parallel != 0 {
+			return fmt.Errorf("-scaling runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -parallel, -json and -progress")
+		}
+		if o.procs < 1 {
+			return fmt.Errorf("-procs must be at least 1")
+		}
+		fresh, err := runScale(o.scaleOut, o.procs)
+		if err != nil {
+			return err
+		}
+		if o.compare != "" {
+			baseline, err := loadPerf(o.compare)
+			if err != nil {
+				return err
+			}
+			if comparePerf(baseline, fresh, o.nsThresh) {
+				return fmt.Errorf("performance regressed against %s", o.compare)
+			}
+			fmt.Fprintf(os.Stderr, "mdstbench: no regression against %s\n", o.compare)
+		}
+		return nil
 	}
 	if o.perfOut != "" {
 		// The perf suite runs fixed workloads; only -parallel and -shards

@@ -13,6 +13,7 @@ import (
 	"mdegst/internal/mdst"
 	"mdegst/internal/sim"
 	"mdegst/internal/spanning"
+	"mdegst/internal/workload"
 )
 
 // The perf suite behind `mdstbench -perf`: a fixed-seed set of
@@ -31,6 +32,10 @@ type perfEntry struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Shards and Procs annotate the -scale suite's axis (0 on the classic
+	// perf entries, whose names already carry any width that matters).
+	Shards int `json:"shards,omitempty"`
+	Procs  int `json:"procs,omitempty"`
 }
 
 type perfReport struct {
@@ -122,21 +127,24 @@ func ratio(num, den int64) string {
 }
 
 // largeWorkloads are the scale tier the bounded-delay schedulers unlocked:
-// flood (pure engine throughput) over graphs from 4k to 100k nodes, run on
+// flood (pure engine throughput) over the catalog's 4k–100k graphs, run on
 // the unit-delay round engine. Generated lazily — they are the dominant
 // setup cost of the suite.
 func largeWorkloads() []struct {
 	name string
 	gen  func() *graph.Graph
 } {
-	return []struct {
+	out := make([]struct {
 		name string
 		gen  func() *graph.Graph
-	}{
-		{"flood/gnm-4096/event-engine", func() *graph.Graph { return graph.Gnm(4096, 16384, 1) }},
-		{"flood/ba-16384/event-engine", func() *graph.Graph { return graph.BarabasiAlbert(16384, 2, 1) }},
-		{"flood/grid-100k/event-engine", func() *graph.Graph { return graph.Grid(316, 316) }},
+	}, 0, len(workload.Large()))
+	for _, w := range workload.Large() {
+		out = append(out, struct {
+			name string
+			gen  func() *graph.Graph
+		}{"flood/" + w.Name + "/event-engine", w.Gen})
 	}
+	return out
 }
 
 func runPerf(path string, parallel, shards int) (*perfReport, error) {
@@ -198,8 +206,8 @@ func runPerf(path string, parallel, shards int) (*perfReport, error) {
 		base string
 		gen  func() *graph.Graph
 	}{
-		{"grid-100k", func() *graph.Graph { return graph.Grid(316, 316) }},
-		{"grid-1M", func() *graph.Graph { return graph.Grid(1000, 1000) }},
+		{"grid-100k", workload.Grid100k},
+		{"grid-1M", workload.Grid1M},
 	}
 	for _, w := range shardTier {
 		singleName := fmt.Sprintf("flood/%s/event-engine", w.base)

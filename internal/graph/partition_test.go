@@ -79,6 +79,139 @@ func TestPartitionInvariants(t *testing.T) {
 	}
 }
 
+// checkRefined asserts the invariants PartitionRefined promises: a valid
+// partition, every shard within the RefineSlack balance tolerance of its
+// balanced target, and a cut no worse than PartitionBFS on the same
+// snapshot.
+func checkRefined(t *testing.T, c *CSR, k int) *Partition {
+	t.Helper()
+	p := PartitionRefined(c, k)
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	n := c.N()
+	eff := p.Shards()
+	for s, sz := range p.Sizes() {
+		target := n / eff
+		if s < n%eff {
+			target++
+		}
+		slack := target / RefineSlack
+		if slack < 1 {
+			slack = 1
+		}
+		if sz < target-slack || sz > target+slack {
+			t.Fatalf("k=%d shard %d: size %d outside balance bounds [%d, %d]",
+				k, s, sz, target-slack, target+slack)
+		}
+	}
+	if bfs := PartitionBFS(c, k); p.CutEdges() > bfs.CutEdges() {
+		t.Fatalf("k=%d: refined cut %d exceeds BFS cut %d", k, p.CutEdges(), bfs.CutEdges())
+	}
+	return p
+}
+
+// TestPartitionRefinedInvariants runs the refined strategy over the
+// generator corpus: valid single ownership, balance within tolerance and
+// cut <= BFS at every shard count.
+func TestPartitionRefinedInvariants(t *testing.T) {
+	graphs := map[string]*Graph{
+		"ring":   Ring(17),
+		"grid":   Grid(16, 16),
+		"gnm":    Gnm(128, 400, 5),
+		"ba":     BarabasiAlbert(120, 2, 9),
+		"geo":    RandomGeometric(50, 0.3, 4),
+		"single": Ring(3),
+	}
+	for name, g := range graphs {
+		c := g.Compile()
+		for _, k := range []int{1, 2, 3, 4, 7, 8} {
+			t.Run(name, func(t *testing.T) {
+				checkRefined(t, c, k)
+			})
+		}
+	}
+}
+
+// TestPartitionRefinedDeterministic pins that refinement is a pure
+// function of the snapshot — identical owners across repeated and
+// concurrent construction (the sharded runtime's determinism depends on
+// every process computing the same partition).
+func TestPartitionRefinedDeterministic(t *testing.T) {
+	c := RandomGeometric(90, 0.25, 7).Compile()
+	for _, k := range []int{2, 4, 7} {
+		want := PartitionRefined(c, k).Owners()
+		results := make([][]int32, 8)
+		done := make(chan int)
+		for i := range results {
+			go func(i int) {
+				results[i] = PartitionRefined(c, k).Owners()
+				done <- i
+			}(i)
+		}
+		for range results {
+			<-done
+		}
+		for i, got := range results {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d: concurrent construction %d diverged", k, i)
+			}
+		}
+	}
+}
+
+// TestPartitionRefinedImprovesGrid checks the point of refinement on a
+// topology with an obvious good answer: on a grid the refined cut should
+// strictly beat BFS growth, which ignores cut size entirely.
+func TestPartitionRefinedImprovesGrid(t *testing.T) {
+	c := Grid(32, 32).Compile()
+	for _, k := range []int{4, 8} {
+		ref := PartitionRefined(c, k)
+		bfs := PartitionBFS(c, k)
+		if ref.CutEdges() >= bfs.CutEdges() {
+			t.Errorf("k=%d: refined cut %d does not improve on BFS cut %d",
+				k, ref.CutEdges(), bfs.CutEdges())
+		}
+	}
+}
+
+// TestPartitionStats exercises the inspection helpers against brute force.
+func TestPartitionStats(t *testing.T) {
+	c := Grid(10, 10).Compile()
+	p := PartitionRefined(c, 4)
+	sizes := p.Sizes()
+	total, max := 0, 0
+	for s, sz := range sizes {
+		if sz != len(p.Nodes(s)) {
+			t.Fatalf("Sizes()[%d] = %d, want %d", s, sz, len(p.Nodes(s)))
+		}
+		total += sz
+		if sz > max {
+			max = sz
+		}
+	}
+	if total != c.N() {
+		t.Fatalf("sizes sum to %d, want %d", total, c.N())
+	}
+	wantImb := float64(max) * float64(p.Shards()) / float64(c.N())
+	if p.Imbalance() != wantImb {
+		t.Fatalf("Imbalance() = %v, want %v", p.Imbalance(), wantImb)
+	}
+	bn := p.BoundaryNodes(c)
+	want := make([]int, p.Shards())
+	for i := 0; i < c.N(); i++ {
+		for _, j := range c.Neighbors(int32(i)) {
+			if p.Owner(int32(i)) != p.Owner(j) {
+				want[p.Owner(int32(i))]++
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(bn, want) {
+		t.Fatalf("BoundaryNodes() = %v, want %v", bn, want)
+	}
+}
+
 // TestPartitionContiguousRanges pins that contiguous shards are literal
 // dense-index ranges in shard order.
 func TestPartitionContiguousRanges(t *testing.T) {

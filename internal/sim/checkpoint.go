@@ -113,6 +113,7 @@ type Checkpoint struct {
 // captureReport freezes r's counters into ck, sorting the map-backed
 // breakdowns so the byte form is deterministic.
 func (ck *Checkpoint) captureReport(r *Report) {
+	r.syncHot() // fold any recordFast accumulators; the maps are read below
 	ck.Messages = r.Messages
 	ck.Words = r.Words
 	ck.MaxWords = r.MaxWords

@@ -255,6 +255,28 @@ func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Pr
 			err = recoverRun(p)
 		}
 	}()
+	dense, rep, err := e.runSnapshotDense(c, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return denseProtoMap(c.Index().IDs(), dense), rep, nil
+}
+
+// RunSnapshotDense is RunSnapshot returning the final protocol instances
+// dense-indexed (see DenseSnapshotEngine).
+func (e *EventEngine) RunSnapshotDense(c *graph.CSR, f Factory) (protos []Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = recoverRun(p)
+		}
+	}()
+	return e.runSnapshotDense(c, f)
+}
+
+// runSnapshotDense is the common body of RunSnapshot and RunSnapshotDense;
+// callers own panic recovery.
+func (e *EventEngine) runSnapshotDense(c *graph.CSR, f Factory) ([]Protocol, *Report, error) {
 	start := time.Now()
 	delay := e.Delay
 	maxMsgs := e.MaxMessages
@@ -316,11 +338,8 @@ func (e *EventEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]Pr
 	}
 	er.report.finalize()
 	er.report.Wall = time.Since(start)
-	protos = make(map[NodeID]Protocol, n)
-	for i, p := range scratch.protos {
-		protos[ids[i]] = p
-	}
-	return protos, er.report, nil
+	// Copy out of the pooled scratch: release clears its protocol slots.
+	return append([]Protocol(nil), scratch.protos...), er.report, nil
 }
 
 // Resume compiles g and continues a checkpointed run (see ResumeSnapshot).
@@ -352,8 +371,13 @@ func (e *EventEngine) ResumeSnapshot(c *graph.CSR, f Factory, ck *Checkpoint) (p
 	if maxMsgs == 0 {
 		maxMsgs = DefaultMaxMessages
 	}
-	return e.runRoundsFrom(c, f, maxMsgs, start, ck)
+	dense, rep, err := e.runRoundsFrom(c, f, maxMsgs, start, ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	return denseProtoMap(c.Index().IDs(), dense), rep, nil
 }
 
 var _ SnapshotEngine = (*EventEngine)(nil)
+var _ DenseSnapshotEngine = (*EventEngine)(nil)
 var _ ResumableEngine = (*EventEngine)(nil)

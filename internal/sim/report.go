@@ -45,6 +45,19 @@ type Report struct {
 	// rendering opcodes back to their registered kind strings.
 	kindRound map[kindRoundKey]int64
 	finalized bool
+
+	// The recordFast accumulators, armed by adoptDenseSent on the round
+	// engines' hot paths. sentDense counts sends by dense node index — one
+	// array increment per message instead of a map op on a 64-bit key —
+	// and (lastKey, lastCount) memoise the kindRound counter: deliveries
+	// of one round overwhelmingly share the (opcode, round) key, so the
+	// hot path bumps a scalar and touches the map only on key change.
+	// syncHot folds both into the public accumulators; finalize,
+	// MergeParallel and checkpoint capture all sync first.
+	sentDense []int64
+	sentIDs   []NodeID
+	lastKey   kindRoundKey
+	lastCount int64
 }
 
 // kindRoundKey is the allocation-free composite key of the hot-path
@@ -87,6 +100,76 @@ func (r *Report) record(from NodeID, m WireMsg, depth int64) {
 	r.SentBy[from]++
 }
 
+// adoptDenseSent arms the dense recordFast accumulators. slab must be
+// zeroed, sized len(ids), and remain owned by the caller (the engines
+// lend pooled scratch slabs); syncHot detaches it again, so a report that
+// escapes the run never pins pooled memory.
+func (r *Report) adoptDenseSent(slab []int64, ids []NodeID) {
+	r.sentDense = slab[:len(ids)]
+	r.sentIDs = ids
+}
+
+// recordKR accounts one delivery with the map ops taken off the
+// per-message path — all the scalar counters plus the memoised (opcode,
+// round) counter, but no sender accounting. The sharded round path uses
+// it directly: senders are counted at send time into the run's shared
+// dense slab, where each shard touches only its own nodes' entries.
+func (r *Report) recordKR(m WireMsg, depth int64) {
+	r.Messages++
+	if k := (kindRoundKey{m.Op, m.MsgRound()}); k == r.lastKey && r.lastCount > 0 {
+		r.lastCount++
+	} else {
+		if r.lastCount > 0 {
+			r.kindRound[r.lastKey] += r.lastCount
+		}
+		r.lastKey, r.lastCount = k, 1
+	}
+	w := m.Words()
+	r.Words += int64(w)
+	if w > r.MaxWords {
+		r.MaxWords = w
+	}
+	if depth > r.CausalDepth {
+		r.CausalDepth = depth
+	}
+}
+
+// recordFast is recordKR plus sender accounting by dense index into the
+// adopted slab. Callers must have armed adoptDenseSent.
+func (r *Report) recordFast(fromDense int32, m WireMsg, depth int64) {
+	r.recordKR(m, depth)
+	r.sentDense[fromDense]++
+}
+
+// syncMemo flushes the kindRound memo into the map.
+func (r *Report) syncMemo() {
+	if r.lastCount > 0 {
+		r.kindRound[r.lastKey] += r.lastCount
+		r.lastKey, r.lastCount = kindRoundKey{}, 0
+	}
+}
+
+// foldDense folds the dense send counts into the public SentBy map and
+// detaches the borrowed slab.
+func (r *Report) foldDense() {
+	if r.sentDense == nil {
+		return
+	}
+	for i, v := range r.sentDense {
+		if v != 0 {
+			r.SentBy[r.sentIDs[i]] += v
+		}
+	}
+	r.sentDense, r.sentIDs = nil, nil
+}
+
+// syncHot folds every recordFast accumulator into the map-backed state,
+// making kindRound and SentBy authoritative again.
+func (r *Report) syncHot() {
+	r.syncMemo()
+	r.foldDense()
+}
+
 // finalize materialises the public breakdown maps from the hot-path
 // accumulator: one string formatting per distinct (kind, round) pair instead
 // of one per message. Idempotent; engines call it once per run.
@@ -95,6 +178,7 @@ func (r *Report) finalize() {
 		return
 	}
 	r.finalized = true
+	r.syncHot()
 	for k, v := range r.kindRound {
 		kind := opKind(k.op)
 		r.ByKind[kind] += v
@@ -129,6 +213,21 @@ func (r *Report) MergeParallel(o *Report) {
 			r.ByKindRound[k] += v
 		}
 	} else {
+		o.syncMemo()
+		// Same-run shard reports share one dense send slab shape: sum them
+		// as vectors and defer the single map fold to finalize. A shape
+		// mismatch (or a plain-map accumulator on either side) falls back
+		// to folding o's slab and merging maps.
+		if o.sentDense != nil {
+			if r.sentDense != nil && len(r.sentDense) == len(o.sentDense) {
+				for i, v := range o.sentDense {
+					r.sentDense[i] += v
+				}
+				o.sentDense, o.sentIDs = nil, nil
+			} else {
+				o.foldDense()
+			}
+		}
 		for k, v := range o.kindRound {
 			r.kindRound[k] += v
 		}

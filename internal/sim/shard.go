@@ -92,31 +92,26 @@ type ShardedEngine struct {
 	Checkpoint *CheckpointSpec
 }
 
-// sendKey orders the messages of one delivery window canonically: by the
-// global rank of the delivery whose handler sent the message, then by the
-// send's position within that handler call. Sorting a round by sendKey
-// reproduces the single-engine append order exactly.
-type sendKey struct {
-	parent int64 // global rank of the sending delivery (dense node index for Init sends)
-	pos    int32 // index of this send within the sending handler call
-}
-
-func (k sendKey) less(o sendKey) bool {
-	if k.parent != o.parent {
-		return k.parent < o.parent
-	}
-	return k.pos < o.pos
-}
-
 // shardDelivery is one queued message of the sharded round path: a flat
-// record (key, endpoints, WireMsg) with no pointers, so outboxes are plain
-// slabs — refilled by append, consumed by indexed reads, merged by key
+// record (rank, endpoints, WireMsg) with no pointers, so outboxes are plain
+// slabs — refilled by append, consumed by indexed reads, merged by rank
 // comparisons, and invisible to the GC.
+//
+// rank is materialised in two steps. When the send is appended, rank holds
+// the global rank of the *sending* delivery (its dense node index during
+// Init) and pos the send's index within that handler call — the canonical
+// (parent rank, position) key. After the window barrier prefix-sums the
+// send counts, the rank phase rewrites rank in place to the delivery's own
+// global rank (off[parent] + pos). From then on ordering, delivery
+// accounting and checkpointing all read the single int64 — no per-message
+// offset-table lookup, no two-field key compare.
 type shardDelivery struct {
-	key     sendKey
-	from    NodeID
-	toLocal int32 // index of the destination in its owner shard's node list
-	msg     WireMsg
+	rank      int64
+	pos       int32 // index of this send within the sending handler call (dead after the rank phase)
+	fromDense int32
+	toLocal   int32 // index of the destination in its owner shard's node list
+	from      NodeID
+	msg       WireMsg
 }
 
 // shardRoundCtx is the Context handed to protocols on the sharded round
@@ -126,6 +121,7 @@ type shardDelivery struct {
 type shardRoundCtx struct {
 	shard     *roundShard
 	id        NodeID
+	dense     int32
 	neighbors []NodeID
 	nbrDense  []int32
 	rank      int64
@@ -143,12 +139,15 @@ func (c *shardRoundCtx) Send(to NodeID, m WireMsg) {
 	sh := c.shard
 	r := sh.run
 	toDense := c.nbrDense[ni]
-	dst := r.owner[toDense]
-	sh.out[r.writeParity][dst] = append(sh.out[r.writeParity][dst], shardDelivery{
-		key:     sendKey{parent: c.rank, pos: c.sends},
-		from:    c.id,
-		toLocal: r.local[toDense],
-		msg:     m,
+	loc := r.loc[toDense] // owner and local index in one load
+	r.sent[c.dense]++     // disjoint across shards: only c's owner writes c.dense
+	sh.out[r.writeParity][int32(loc>>32)] = append(sh.out[r.writeParity][int32(loc>>32)], shardDelivery{
+		rank:      c.rank,
+		pos:       c.sends,
+		fromDense: c.dense,
+		toLocal:   int32(loc),
+		from:      c.id,
+		msg:       m,
 	})
 	c.sends++
 }
@@ -176,6 +175,10 @@ type roundShard struct {
 	out    [2][][]shardDelivery // [parity][destination shard]
 	cur    []shardDelivery      // merged deliveries of the round in progress
 	heads  []int                // merge cursors, one per source shard
+	// Pad shards apart: each is written by exactly one worker per phase
+	// (append cursors, report counters), and without padding two shards'
+	// hot words can share a cache line and ping-pong between cores.
+	_ [64]byte
 }
 
 // shardedRoundRun is the state shared by all shards of one round-path run.
@@ -186,23 +189,30 @@ type shardedRoundRun struct {
 	shards      []roundShard
 	owner       []int32 // dense node -> shard
 	local       []int32 // dense node -> index in its shard's node list
+	loc         []int64 // dense node -> owner<<32 | local, one load on the send path
+	sent        []int64 // dense node -> messages sent, written only by the owner shard
 	ids         []NodeID
 	trace       func(TraceEvent)
 	round       int64
 	readParity  int
 	writeParity int
-	// off maps a current-round delivery's key to its global rank:
-	// rank = off[key.parent] + key.pos. cnt collects the send count of
-	// each current-round delivery at its rank; the barrier prefix-sums it
-	// into the next round's off.
+	workers     int
+	// off maps a queued delivery's (parent rank, pos) key to its global
+	// rank: rank = off[parent] + pos. cnt collects the send count of each
+	// current-round delivery at its rank; the barrier prefix-sums it into
+	// the next window's off, and the rank phase materialises the result
+	// into the outbox records so off is never read per message.
 	off []int64
 	cnt []int64
+	// chunkTot holds per-worker chunk totals of the parallel prefix scan.
+	chunkTot []int64
 }
 
 // gather merges the S source outboxes destined to this shard into cur,
-// ordered by sendKey — the canonical cross-shard merge order. Each source
-// list is already key-sorted (sources process their deliveries in rank
-// order and append), so this is an S-way sorted merge of flat records.
+// ordered by materialised global rank — the canonical cross-shard merge
+// order. Each source list is already rank-sorted (sources process their
+// deliveries in rank order and append; the rank phase is monotone), so
+// this is an S-way sorted merge of flat records on one int64.
 func (sh *roundShard) gather(parity int) {
 	r := sh.run
 	srcs := r.shards
@@ -212,15 +222,15 @@ func (sh *roundShard) gather(parity int) {
 	}
 	for {
 		best := -1
-		var bestKey sendKey
+		bestRank := int64(0)
 		for s := range srcs {
 			q := srcs[s].out[parity][sh.index]
 			h := sh.heads[s]
 			if h >= len(q) {
 				continue
 			}
-			if best < 0 || q[h].key.less(bestKey) {
-				best, bestKey = s, q[h].key
+			if best < 0 || q[h].rank < bestRank {
+				best, bestRank = s, q[h].rank
 			}
 		}
 		if best < 0 {
@@ -257,15 +267,17 @@ func (sh *roundShard) playInit() {
 }
 
 // playRound processes this shard's share of the current round: refresh the
-// write outboxes, then deliver the S incoming key-sorted streams in merged
-// (rank) order. The merge is fused with delivery and proceeds run by run:
-// pick the source with the minimal head key, then drain it up to the
-// smallest head key of the other sources — one key comparison per message,
-// a source tournament only at run boundaries. Runs are long when traffic
-// is shard-local (low cut fractions), and the fusion skips materialising a
-// merged buffer entirely. Per-delivery accounting goes to the shard's own
-// report; the send count lands in the shared cnt slice at the delivery's
-// rank (disjoint across shards by construction).
+// write outboxes, then deliver the S incoming rank-sorted streams in
+// merged order. The merge is fused with delivery and proceeds run by run:
+// pick the source with the minimal head rank, then drain it up to the
+// smallest head rank of the other sources — one int64 comparison per
+// message, a source tournament only at run boundaries. Runs are long when
+// traffic is shard-local (low cut fractions), and the fusion skips
+// materialising a merged buffer entirely. Ranks were materialised by the
+// rank phase, so delivery reads them straight off the record — no shared
+// offset-table lookup per message. Per-delivery accounting goes to the
+// shard's own report; the send count lands in the shared cnt slice at the
+// delivery's rank (disjoint across shards by construction).
 func (sh *roundShard) playRound() {
 	r := sh.run
 	sh.resetOut(r.writeParity)
@@ -277,43 +289,58 @@ func (sh *roundShard) playRound() {
 	rp := r.readParity
 	for {
 		best := -1
-		var bestKey sendKey
+		bestRank := int64(0)
 		for s := range srcs {
 			q := srcs[s].out[rp][sh.index]
 			if heads[s] >= len(q) {
 				continue
 			}
-			if k := q[heads[s]].key; best < 0 || k.less(bestKey) {
-				best, bestKey = s, k
+			if k := q[heads[s]].rank; best < 0 || k < bestRank {
+				best, bestRank = s, k
 			}
 		}
 		if best < 0 {
 			return
 		}
-		var limit sendKey
-		hasLimit := false
+		limit := int64(-1)
 		for s := range srcs {
 			if s == best || heads[s] >= len(srcs[s].out[rp][sh.index]) {
 				continue
 			}
-			if k := srcs[s].out[rp][sh.index][heads[s]].key; !hasLimit || k.less(limit) {
-				limit, hasLimit = k, true
+			if k := srcs[s].out[rp][sh.index][heads[s]].rank; limit < 0 || k < limit {
+				limit = k
 			}
 		}
 		q := srcs[best].out[rp][sh.index]
 		h := heads[best]
-		for h < len(q) && (!hasLimit || q[h].key.less(limit)) {
+		for h < len(q) && (limit < 0 || q[h].rank < limit) {
 			d := q[h]
 			h++
-			rank := r.off[d.key.parent] + int64(d.key.pos)
 			ctx := &sh.ctxs[d.toLocal]
-			ctx.rank = rank
+			ctx.rank = d.rank
 			ctx.sends = 0
-			sh.report.record(d.from, d.msg, r.round)
+			sh.report.recordKR(d.msg, r.round)
 			sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
-			r.cnt[rank] = int64(ctx.sends)
+			r.cnt[d.rank] = int64(ctx.sends)
 		}
 		heads[best] = h
+	}
+}
+
+// rankify rewrites this shard's just-filled outboxes (now at read parity)
+// from (parent rank, pos) form to materialised global ranks using the
+// offsets the barrier computed — the per-shard scatter half of the
+// parallel prefix-sum merge. The rewrite is monotone, so each outbox stays
+// sorted, and every later consumer (merge, delivery, checkpoint) reads a
+// single int64.
+func (sh *roundShard) rankify() {
+	r := sh.run
+	off := r.off
+	for d := range sh.out[r.readParity] {
+		q := sh.out[r.readParity][d]
+		for i := range q {
+			q[i].rank = off[q[i].rank] + int64(q[i].pos)
+		}
 	}
 }
 
@@ -334,14 +361,14 @@ func (r *shardedRoundRun) playRoundSerial() {
 	t := float64(r.round)
 	for {
 		best := -1
-		var bestKey sendKey
+		bestRank := int64(0)
 		for si := range r.shards {
 			cu := r.shards[si].cur
 			if cursors[si] >= len(cu) {
 				continue
 			}
-			if k := cu[cursors[si]].key; best < 0 || k.less(bestKey) {
-				best, bestKey = si, k
+			if k := cu[cursors[si]].rank; best < 0 || k < bestRank {
+				best, bestRank = si, k
 			}
 		}
 		if best < 0 {
@@ -350,28 +377,76 @@ func (r *shardedRoundRun) playRoundSerial() {
 		sh := &r.shards[best]
 		d := sh.cur[cursors[best]]
 		cursors[best]++
-		rank := r.off[d.key.parent] + int64(d.key.pos)
 		ctx := &sh.ctxs[d.toLocal]
-		ctx.rank = rank
+		ctx.rank = d.rank
 		ctx.sends = 0
-		sh.report.record(d.from, d.msg, r.round)
+		sh.report.recordKR(d.msg, r.round)
 		if r.trace != nil {
 			r.trace(TraceEvent{Time: t, Depth: r.round, From: d.from, To: ctx.id, Msg: d.msg})
 		}
 		sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
-		r.cnt[rank] = int64(ctx.sends)
+		r.cnt[d.rank] = int64(ctx.sends)
 	}
 }
 
-// barrier closes a delivery window: prefix-sum the send counts into the
-// next round's rank offsets, size the next count slice, flip the outbox
-// parities, and return how many deliveries the next round holds.
-func (r *shardedRoundRun) barrier() int64 {
+// scanCnt exclusive-prefix-sums cnt in place (serially) and returns the
+// total — cnt[i] becomes the global rank offset of delivery i's sends.
+func (r *shardedRoundRun) scanCnt() int64 {
 	var total int64
 	for i, c := range r.cnt {
 		r.cnt[i] = total
 		total += c
 	}
+	return total
+}
+
+// The parallel scan splits cnt into one contiguous chunk per worker:
+// scanChunk prefix-sums each chunk and records its total, combineChunks
+// exclusive-scans the W totals on the coordinator, shiftChunk adds each
+// chunk's base back in. Worth the two extra phase barriers only on wide
+// windows; parallelScanMin gates it (a variable so tests can force the
+// parallel path on small corpora).
+var parallelScanMin = 1 << 15
+
+func (r *shardedRoundRun) chunkBounds(w int) (lo, hi int) {
+	n := len(r.cnt)
+	return w * n / r.workers, (w + 1) * n / r.workers
+}
+
+func (r *shardedRoundRun) scanChunk(w int) {
+	lo, hi := r.chunkBounds(w)
+	var t int64
+	for i := lo; i < hi; i++ {
+		v := r.cnt[i]
+		r.cnt[i] = t
+		t += v
+	}
+	r.chunkTot[w] = t
+}
+
+func (r *shardedRoundRun) combineChunks() int64 {
+	var base int64
+	for w := 0; w < r.workers; w++ {
+		t := r.chunkTot[w]
+		r.chunkTot[w] = base
+		base += t
+	}
+	return base
+}
+
+func (r *shardedRoundRun) shiftChunk(w int) {
+	if b := r.chunkTot[w]; b != 0 {
+		lo, hi := r.chunkBounds(w)
+		for i := lo; i < hi; i++ {
+			r.cnt[i] += b
+		}
+	}
+}
+
+// finishBarrier completes a window barrier after cnt was prefix-summed:
+// swap the offsets in, size the next count slice, flip the outbox
+// parities, and return how many deliveries the next window holds.
+func (r *shardedRoundRun) finishBarrier(total int64) int64 {
 	r.off, r.cnt = r.cnt, r.off
 	if int64(cap(r.cnt)) < total {
 		r.cnt = make([]int64, total)
@@ -382,15 +457,6 @@ func (r *shardedRoundRun) barrier() int64 {
 	// one delivery next round.
 	r.readParity, r.writeParity = r.writeParity, r.readParity
 	return total
-}
-
-// delivered sums the deliveries accounted so far across the shard reports.
-func (r *shardedRoundRun) delivered() int64 {
-	var n int64
-	for si := range r.shards {
-		n += r.shards[si].report.Messages
-	}
-	return n
 }
 
 // shardedScratch pools the round-path state across runs, mirroring
@@ -430,6 +496,19 @@ func (s *shardedScratch) reset(c *graph.CSR, part *graph.Partition) {
 	}
 	s.run.cnt = s.run.cnt[:n]
 	s.run.off = s.run.off[:0]
+	if cap(s.run.loc) < n {
+		s.run.loc = make([]int64, n)
+	}
+	s.run.loc = s.run.loc[:n]
+	if cap(s.run.sent) < n {
+		s.run.sent = make([]int64, n)
+	}
+	s.run.sent = s.run.sent[:n]
+	clear(s.run.sent)
+	if cap(s.run.chunkTot) < S {
+		s.run.chunkTot = make([]int64, S)
+	}
+	s.run.chunkTot = s.run.chunkTot[:S]
 	s.run.round = 0
 	// Init writes parity 0; the first barrier swap makes round 1 read
 	// parity 0 and write parity 1.
@@ -508,6 +587,28 @@ func (e *ShardedEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]
 			err = recoverRun(p)
 		}
 	}()
+	dense, rep, err := e.runSnapshotDense(c, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return denseProtoMap(c.Index().IDs(), dense), rep, nil
+}
+
+// RunSnapshotDense is RunSnapshot returning the final protocol instances
+// dense-indexed (see DenseSnapshotEngine).
+func (e *ShardedEngine) RunSnapshotDense(c *graph.CSR, f Factory) (protos []Protocol, rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			protos, rep = nil, nil
+			err = recoverRun(p)
+		}
+	}()
+	return e.runSnapshotDense(c, f)
+}
+
+// runSnapshotDense is the common body of RunSnapshot and RunSnapshotDense;
+// callers own panic recovery.
+func (e *ShardedEngine) runSnapshotDense(c *graph.CSR, f Factory) ([]Protocol, *Report, error) {
 	start := time.Now()
 	part := e.Partition
 	S := e.Shards
@@ -531,7 +632,7 @@ func (e *ShardedEngine) RunSnapshot(c *graph.CSR, f Factory) (protos map[NodeID]
 		// One shard is the event engine, definitionally: the N-shard runs
 		// are trace-equivalent to this path.
 		ev := &EventEngine{Seed: e.Seed, Delay: e.Delay, FIFO: e.FIFO, MaxMessages: e.MaxMessages, Trace: e.Trace, Checkpoint: e.Checkpoint}
-		return ev.RunSnapshot(c, f)
+		return ev.runSnapshotDense(c, f)
 	}
 	if part == nil {
 		part = graph.PartitionContiguous(c, S)
@@ -595,7 +696,11 @@ func (e *ShardedEngine) ResumeSnapshot(c *graph.CSR, f Factory, ck *Checkpoint) 
 	if part == nil {
 		part = graph.PartitionContiguous(c, S)
 	}
-	return e.runShardedRounds(c, part, f, maxMsgs, start, ck)
+	dense, rep, err := e.runShardedRounds(c, part, f, maxMsgs, start, ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	return denseProtoMap(c.Index().IDs(), dense), rep, nil
 }
 
 // workerCount resolves the effective OS-level parallelism of the round
@@ -614,11 +719,22 @@ func (e *ShardedEngine) workerCount(shards int) int {
 	return w
 }
 
+// phaseKind names the barrier-separated parallel phases of a round window.
+type phaseKind uint8
+
+const (
+	phaseInit  phaseKind = iota // run Init over owned nodes
+	phaseRound                  // merge + deliver the window, refill outboxes
+	phaseRank                   // materialise global ranks into the outboxes
+	phaseScan                   // chunked prefix-sum of cnt (workers only)
+	phaseShift                  // add chunk bases after phaseScan (workers only)
+)
+
 // runShardedRounds is the unit-delay fast path: rounds execute as barrier-
 // separated parallel phases over the shard set (serial schedule when
 // tracing or when only one worker is available). With ck non-nil the run
 // resumes from that barrier instead of starting at Init.
-func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time, ck *Checkpoint) (map[NodeID]Protocol, *Report, error) {
+func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time, ck *Checkpoint) ([]Protocol, *Report, error) {
 	n := c.N()
 	S := part.Shards()
 	ids := c.Index().IDs()
@@ -629,13 +745,16 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	run.ids = ids
 	run.trace = e.Trace
 	run.owner = part.Owners()
+	run.workers = e.workerCount(S)
 	for si := range run.shards {
 		sh := &run.shards[si]
 		for li, v := range sh.nodes {
 			scratch.local[v] = int32(li)
+			run.loc[v] = int64(si)<<32 | int64(int32(li))
 			sh.ctxs[li] = shardRoundCtx{
 				shard:     sh,
 				id:        ids[v],
+				dense:     v,
 				neighbors: c.NeighborIDs(v),
 				nbrDense:  c.Neighbors(v),
 			}
@@ -644,15 +763,17 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	}
 	run.local = scratch.local
 
-	var runPhase func(init bool)
+	var runPhase func(phaseKind)
+	parallelScan := false
 	switch {
 	case e.Trace != nil:
 		// Traced schedule: one goroutine walks the merged streams in
 		// global rank order so every event fires at its exact position.
-		runPhase = func(init bool) {
-			if init {
+		runPhase = func(k phaseKind) {
+			switch k {
+			case phaseInit:
 				// Global dense order so Init-time Logf notes trace in the
-				// 1-shard order; sends are key-ordered regardless.
+				// 1-shard order; sends are rank-ordered regardless.
 				for v := int32(0); int(v) < n; v++ {
 					sh := &run.shards[run.owner[v]]
 					ctx := &sh.ctxs[run.local[v]]
@@ -661,19 +782,26 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 					sh.protos[run.local[v]].Init(ctx)
 					run.cnt[v] = int64(ctx.sends)
 				}
-				return
+			case phaseRound:
+				run.playRoundSerial()
+			case phaseRank:
+				for si := range run.shards {
+					run.shards[si].rankify()
+				}
 			}
-			run.playRoundSerial()
 		}
-	case e.workerCount(S) == 1:
+	case run.workers == 1:
 		// One worker (single-core host): the parallel schedule inline,
 		// shard by shard — same phases, no goroutine handoff.
-		runPhase = func(init bool) {
+		runPhase = func(k phaseKind) {
 			for si := range run.shards {
-				if init {
+				switch k {
+				case phaseInit:
 					run.shards[si].playInit()
-				} else {
+				case phaseRound:
 					run.shards[si].playRound()
+				case phaseRank:
+					run.shards[si].rankify()
 				}
 			}
 		}
@@ -681,13 +809,30 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		stop, phase := e.startWorkers(run)
 		defer stop()
 		runPhase = phase
+		parallelScan = true
+	}
+
+	// closeBarrier prefix-sums the window's send counts — chunk-parallel
+	// across the workers when the window is wide enough to amortise the
+	// two extra phase barriers — and flips the window state.
+	closeBarrier := func() int64 {
+		var total int64
+		if parallelScan && len(run.cnt) >= parallelScanMin {
+			runPhase(phaseScan)
+			total = run.combineChunks()
+			runPhase(phaseShift)
+		} else {
+			total = run.scanCnt()
+		}
+		return run.finishBarrier(total)
 	}
 
 	spec := e.Checkpoint
-	var total int64
+	var total, delivered int64
 	if ck == nil {
-		runPhase(true)
-		total = run.barrier()
+		runPhase(phaseInit)
+		total = closeBarrier()
+		runPhase(phaseRank)
 		if spec != nil && spec.Round == 0 {
 			// Barrier 0: the state right after Init, before any delivery.
 			return nil, nil, e.writeShardedCheckpoint(run, c, total)
@@ -696,9 +841,11 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		// Reseed the post-barrier state from the checkpoint: protocol
 		// states decode in their owner shards, the report counters land in
 		// shard 0 (the merge sums them back), and the pending slab refills
-		// the cross-shard outboxes — delivery i gets key (i, 0) and the
-		// rank offsets become the identity, so the canonical merge replays
-		// the slab in exactly its global send order.
+		// the cross-shard outboxes — delivery i arrives with its global
+		// rank i already materialised, so the canonical merge replays the
+		// slab in exactly its global send order. The dense send counters
+		// are credited per pending delivery: the checkpoint debited them
+		// when it froze the slab (SentBy counts delivered messages only).
 		protoView := make([]Protocol, n)
 		for si := range run.shards {
 			sh := &run.shards[si]
@@ -712,27 +859,25 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		ck.restoreReport(run.shards[0].report)
 		run.round = ck.Round
 		run.readParity, run.writeParity = 0, 1
-		if int64(cap(run.off)) < int64(len(ck.Pending)) {
-			run.off = make([]int64, len(ck.Pending))
-		}
-		run.off = run.off[:len(ck.Pending)]
 		if cap(run.cnt) < len(ck.Pending) {
 			run.cnt = make([]int64, len(ck.Pending))
 		}
 		run.cnt = run.cnt[:len(ck.Pending)]
 		ids := run.ids
 		for i, p := range ck.Pending {
-			run.off[i] = int64(i)
+			run.sent[p.From]++
 			src := &run.shards[run.owner[p.From]]
 			dst := run.owner[p.To]
 			src.out[run.readParity][dst] = append(src.out[run.readParity][dst], shardDelivery{
-				key:     sendKey{parent: int64(i)},
-				from:    ids[p.From],
-				toLocal: run.local[p.To],
-				msg:     p.Msg,
+				rank:      int64(i),
+				fromDense: p.From,
+				from:      ids[p.From],
+				toLocal:   run.local[p.To],
+				msg:       p.Msg,
 			})
 		}
 		total = int64(len(ck.Pending))
+		delivered = run.shards[0].report.Messages
 	}
 	for {
 		// Match the single-shard cap predicate at window granularity: the
@@ -740,21 +885,24 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		// the cap (it aborts before the maxMsgs+1-th delivery), so a
 		// window that crossed the cap errors here even if the protocol
 		// quiesced inside it.
-		if d := run.delivered(); d > maxMsgs || (d >= maxMsgs && total > 0) {
+		if delivered > maxMsgs || (delivered >= maxMsgs && total > 0) {
 			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
 		}
 		if total == 0 {
 			break
 		}
 		run.round++
-		runPhase(false)
-		total = run.barrier()
+		runPhase(phaseRound)
+		delivered += total
+		total = closeBarrier()
+		runPhase(phaseRank)
 		if spec != nil && run.round == spec.Round {
 			return nil, nil, e.writeShardedCheckpoint(run, c, total)
 		}
 	}
 
 	rep := newReport()
+	rep.adoptDenseSent(run.sent, ids)
 	for si := range run.shards {
 		rep.MergeParallel(run.shards[si].report)
 	}
@@ -762,11 +910,11 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	rep.VirtualTime = float64(run.round)
 	rep.finalize()
 	rep.Wall = time.Since(start)
-	protos := make(map[NodeID]Protocol, n)
+	protos := make([]Protocol, n)
 	for si := range run.shards {
 		sh := &run.shards[si]
 		for li, v := range sh.nodes {
-			protos[ids[v]] = sh.protos[li]
+			protos[v] = sh.protos[li]
 		}
 	}
 	return protos, rep, nil
@@ -774,12 +922,30 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 
 // writeShardedCheckpoint freezes the run at the just-closed barrier: the
 // outboxes at read parity hold the next round's deliveries (total of
-// them), off maps their parent keys to global ranks, and the shard
-// reports merge into the frozen counters. Writes to the armed spec and
-// returns ErrCheckpointed.
+// them) with their global ranks already materialised by the rank phase,
+// and the shard reports merge into the frozen counters. Writes to the
+// armed spec and returns ErrCheckpointed.
 func (e *ShardedEngine) writeShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) error {
 	ck := &Checkpoint{Round: run.round, N: c.N(), HalfEdges: c.HalfEdges()}
+	ck.Pending = make([]PendingDelivery, total)
+	for si := range run.shards {
+		src := &run.shards[si]
+		for d := range src.out[run.readParity] {
+			for _, del := range src.out[run.readParity][d] {
+				// Debit the dense send counter: SentBy counts delivered
+				// messages, and this one is frozen in flight (resume
+				// credits it back when reseeding the slab).
+				run.sent[del.fromDense]--
+				ck.Pending[del.rank] = PendingDelivery{
+					From: del.fromDense,
+					To:   run.shards[d].nodes[del.toLocal],
+					Msg:  del.msg,
+				}
+			}
+		}
+	}
 	merged := newReport()
+	merged.adoptDenseSent(run.sent, run.ids)
 	for si := range run.shards {
 		merged.MergeParallel(run.shards[si].report)
 	}
@@ -794,73 +960,96 @@ func (e *ShardedEngine) writeShardedCheckpoint(run *shardedRoundRun, c *graph.CS
 	if err := ck.encodeStates(protoView); err != nil {
 		return err
 	}
-	idx := c.Index()
-	ck.Pending = make([]PendingDelivery, total)
-	for si := range run.shards {
-		src := &run.shards[si]
-		for d := range src.out[run.readParity] {
-			for _, del := range src.out[run.readParity][d] {
-				rank := run.off[del.key.parent] + int64(del.key.pos)
-				ck.Pending[rank] = PendingDelivery{
-					From: idx.MustOf(del.from),
-					To:   run.shards[d].nodes[del.toLocal],
-					Msg:  del.msg,
-				}
-			}
-		}
-	}
 	if err := ck.Write(e.Checkpoint.W); err != nil {
 		return err
 	}
 	return ErrCheckpointed
 }
 
-// startWorkers launches the persistent phase workers of the parallel
-// schedule. Worker w drives shards w, w+W, w+2W, ... — a static assignment,
-// so which goroutine runs which shard never depends on timing. The
-// returned phase function blocks until every worker finished the phase and
-// re-raises the first (lowest-shard) protocol panic on the coordinator,
-// where RunSnapshot's recover converts it. stop must be called exactly
-// once to release the workers.
-func (e *ShardedEngine) startWorkers(run *shardedRoundRun) (stop func(), phase func(init bool)) {
-	S := len(run.shards)
-	W := e.workerCount(S)
-	type cmd struct{ init bool }
-	chans := make([]chan cmd, W)
-	panics := make([]any, S)
-	var wg sync.WaitGroup
-	for w := 0; w < W; w++ {
-		chans[w] = make(chan cmd)
-		go func(w int) {
-			for c := range chans[w] {
-				for si := w; si < S; si += W {
-					func() {
-						defer func() {
-							if p := recover(); p != nil {
-								panics[si] = p
-							}
-						}()
-						if c.init {
-							run.shards[si].playInit()
-						} else {
-							run.shards[si].playRound()
-						}
-					}()
+// runWorkerPhase executes worker w's slice of one phase. Shard phases use
+// the static assignment w, w+W, w+2W, ... — which goroutine runs which
+// shard never depends on timing — and wrap protocol code in a recover so
+// panics surface deterministically (lowest shard first). The scan phases
+// split the cnt slice into per-worker chunks instead; they run no
+// protocol code.
+func (r *shardedRoundRun) runWorkerPhase(k phaseKind, w int, panics []any) {
+	switch k {
+	case phaseScan:
+		r.scanChunk(w)
+	case phaseShift:
+		r.shiftChunk(w)
+	default:
+		S := len(r.shards)
+		for si := w; si < S; si += r.workers {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						panics[si] = p
+					}
+				}()
+				switch k {
+				case phaseInit:
+					r.shards[si].playInit()
+				case phaseRound:
+					r.shards[si].playRound()
+				case phaseRank:
+					r.shards[si].rankify()
 				}
+			}()
+		}
+	}
+}
+
+// startWorkers launches the persistent phase workers of the parallel
+// schedule. The coordinator publishes each phase with one generation bump
+// and a single condvar broadcast — W wakeups for one Broadcast instead of
+// W channel sends — and a WaitGroup closes the phase. The returned phase
+// function blocks until every worker finished and re-raises the first
+// (lowest-shard) protocol panic on the coordinator, where RunSnapshot's
+// recover converts it. stop must be called exactly once to release the
+// workers.
+func (e *ShardedEngine) startWorkers(run *shardedRoundRun) (stop func(), phase func(phaseKind)) {
+	S := len(run.shards)
+	W := run.workers
+	const phaseExit = phaseKind(255)
+	var (
+		mu   sync.Mutex
+		cond = sync.NewCond(&mu)
+		gen  uint64
+		kind phaseKind
+		wg   sync.WaitGroup
+	)
+	panics := make([]any, S)
+	for w := 0; w < W; w++ {
+		go func(w int) {
+			var seen uint64
+			for {
+				mu.Lock()
+				for gen == seen {
+					cond.Wait()
+				}
+				seen = gen
+				k := kind
+				mu.Unlock()
+				if k == phaseExit {
+					return
+				}
+				run.runWorkerPhase(k, w, panics)
 				wg.Done()
 			}
 		}(w)
 	}
-	stop = func() {
-		for _, ch := range chans {
-			close(ch)
-		}
+	post := func(k phaseKind) {
+		mu.Lock()
+		kind = k
+		gen++
+		cond.Broadcast()
+		mu.Unlock()
 	}
-	phase = func(init bool) {
+	stop = func() { post(phaseExit) }
+	phase = func(k phaseKind) {
 		wg.Add(W)
-		for _, ch := range chans {
-			ch <- cmd{init: init}
-		}
+		post(k)
 		wg.Wait()
 		for si := range panics {
 			if p := panics[si]; p != nil {
@@ -915,7 +1104,16 @@ func (c *shardWheelCtx) Send(to NodeID, m WireMsg) {
 	}
 	r.seq++
 	toDense := c.nbrDense[ni]
-	r.shards[r.owner[toDense]].wheel.push(event{t: t, seq: r.seq, depth: c.depth + 1, from: c.id, to: to, toDense: toDense, msg: m})
+	dst := r.owner[toDense]
+	ev := event{t: t, seq: r.seq, depth: c.depth + 1, from: c.id, to: to, toDense: toDense, msg: m}
+	r.shards[dst].wheel.push(ev)
+	// A cross-shard send can land ahead of the window limit the current
+	// shard is draining under; tighten the limit so the drain stops before
+	// overtaking it (the window invariant: other shards' heads only change
+	// through these pushes).
+	if dst != r.curShard && (!r.hasLimit || ev.before(r.limit)) {
+		r.limit, r.hasLimit = ev, true
+	}
 }
 
 func (c *shardWheelCtx) Logf(format string, args ...any) {
@@ -933,15 +1131,33 @@ type shardWheelRun struct {
 	owner  []int32
 	local  []int32
 	shards []wheelShard
+	// Speculative window state: curShard is the shard whose wheel is being
+	// drained, and limit the earliest event any other shard holds (tightened
+	// by cross-shard Sends mid-drain). The drain stops before its head
+	// reaches limit, so every pop is still the global (time, seq) minimum.
+	curShard int32
+	limit    event
+	hasLimit bool
 }
 
 // runShardedWheel executes the randomised-delay tier: every shard owns its
-// nodes' wheel, clamps and report, and the run pops the globally minimal
-// (time, seq) event across the shard wheels — the identical schedule, RNG
-// draw order and trace as EventEngine's single wheel, with partitioned
-// ownership. No lookahead exists below the unit bound (delays can be
-// arbitrarily small), so this path trades no exactness for parallelism.
-func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time) (map[NodeID]Protocol, *Report, error) {
+// nodes' wheel, clamps and report, and the run delivers events in the
+// global (time, seq) order — the identical schedule, RNG draw order and
+// trace as EventEngine's single wheel, with partitioned ownership.
+//
+// Rather than paying an S-way peek tournament per event, the run drains
+// speculative per-shard windows: the tournament picks the shard holding
+// the global minimum once, then pops that shard's wheel for as long as its
+// head stays before the earliest event any *other* shard holds (the window
+// limit). The invariant making this exact is that while one shard drains,
+// other shards' wheels change only through the draining shard's own
+// cross-shard sends — and Send tightens the limit whenever such a push
+// lands ahead of it. So at every pop the drained head is still the global
+// minimum, and the window costs one comparison per event instead of S
+// peeks. No lookahead exists below the unit bound (delays can be
+// arbitrarily small), so the windows close exactly at cross-shard event
+// times — speculation never reorders anything.
+func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f Factory, maxMsgs int64, start time.Time) ([]Protocol, *Report, error) {
 	n := c.N()
 	S := part.Shards()
 	ids := c.Index().IDs()
@@ -981,12 +1197,16 @@ func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f F
 		}
 	}
 	// All nodes start independently; Init runs at time zero in ID order.
+	// No window is open yet, so Init-time sends must not tighten a limit.
+	run.curShard = -1
 	for v := int32(0); int(v) < n; v++ {
 		sh := &run.shards[run.owner[v]]
 		sh.protos[run.local[v]].Init(&sh.ctxs[run.local[v]])
 	}
 	var delivered int64
 	for {
+		// Window tournament: find the shard holding the global minimum and
+		// the earliest head among the others — the window limit.
 		best := -1
 		var bestEv event
 		for si := range run.shards {
@@ -1001,24 +1221,43 @@ func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f F
 		if best < 0 {
 			break
 		}
-		if delivered >= maxMsgs {
-			return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+		run.hasLimit = false
+		for si := range run.shards {
+			if si == best || run.shards[si].wheel.empty() {
+				continue
+			}
+			if ev := run.shards[si].wheel.peek(); !run.hasLimit || ev.before(run.limit) {
+				run.limit, run.hasLimit = ev, true
+			}
 		}
+		run.curShard = int32(best)
 		sh := &run.shards[best]
-		ev := sh.wheel.pop()
-		li := run.local[ev.toDense]
-		ctx := &sh.ctxs[li]
-		ctx.now = ev.t
-		ctx.depth = ev.depth
-		sh.report.record(ev.from, ev.msg, ev.depth)
-		delivered++
-		if ev.t > sh.report.VirtualTime {
-			sh.report.VirtualTime = ev.t
+		for {
+			if delivered >= maxMsgs {
+				return nil, nil, fmt.Errorf("sim: exceeded %d messages; protocol livelock?", maxMsgs)
+			}
+			ev := sh.wheel.pop()
+			li := run.local[ev.toDense]
+			ctx := &sh.ctxs[li]
+			ctx.now = ev.t
+			ctx.depth = ev.depth
+			sh.report.record(ev.from, ev.msg, ev.depth)
+			delivered++
+			if ev.t > sh.report.VirtualTime {
+				sh.report.VirtualTime = ev.t
+			}
+			if run.trace != nil {
+				run.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
+			}
+			sh.protos[li].Recv(ctx, ev.from, ev.msg)
+			if sh.wheel.empty() {
+				break
+			}
+			if run.hasLimit && !sh.wheel.peek().before(run.limit) {
+				break
+			}
 		}
-		if run.trace != nil {
-			run.trace(TraceEvent{Time: ev.t, Depth: ev.depth, From: ev.from, To: ev.to, Msg: ev.msg})
-		}
-		sh.protos[li].Recv(ctx, ev.from, ev.msg)
+		run.curShard = -1
 	}
 	rep := newReport()
 	for si := range run.shards {
@@ -1027,15 +1266,16 @@ func (e *ShardedEngine) runShardedWheel(c *graph.CSR, part *graph.Partition, f F
 	rep.Shards = S
 	rep.finalize()
 	rep.Wall = time.Since(start)
-	protos := make(map[NodeID]Protocol, n)
+	protos := make([]Protocol, n)
 	for si := range run.shards {
 		sh := &run.shards[si]
 		for li, v := range part.Nodes(si) {
-			protos[ids[v]] = sh.protos[li]
+			protos[v] = sh.protos[li]
 		}
 	}
 	return protos, rep, nil
 }
 
 var _ SnapshotEngine = (*ShardedEngine)(nil)
+var _ DenseSnapshotEngine = (*ShardedEngine)(nil)
 var _ ResumableEngine = (*ShardedEngine)(nil)

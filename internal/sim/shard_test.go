@@ -446,3 +446,121 @@ func TestShardedOutboxAllocsFlat(t *testing.T) {
 			20, small, 400, large)
 	}
 }
+
+// TestShardedParallelScanEquivalence forces the chunk-parallel prefix scan
+// (normally gated to wide windows) onto the small corpus: with the
+// threshold dropped to one, every barrier runs the scan/shift phases
+// across the workers, and results must still equal the 1-shard engine
+// exactly.
+func TestShardedParallelScanEquivalence(t *testing.T) {
+	old := parallelScanMin
+	parallelScanMin = 1
+	defer func() { parallelScanMin = old }()
+	for gname, g := range shardCorpus() {
+		c := g.Compile()
+		want, wantRep, err := (&EventEngine{Delay: UnitDelay, FIFO: true}).RunSnapshot(c, tokenFactory(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			eng := &ShardedEngine{Shards: shards, Workers: shards, Delay: UnitDelay, FIFO: true}
+			got, gotRep, err := eng.RunSnapshot(c, tokenFactory(60))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEquivalent(t, gname+"/parallel-scan shards="+itoa(shards), gotRep, wantRep)
+			for v, p := range got {
+				if !reflect.DeepEqual(protoState(p), protoState(want[v])) {
+					t.Errorf("%s shards=%d: node %d state diverged", gname, shards, v)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRefinedPartitionEquivalence runs the unit-delay differential
+// corpus over PartitionRefined ownerships: the cut-minimizing partition
+// must be as trace-exact as the balanced ones at every shard count.
+func TestShardedRefinedPartitionEquivalence(t *testing.T) {
+	for gname, g := range shardCorpus() {
+		c := g.Compile()
+		want, wantRep, err := (&EventEngine{Delay: UnitDelay, FIFO: true}).RunSnapshot(c, tokenFactory(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 3, 5} {
+			part, err := graph.PartitionNamed(c, "refined", shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := &ShardedEngine{Partition: part, Workers: shards, Delay: UnitDelay, FIFO: true}
+			got, gotRep, err := eng.RunSnapshot(c, tokenFactory(60))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEquivalent(t, gname+"/refined shards="+itoa(shards), gotRep, wantRep)
+			for v, p := range got {
+				if !reflect.DeepEqual(protoState(p), protoState(want[v])) {
+					t.Errorf("%s shards=%d: node %d state diverged", gname, shards, v)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedWheelSpeculativeWindows stresses the speculative per-shard
+// window rule of the randomised-delay tier: near-zero delays make almost
+// every cross-shard send land inside the window being drained, so the
+// limit-tightening path (not just the tournament) decides the order. The
+// trace must match ReferenceEngine event for event, FIFO on and off, at
+// every shard count and for both partition strategies' traffic shapes.
+func TestShardedWheelSpeculativeWindows(t *testing.T) {
+	type step struct {
+		t       float64
+		seqFrom NodeID
+		seqTo   NodeID
+		kind    string
+	}
+	graphs := map[string]*graph.Graph{
+		"gnm":  graph.Gnm(40, 140, 5),
+		"grid": graph.Grid(6, 6),
+	}
+	delays := map[string]DelayFn{
+		"tiny":    UniformDelay(0), // delays collapse toward the Nextafter floor
+		"uniform": UniformDelay(0.3),
+	}
+	for gname, g := range graphs {
+		c := g.Compile()
+		for dname, d := range delays {
+			for _, fifo := range []bool{true, false} {
+				var want []step
+				ref := &ReferenceEngine{Delay: d, FIFO: fifo, Seed: 21,
+					Trace: func(ev TraceEvent) { want = append(want, step{ev.Time, ev.From, ev.To, ev.Msg.Kind()}) }}
+				_, wantRep, err := ref.RunSnapshot(c, func(id NodeID, _ []NodeID) Protocol { return &chatterNode{budget: 6} })
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{2, 4, 7} {
+					for _, strat := range []string{"contiguous", "refined"} {
+						part, err := graph.PartitionNamed(c, strat, shards)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var got []step
+						sh := &ShardedEngine{Partition: part, Delay: d, FIFO: fifo, Seed: 21,
+							Trace: func(ev TraceEvent) { got = append(got, step{ev.Time, ev.From, ev.To, ev.Msg.Kind()}) }}
+						_, gotRep, err := sh.RunSnapshot(c, func(id NodeID, _ []NodeID) Protocol { return &chatterNode{budget: 6} })
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := gname + "/" + dname + "/" + strat + "/shards=" + itoa(shards)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s fifo=%v: delivery traces diverge (%d vs %d events)", label, fifo, len(got), len(want))
+						}
+						reportsEquivalent(t, label, gotRep, wantRep)
+					}
+				}
+			}
+		}
+	}
+}

@@ -107,6 +107,51 @@ func RunCompiled(eng Engine, c *graph.CSR, f Factory) (map[NodeID]Protocol, *Rep
 	return eng.Run(c.Source(), f)
 }
 
+// DenseSnapshotEngine is implemented by engines whose snapshot path can hand
+// the final protocol instances back as a dense slice — protos[i] belongs to
+// c.Index().ID(i) — skipping the map materialisation of RunSnapshot. The
+// engines address all state densely anyway; on a million-node workload the
+// identity-keyed result map is the single largest allocation of a quiesced
+// run, and consumers like spanning tree extraction immediately index the
+// states densely again.
+type DenseSnapshotEngine interface {
+	SnapshotEngine
+	RunSnapshotDense(c *graph.CSR, f Factory) ([]Protocol, *Report, error)
+}
+
+// RunCompiledDense executes f over the snapshot on eng and returns the final
+// protocol instances dense-indexed. Engines implementing DenseSnapshotEngine
+// take the map-free path; anything else runs through RunCompiled and the map
+// result is folded down.
+func RunCompiledDense(eng Engine, c *graph.CSR, f Factory) ([]Protocol, *Report, error) {
+	if de, ok := eng.(DenseSnapshotEngine); ok {
+		return de.RunSnapshotDense(c, f)
+	}
+	byID, rep, err := RunCompiled(eng, c, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := c.Index()
+	protos := make([]Protocol, c.N())
+	for id, p := range byID {
+		di, ok := idx.Of(id)
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: engine returned state for node %d, not in the snapshot", id)
+		}
+		protos[di] = p
+	}
+	return protos, rep, nil
+}
+
+// denseProtoMap materialises the map view of a dense protocol slice.
+func denseProtoMap(ids []NodeID, protos []Protocol) map[NodeID]Protocol {
+	m := make(map[NodeID]Protocol, len(protos))
+	for i, p := range protos {
+		m[ids[i]] = p
+	}
+	return m
+}
+
 // TraceEvent describes one observable simulator step for tools that render
 // waves (for example the Figure 2 reproduction).
 type TraceEvent struct {

@@ -73,6 +73,56 @@ func Extract(g *graph.Graph, protos map[sim.NodeID]sim.Protocol) (*tree.Tree, er
 	return t, nil
 }
 
+// ExtractDense reads the tree out of dense-indexed final protocol states
+// (the sim.RunCompiledDense form: protos[i] belongs to c.Index().ID(i)) and
+// validates it as a spanning tree of the snapshot. It is Extract without
+// the intermediate identity-keyed maps: the parent table goes straight into
+// tree.FromParentDense and only the graph constraint — every parent link is
+// a real edge — is checked here, against the CSR.
+func ExtractDense(c *graph.CSR, protos []sim.Protocol) (*tree.Dense, error) {
+	idx := c.Index()
+	if len(protos) != c.N() {
+		return nil, fmt.Errorf("spanning: %d protocol states for %d nodes", len(protos), c.N())
+	}
+	parent := make([]int32, len(protos))
+	root := int32(-1)
+	roots := 0
+	for i, p := range protos {
+		tn, ok := p.(TreeNode)
+		if !ok {
+			return nil, fmt.Errorf("spanning: node %d protocol %T does not expose a tree", idx.ID(int32(i)), p)
+		}
+		if !tn.Finished() {
+			return nil, fmt.Errorf("spanning: node %d did not learn termination", idx.ID(int32(i)))
+		}
+		par, _, isRoot := tn.TreeInfo()
+		if isRoot {
+			root = int32(i)
+			roots++
+			parent[i] = tree.NoParent
+			continue
+		}
+		pi, ok := idx.Of(par)
+		if !ok {
+			return nil, fmt.Errorf("spanning: node %d reports parent %d, not in the snapshot", idx.ID(int32(i)), par)
+		}
+		parent[i] = pi
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("spanning: %d roots, want exactly 1", roots)
+	}
+	d, err := tree.FromParentDense(idx, root, parent)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range parent {
+		if p != tree.NoParent && !c.HasEdge(int32(i), p) {
+			return nil, fmt.Errorf("spanning: tree edge (%d,%d) not in graph", idx.ID(int32(i)), idx.ID(p))
+		}
+	}
+	return d, nil
+}
+
 // Build runs a spanning-tree protocol on the engine and extracts the tree.
 func Build(eng sim.Engine, g *graph.Graph, f sim.Factory) (*tree.Tree, *sim.Report, error) {
 	return BuildCompiled(eng, g.Compile(), f)
@@ -90,6 +140,24 @@ func BuildCompiled(eng sim.Engine, c *graph.CSR, f sim.Factory) (*tree.Tree, *si
 		return nil, nil, err
 	}
 	return t, rep, nil
+}
+
+// BuildCompiledDense is BuildCompiled on the dense path: the engine hands
+// the final states back as a slice (sim.DenseSnapshotEngine) and extraction
+// produces the tree in its dense working form directly, never touching an
+// identity-keyed map. The experiment harness startup step uses it so that
+// building the initial tree on a million-node workload costs a handful of
+// allocations rather than one per node.
+func BuildCompiledDense(eng sim.Engine, c *graph.CSR, f sim.Factory) (*tree.Dense, *sim.Report, error) {
+	protos, rep, err := sim.RunCompiledDense(eng, c, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := ExtractDense(c, protos)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, rep, nil
 }
 
 func removeID(ns []sim.NodeID, v sim.NodeID) []sim.NodeID {

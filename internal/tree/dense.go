@@ -84,6 +84,79 @@ func FromTree(t *Tree, idx *graph.Index) (*Dense, error) {
 	return d, nil
 }
 
+// FromParentDense builds a Dense tree directly from a dense parent table:
+// parent[i] is the dense parent of node i, NoParent at the root only. The
+// table is copied. This is the map-free analogue of FromParentMap followed
+// by FromTree — the extraction path of million-node runs — so validation
+// stays O(n) on flat arrays: a visit-stamp walk proves every node reaches
+// the root (equivalently, that the parent edges are acyclic).
+func FromParentDense(idx *graph.Index, root int32, parent []int32) (*Dense, error) {
+	n := idx.N()
+	if len(parent) != n {
+		return nil, fmt.Errorf("tree: parent table has %d entries, index %d", len(parent), n)
+	}
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("tree: root %d out of range", root)
+	}
+	if parent[root] != NoParent {
+		return nil, fmt.Errorf("tree: root %d has a parent", idx.ID(root))
+	}
+	d := &Dense{
+		idx:      idx,
+		root:     root,
+		parent:   append([]int32(nil), parent...),
+		children: make([][]int32, n),
+	}
+	counts := make([]int32, n)
+	for i := int32(0); int(i) < n; i++ {
+		p := d.parent[i]
+		if i == root {
+			continue
+		}
+		switch {
+		case p == NoParent:
+			return nil, fmt.Errorf("tree: node %d detached", idx.ID(i))
+		case p < 0 || int(p) >= n:
+			return nil, fmt.Errorf("tree: node %d has out-of-range parent %d", idx.ID(i), p)
+		case p == i:
+			return nil, fmt.Errorf("tree: node %d is its own parent", idx.ID(i))
+		}
+		counts[p]++
+	}
+	// Every non-root node has exactly one parent edge, so a walk up from any
+	// node either reaches the root or re-enters itself. Stamping each node
+	// with the pass that first visited it settles every node exactly once:
+	// hitting a node stamped by an earlier pass inherits that pass's proof.
+	state := make([]int32, n)
+	for i := int32(0); int(i) < n; i++ {
+		if state[i] != 0 || i == root {
+			continue
+		}
+		pass := i + 1
+		v := i
+		for v != root && state[v] == 0 {
+			state[v] = pass
+			v = d.parent[v]
+		}
+		if v != root && state[v] == pass {
+			return nil, fmt.Errorf("tree: cycle through node %d", idx.ID(v))
+		}
+	}
+	d.kidArena = make([]int32, n-1+1)
+	at := int32(0)
+	for i := int32(0); int(i) < n; i++ {
+		d.children[i] = d.kidArena[at:at:(at + counts[i])]
+		at += counts[i]
+	}
+	// Filling in ascending child order keeps every list sorted.
+	for i := int32(0); int(i) < n; i++ {
+		if p := d.parent[i]; p != NoParent {
+			d.children[p] = append(d.children[p], i)
+		}
+	}
+	return d, nil
+}
+
 // CompileDense builds the dense form of t over a fresh index of g.
 func CompileDense(t *Tree, g *graph.Graph) (*Dense, error) {
 	return FromTree(t, graph.NewIndex(g))

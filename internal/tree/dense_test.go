@@ -168,3 +168,70 @@ func TestDenseWalkSubtree(t *testing.T) {
 		}
 	}
 }
+
+// TestFromParentDenseMatchesFromTree checks the direct dense constructor
+// against the FromTree conversion on random spanning trees: same parents,
+// same sorted children, and both validate against the snapshot.
+func TestFromParentDenseMatchesFromTree(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(1),
+		graph.Path(2),
+		graph.Ring(9),
+		graph.Grid(7, 5),
+		graph.Gnp(40, 0.15, 7),
+		graph.BarabasiAlbert(60, 3, 9),
+	}
+	for gi, g := range graphs {
+		c := g.Compile()
+		idx := c.Index()
+		for seed := int64(0); seed < 4; seed++ {
+			tr := randomSpanningTree(t, g, seed*31+int64(gi))
+			want, err := FromTree(tr, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parent := make([]int32, idx.N())
+			for i := range parent {
+				parent[i] = want.Parent(int32(i))
+			}
+			got, err := FromParentDense(idx, want.Root(), parent)
+			if err != nil {
+				t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+			}
+			if err := got.Validate(c); err != nil {
+				t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+			}
+			requireSame(t, tr, got, "FromParentDense")
+		}
+	}
+}
+
+// TestFromParentDenseRejects exercises every validation branch of the dense
+// constructor: length and root mismatches, detached nodes, self-loops,
+// out-of-range parents and cycles (including cycles off the root component).
+func TestFromParentDenseRejects(t *testing.T) {
+	idx := graph.Ring(6).Compile().Index()
+	cases := map[string]struct {
+		root   int32
+		parent []int32
+	}{
+		"short table":     {0, []int32{NoParent, 0}},
+		"root range":      {9, []int32{NoParent, 0, 1, 2, 3, 4}},
+		"rooted root":     {0, []int32{5, 0, 1, 2, 3, 4}},
+		"detached":        {0, []int32{NoParent, 0, 1, NoParent, 3, 4}},
+		"self parent":     {0, []int32{NoParent, 0, 2, 2, 3, 4}},
+		"out of range":    {0, []int32{NoParent, 0, 1, 99, 3, 4}},
+		"two cycle":       {0, []int32{NoParent, 0, 3, 2, 3, 4}},
+		"long cycle":      {0, []int32{NoParent, 0, 3, 4, 5, 3}},
+		"negative parent": {0, []int32{NoParent, 0, 1, -7, 3, 4}},
+	}
+	for name, tc := range cases {
+		if _, err := FromParentDense(idx, tc.root, tc.parent); err == nil {
+			t.Errorf("%s: accepted invalid parent table", name)
+		}
+	}
+	// And the happy path on the same index, for contrast.
+	if _, err := FromParentDense(idx, 2, []int32{1, 2, NoParent, 2, 3, 4}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
