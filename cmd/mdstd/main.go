@@ -18,20 +18,32 @@
 //	mdstd -config cluster.json -launch          # spawn the whole cluster over loopback
 //	mdstd -config cluster.json -launch -json -  # ... and print the mdstrun-compatible JSON
 //
-// Crash recovery: -checkpoint FILE -checkpoint-round R freezes the
-// improvement phase at round barrier R (process 0 writes FILE, all
-// processes stop after the commit is acknowledged); -resume FILE restarts
-// the cluster from the file — every process reads it — and finishes the
-// run with results bitwise-identical to an uninterrupted one.
+// Crash recovery (DESIGN.md §11): -checkpoint FILE -checkpoint-round R
+// freezes the improvement phase at round barrier R (process 0 writes FILE,
+// all processes stop after the commit is acknowledged); -resume FILE
+// restarts the cluster from the file. -checkpoint-dir DIR -checkpoint-every
+// K instead commits a recovery point every K rounds while the cluster keeps
+// running, and -launch -restarts N turns the coordinator into a supervisor:
+// when the cluster fails it is relaunched on fresh ports from the latest
+// committed recovery point (or from scratch when none exists), up to N
+// times, converging to results bitwise-identical to an uninterrupted run.
+// SIGINT/SIGTERM stop a cluster gracefully: the round in flight finishes,
+// a final checkpoint is committed when one is armed, and every process
+// exits 0.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	gonet "net"
 	"os"
 	"os/exec"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mdegst"
@@ -72,17 +84,42 @@ type graphSpec struct {
 	Seed   int64   `json:"seed"`
 }
 
+// runOptions carries the command line shared by the coordinator and the
+// worker processes.
+type runOptions struct {
+	jsonOut   string
+	ckptOut   string
+	ckptRnd   int64
+	ckptDir   string
+	ckptEvery int64
+	ckptKeep  int
+	resume    string
+	faults    string
+	heartbeat time.Duration
+	liveness  time.Duration
+	timeout   time.Duration
+	restarts  int
+}
+
 func main() {
 	var (
 		cfgPath = flag.String("config", "", "topology config file (JSON; required)")
 		id      = flag.Int("id", -1, "this process's id in the cluster (required unless -launch)")
-		launch  = flag.Bool("launch", false, "coordinator mode: rewrite the config with fresh loopback ports, spawn every process, wait for all")
-		jsonOut = flag.String("json", "", "write the mdstrun-compatible JSON summary to this file (\"-\" for stdout; process 0 / launcher)")
-		ckptOut = flag.String("checkpoint", "", "freeze the improvement phase at -checkpoint-round; process 0 writes the checkpoint file here")
-		ckptRnd = flag.Int64("checkpoint-round", 2, "round barrier the -checkpoint freeze happens at (0: right after Init)")
-		resume  = flag.String("resume", "", "resume the improvement phase from this checkpoint file (readable by every process)")
-		timeout = flag.Duration("timeout", 30*time.Second, "mesh establishment deadline")
+		launch  = flag.Bool("launch", false, "coordinator mode: rewrite the config with fresh loopback ports, spawn every process, supervise the cluster")
+		opts    runOptions
 	)
+	flag.StringVar(&opts.jsonOut, "json", "", "write the mdstrun-compatible JSON summary to this file (\"-\" for stdout; process 0 / launcher)")
+	flag.StringVar(&opts.ckptOut, "checkpoint", "", "freeze the improvement phase at -checkpoint-round; process 0 writes the checkpoint file here")
+	flag.Int64Var(&opts.ckptRnd, "checkpoint-round", 2, "round barrier the -checkpoint freeze happens at (0: right after Init)")
+	flag.StringVar(&opts.ckptDir, "checkpoint-dir", "", "periodic mode: directory of committed recovery points (process 0 writes; the supervisor restarts from the latest)")
+	flag.Int64Var(&opts.ckptEvery, "checkpoint-every", 0, "periodic mode: commit a recovery point every K improvement rounds (requires -checkpoint-dir)")
+	flag.IntVar(&opts.ckptKeep, "checkpoint-keep", 3, "periodic mode: retain the newest K recovery points")
+	flag.StringVar(&opts.resume, "resume", "", "resume the improvement phase from this checkpoint file (readable by every process)")
+	flag.StringVar(&opts.faults, "faults", "", "deterministic fault injection plan (chaos testing; see internal/net.ParseFaultPlan)")
+	flag.DurationVar(&opts.heartbeat, "heartbeat", 500*time.Millisecond, "peer liveness beacon interval (0 disables)")
+	flag.DurationVar(&opts.liveness, "liveness", 10*time.Second, "declare a peer down after this long without evidence of life (0 disables)")
+	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "mesh establishment deadline")
+	flag.IntVar(&opts.restarts, "restarts", 0, "supervisor mode: relaunch a failed cluster up to this many times from the latest recovery point")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -92,12 +129,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *ckptOut != "" && *resume != "" {
+	if opts.ckptOut != "" && opts.resume != "" {
 		fatal(fmt.Errorf("-checkpoint and -resume are mutually exclusive"))
+	}
+	if opts.ckptOut != "" && opts.ckptDir != "" {
+		fatal(fmt.Errorf("-checkpoint (freeze) and -checkpoint-dir (periodic) are mutually exclusive"))
+	}
+	if opts.ckptEvery > 0 && opts.ckptDir == "" {
+		fatal(fmt.Errorf("-checkpoint-every requires -checkpoint-dir"))
+	}
+	if opts.ckptDir != "" && opts.ckptEvery <= 0 {
+		fatal(fmt.Errorf("-checkpoint-dir requires -checkpoint-every"))
+	}
+	if _, err := net.ParseFaultPlan(opts.faults); err != nil {
+		fatal(err)
 	}
 
 	if *launch {
-		if err := launchCluster(cfg, *jsonOut, *ckptOut, *ckptRnd, *resume, *timeout); err != nil {
+		if err := superviseCluster(cfg, opts); err != nil {
 			fatal(err)
 		}
 		return
@@ -105,7 +154,7 @@ func main() {
 	if *id < 0 || *id >= len(cfg.Addrs) {
 		fatal(fmt.Errorf("-id must be in [0, %d)", len(cfg.Addrs)))
 	}
-	if err := runProcess(cfg, *id, *jsonOut, *ckptOut, *ckptRnd, *resume, *timeout); err != nil {
+	if err := runProcess(cfg, *id, opts); err != nil {
 		fatal(err)
 	}
 }
@@ -158,8 +207,10 @@ func (cfg *clusterConfig) mode() (mdst.Mode, error) {
 }
 
 // runProcess is the daemon proper: establish the mesh, run the pipeline,
-// and let process 0 report.
-func runProcess(cfg *clusterConfig, id int, jsonOut, ckptOut string, ckptRnd int64, resume string, timeout time.Duration) error {
+// and let process 0 report. SIGINT/SIGTERM latch a stop request that the
+// cluster honours at the next round barrier, so the process exits 0 after
+// a final checkpoint commit instead of dying mid-barrier.
+func runProcess(cfg *clusterConfig, id int, opts runOptions) error {
 	c, owner, err := cfg.compile()
 	if err != nil {
 		return err
@@ -168,19 +219,44 @@ func runProcess(cfg *clusterConfig, id int, jsonOut, ckptOut string, ckptRnd int
 	if err != nil {
 		return err
 	}
-	p := net.Pipeline{Mode: mode, Target: cfg.Target, MaxMessages: cfg.MaxMessages, CheckpointRound: -1}
+	faults, err := net.ParseFaultPlan(opts.faults)
+	if err != nil {
+		return err
+	}
+
+	var stopFlag atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		for range sigc {
+			stopFlag.Store(true)
+		}
+	}()
+
+	p := net.Pipeline{Mode: mode, Target: cfg.Target, MaxMessages: cfg.MaxMessages,
+		CheckpointRound: -1, Stop: stopFlag.Load}
 	var ckptFile *os.File
-	if ckptOut != "" {
-		p.CheckpointRound = ckptRnd
+	if opts.ckptOut != "" {
+		p.CheckpointRound = opts.ckptRnd
 		if id == 0 {
-			if ckptFile, err = os.Create(ckptOut); err != nil {
+			if ckptFile, err = os.Create(opts.ckptOut); err != nil {
 				return err
 			}
 			p.CheckpointW = ckptFile
 		}
 	}
-	if resume != "" {
-		f, err := os.Open(resume)
+	if opts.ckptDir != "" {
+		p.CheckpointEvery = opts.ckptEvery
+		if id == 0 {
+			if err := os.MkdirAll(opts.ckptDir, 0o755); err != nil {
+				return err
+			}
+			p.CheckpointSink = &sim.CheckpointDir{Dir: opts.ckptDir, Keep: opts.ckptKeep}
+		}
+	}
+	if opts.resume != "" {
+		f, err := os.Open(opts.resume)
 		if err != nil {
 			return err
 		}
@@ -197,7 +273,10 @@ func runProcess(cfg *clusterConfig, id int, jsonOut, ckptOut string, ckptRnd int
 		return err
 	}
 	t := net.NewTransport(ln, id, cfg.Addrs, net.Fingerprint{Procs: len(cfg.Addrs), N: c.N(), HalfEdges: c.HalfEdges()})
-	if err := t.Establish(timeout); err != nil {
+	t.Heartbeat = opts.heartbeat
+	t.Liveness = opts.liveness
+	t.Faults = faults
+	if err := t.Establish(opts.timeout); err != nil {
 		return err
 	}
 	defer t.Close()
@@ -214,11 +293,15 @@ func runProcess(cfg *clusterConfig, id int, jsonOut, ckptOut string, ckptRnd int
 	if id != 0 {
 		return nil
 	}
-	if res.Checkpointed {
-		fmt.Printf("improvement frozen at round barrier %d -> %s (resume with -resume %s)\n", ckptRnd, ckptOut, ckptOut)
+	if res.Stopped {
+		fmt.Println("cluster stopped gracefully at a round barrier (final checkpoint committed where armed)")
 		return nil
 	}
-	return report(cfg, c, res, jsonOut)
+	if res.Checkpointed {
+		fmt.Printf("improvement frozen at round barrier %d -> %s (resume with -resume %s)\n", opts.ckptRnd, opts.ckptOut, opts.ckptOut)
+		return nil
+	}
+	return report(cfg, c, res, opts.jsonOut)
 }
 
 // report prints process 0's run summary and optionally the
@@ -276,24 +359,77 @@ func partitionName(s string) string {
 	return s
 }
 
-// launchCluster is coordinator mode: pick fresh loopback ports, write a
-// concrete config next to the original, spawn one child per process and
-// wait for the whole cluster. Child 0 inherits stdout (and the -json /
-// -checkpoint flags); all children share stderr.
-func launchCluster(cfg *clusterConfig, jsonOut, ckptOut string, ckptRnd int64, resume string, timeout time.Duration) error {
+// superviseCluster is coordinator mode grown into a supervisor: launch the
+// cluster, and when it fails relaunch it — fresh loopback ports, the
+// latest committed recovery point as the resume source, injected faults
+// dropped after the first attempt (a deterministic fault would otherwise
+// re-fire forever) — up to the restart budget, with backoff between
+// attempts. A cluster stopped by SIGINT/SIGTERM is not restarted.
+func superviseCluster(cfg *clusterConfig, opts runOptions) error {
+	if opts.ckptDir != "" {
+		if err := os.MkdirAll(opts.ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var stopRequested atomic.Bool
+	backoff := 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		attemptOpts := opts
+		if attempt > 0 {
+			// Injected faults fire on the first attempt only: the plan is
+			// deterministic, so a recovered run replaying the same barriers
+			// would just crash the same way again.
+			attemptOpts.faults = ""
+			attemptOpts.resume = ""
+			if opts.ckptDir != "" {
+				d := &sim.CheckpointDir{Dir: opts.ckptDir}
+				if path, round, ok, err := d.Latest(); err != nil {
+					return fmt.Errorf("scanning %s for recovery points: %w", opts.ckptDir, err)
+				} else if ok {
+					fmt.Fprintf(os.Stderr, "mdstd: restarting from the checkpoint committed at round %d\n", round)
+					attemptOpts.resume = path
+				} else {
+					fmt.Fprintln(os.Stderr, "mdstd: no committed checkpoint; restarting from scratch")
+				}
+			}
+		}
+		err := launchOnce(cfg, attemptOpts, &stopRequested)
+		if err == nil {
+			return nil
+		}
+		if stopRequested.Load() || attempt >= opts.restarts {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mdstd: cluster attempt %d failed: %v\nmdstd: restarting in %v (%d of %d restarts used)\n",
+			attempt+1, err, backoff, attempt+1, opts.restarts)
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// launchOnce runs the cluster once: pick fresh loopback ports, write a
+// concrete config, spawn one child per process, forward stop signals, and
+// wait for everyone. Child 0 inherits stdout (and the -json / checkpoint
+// flags); every child's stderr is teed into a bounded tail so a failure
+// surfaces its context instead of an opaque exit code. All children are
+// reaped on every path.
+func launchOnce(cfg *clusterConfig, opts runOptions, stopRequested *atomic.Bool) error {
 	k := len(cfg.Addrs)
 	addrs, err := freeLoopbackAddrs(k)
 	if err != nil {
 		return err
 	}
-	cfg.Addrs = addrs
+	launched := *cfg
+	launched.Addrs = addrs
 	dir, err := os.MkdirTemp("", "mdstd-launch-")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
 	concrete := dir + "/cluster.json"
-	data, err := json.MarshalIndent(cfg, "", "  ")
+	data, err := json.MarshalIndent(&launched, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -306,33 +442,69 @@ func launchCluster(cfg *clusterConfig, jsonOut, ckptOut string, ckptRnd int64, r
 		return err
 	}
 	cmds := make([]*exec.Cmd, k)
+	tails := make([]*tailWriter, k)
 	for i := 0; i < k; i++ {
-		args := []string{"-config", concrete, "-id", fmt.Sprint(i), "-timeout", timeout.String()}
-		if resume != "" {
-			args = append(args, "-resume", resume)
+		args := []string{"-config", concrete, "-id", fmt.Sprint(i),
+			"-timeout", opts.timeout.String(),
+			"-heartbeat", opts.heartbeat.String(),
+			"-liveness", opts.liveness.String()}
+		if opts.resume != "" {
+			args = append(args, "-resume", opts.resume)
 		}
-		if ckptOut != "" {
-			args = append(args, "-checkpoint", ckptOut, "-checkpoint-round", fmt.Sprint(ckptRnd))
+		if opts.ckptOut != "" {
+			args = append(args, "-checkpoint", opts.ckptOut, "-checkpoint-round", fmt.Sprint(opts.ckptRnd))
 		}
-		if i == 0 && jsonOut != "" {
-			args = append(args, "-json", jsonOut)
+		if opts.ckptDir != "" {
+			args = append(args, "-checkpoint-dir", opts.ckptDir,
+				"-checkpoint-every", fmt.Sprint(opts.ckptEvery),
+				"-checkpoint-keep", fmt.Sprint(opts.ckptKeep))
+		}
+		if opts.faults != "" {
+			args = append(args, "-faults", opts.faults)
+		}
+		if i == 0 && opts.jsonOut != "" {
+			args = append(args, "-json", opts.jsonOut)
 		}
 		cmd := exec.Command(exe, args...)
-		cmd.Stderr = os.Stderr
+		tails[i] = &tailWriter{max: 4096}
+		cmd.Stderr = io.MultiWriter(os.Stderr, tails[i])
 		if i == 0 {
 			cmd.Stdout = os.Stdout
 		}
 		if err := cmd.Start(); err != nil {
-			stopAll(cmds[:i])
+			reapAll(cmds[:i])
 			return fmt.Errorf("spawning process %d: %w", i, err)
 		}
 		cmds[i] = cmd
 	}
+
+	// Forward stop signals so `kill <supervisor>` stops the whole cluster
+	// gracefully; the supervisor itself survives to collect the exits.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		for s := range sigc {
+			stopRequested.Store(true)
+			for _, cmd := range cmds {
+				if cmd != nil && cmd.Process != nil {
+					cmd.Process.Signal(s)
+				}
+			}
+		}
+	}()
+
 	var firstErr error
 	for i, cmd := range cmds {
 		if err := cmd.Wait(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("process %d: %w", i, err)
+			firstErr = fmt.Errorf("process %d: %w%s", i, err, tails[i].context())
 		}
+	}
+	if firstErr != nil {
+		// One failure dooms the barrier protocol cluster-wide: reap every
+		// child still running rather than letting survivors hang out their
+		// liveness timers.
+		reapAll(cmds)
 	}
 	return firstErr
 }
@@ -360,12 +532,46 @@ func freeLoopbackAddrs(k int) ([]string, error) {
 	return addrs, nil
 }
 
-func stopAll(cmds []*exec.Cmd) {
+// reapAll kills and waits for every started child, so no failure path
+// leaks a zombie or a process still bound to the cluster's ports.
+func reapAll(cmds []*exec.Cmd) {
 	for _, cmd := range cmds {
 		if cmd != nil && cmd.Process != nil {
 			cmd.Process.Kill()
 		}
 	}
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Wait()
+		}
+	}
+}
+
+// tailWriter keeps the last max bytes written — the child stderr context
+// attached to a cluster failure.
+type tailWriter struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func (w *tailWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	if len(w.buf) > w.max {
+		w.buf = append(w.buf[:0], w.buf[len(w.buf)-w.max:]...)
+	}
+	return len(p), nil
+}
+
+func (w *tailWriter) context() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf) == 0 {
+		return ""
+	}
+	return "\nstderr tail:\n" + string(w.buf)
 }
 
 func fatal(err error) {

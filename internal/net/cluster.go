@@ -36,10 +36,23 @@ type Pipeline struct {
 	CheckpointRound int64
 	// CheckpointW receives the checkpoint file on process 0.
 	CheckpointW io.Writer
+	// CheckpointEvery, when > 0, arms the periodic cadence instead: the
+	// improvement phase commits a recovery point through CheckpointSink at
+	// every barrier whose round is a positive multiple of Every and keeps
+	// running. Composes with Resume — the recovered run re-commits its
+	// later cadence barriers byte-identically.
+	CheckpointEvery int64
+	// CheckpointSink receives periodic commits on process 0 (a
+	// *sim.CheckpointDir in production).
+	CheckpointSink sim.CheckpointSink
 	// Resume, when non-nil, continues a checkpointed improvement run
 	// (every process must be handed the same checkpoint — each reads the
 	// file itself; no state is redistributed).
 	Resume *sim.Checkpoint
+	// Stop, polled at round barriers, requests a graceful cluster-wide
+	// stop: the pipeline finishes the round in flight, commits a final
+	// checkpoint when checkpointing is armed, and returns with Stopped set.
+	Stop func() bool
 }
 
 // PipelineResult is the outcome of one distributed pipeline run.
@@ -47,6 +60,10 @@ type PipelineResult struct {
 	// Checkpointed reports that the improvement phase froze at the armed
 	// barrier (Result is nil; Initial and Setup are still populated).
 	Checkpointed bool
+	// Stopped reports a graceful cluster-wide stop before completion
+	// (Result is nil; Initial and Setup are populated when the stop hit
+	// the improvement phase, nil when it hit the flood build).
+	Stopped bool
 	// Initial is the flood spanning tree, Setup its message accounting.
 	Initial *tree.Tree
 	Setup   *sim.Report
@@ -61,27 +78,32 @@ type PipelineResult struct {
 // protocols only flood implements.
 func RunPipeline(t *Transport, c *graph.CSR, owner []int32, p Pipeline) (*PipelineResult, error) {
 	if p.Resume != nil && p.CheckpointRound >= 0 {
-		return nil, fmt.Errorf("net: pipeline cannot checkpoint and resume at once")
+		return nil, fmt.Errorf("net: pipeline cannot freeze-checkpoint and resume at once")
 	}
-	eng := &DistEngine{T: t, Owner: owner, MaxMessages: p.MaxMessages}
+	if p.CheckpointEvery > 0 && p.CheckpointRound >= 0 {
+		return nil, fmt.Errorf("net: pipeline cannot freeze and commit periodically at once")
+	}
+	eng := &DistEngine{T: t, Owner: owner, MaxMessages: p.MaxMessages, Stop: p.Stop}
 	root := c.Source().Nodes()[0]
 	initial, setup, err := spanning.BuildCompiled(eng, c, spanning.NewFloodFactory(root))
+	if errors.Is(err, sim.ErrStopped) {
+		return &PipelineResult{Stopped: true}, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("net: flood phase: %w", err)
 	}
 	out := &PipelineResult{Initial: initial, Setup: setup}
-	if p.Resume != nil {
-		res, err := mdst.ResumeTargetSnapshot(eng, c, initial, p.Mode, p.Target, p.Resume)
-		if err != nil {
-			return nil, fmt.Errorf("net: improvement resume: %w", err)
-		}
-		out.Result = res
-		return out, nil
-	}
-	if p.CheckpointRound >= 0 {
+	if p.CheckpointEvery > 0 {
+		eng.Checkpoint = &sim.CheckpointSpec{Every: p.CheckpointEvery, Sink: p.CheckpointSink}
+	} else if p.CheckpointRound >= 0 && p.Resume == nil {
 		eng.Checkpoint = &sim.CheckpointSpec{Round: p.CheckpointRound, W: p.CheckpointW}
 	}
-	res, err := mdst.RunTargetSnapshot(eng, c, initial, p.Mode, p.Target)
+	var res *mdst.Result
+	if p.Resume != nil {
+		res, err = mdst.ResumeTargetSnapshot(eng, c, initial, p.Mode, p.Target, p.Resume)
+	} else {
+		res, err = mdst.RunTargetSnapshot(eng, c, initial, p.Mode, p.Target)
+	}
 	switch {
 	case err == nil:
 		out.Result = res
@@ -89,7 +111,14 @@ func RunPipeline(t *Transport, c *graph.CSR, owner []int32, p Pipeline) (*Pipeli
 	case errors.Is(err, sim.ErrCheckpointed):
 		out.Checkpointed = true
 		return out, nil
+	case errors.Is(err, sim.ErrStopped):
+		out.Stopped = true
+		return out, nil
 	default:
-		return nil, fmt.Errorf("net: improvement phase: %w", err)
+		phase := "improvement phase"
+		if p.Resume != nil {
+			phase = "improvement resume"
+		}
+		return nil, fmt.Errorf("net: %s: %w", phase, err)
 	}
 }

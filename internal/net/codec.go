@@ -13,19 +13,27 @@ import (
 // skewed frame fails with a typed *FrameError instead of corrupting a
 // run or taking the process down (FuzzFrameCodec pins this).
 
+// roundFlagStop is the graceful-stop bit of a round frame's flags: the
+// sender has a stop request latched. Every process ORs all K flags of a
+// barrier, so the cluster agrees on the stop at the same barrier.
+const roundFlagStop = uint64(1)
+
 // roundMsg is one process's barrier contribution: which run and round it
-// belongs to, the (rank, send count) pairs of the deliveries the sender
-// played, and the delivery batch destined to the receiving process.
+// belongs to, its control flags, the (rank, send count) pairs of the
+// deliveries the sender played, and the delivery batch destined to the
+// receiving process.
 type roundMsg struct {
 	seq    uint64
 	round  int64
+	flags  uint64
 	counts []sim.RankCount
 	batch  []sim.OutMsg
 }
 
-func appendRoundMsg(b []byte, seq uint64, round int64, counts []sim.RankCount, batch []sim.OutMsg, t *WireTable) []byte {
+func appendRoundMsg(b []byte, seq uint64, round int64, flags uint64, counts []sim.RankCount, batch []sim.OutMsg, t *WireTable) []byte {
 	b = appendUvarint(b, seq)
 	b = appendVarint(b, round)
+	b = appendUvarint(b, flags)
 	b = appendUvarint(b, uint64(len(counts)))
 	for _, c := range counts {
 		b = appendVarint(b, c.Rank)
@@ -46,6 +54,9 @@ func parseRoundMsg(payload []byte, t *WireTable) (*roundMsg, error) {
 		return nil, err
 	}
 	if m.round, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if m.flags, err = r.uvarint(); err != nil {
 		return nil, err
 	}
 	nc, err := r.count(2)

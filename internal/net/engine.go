@@ -1,6 +1,7 @@
 package net
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -40,16 +41,30 @@ type DistEngine struct {
 	// granularity exactly like the sharded engine (0 means
 	// sim.DefaultMaxMessages).
 	MaxMessages int64
-	// Checkpoint, when non-nil, freezes the run at the barrier after round
+	// Checkpoint, when non-nil, arms barrier checkpointing. Freeze mode
+	// (Every == 0) stops the run at the barrier after round
 	// Checkpoint.Round: the peers upload their shards to process 0, which
 	// assembles and writes a file byte-identical to the in-process
 	// engines' (Checkpoint.W is used on process 0 only) and acknowledges
-	// the commit before anyone stops.
+	// the commit before anyone stops. Periodic mode (Every > 0) runs the
+	// same commit protocol at every barrier whose round is a positive
+	// multiple of Every, with process 0 writing through Checkpoint.Sink,
+	// and the cluster keeps running — there is always a recent recovery
+	// point.
 	Checkpoint *sim.CheckpointSpec
+	// Stop, polled at each barrier, requests a graceful cluster-wide stop:
+	// the process latches the request into its round frames' stop flag,
+	// every process ORs the barrier's K flags, and on agreement the run
+	// commits a final checkpoint (when Checkpoint is armed) and returns
+	// sim.ErrStopped at the same barrier everywhere — no process dies
+	// mid-barrier.
+	Stop func() bool
 
 	// seq numbers the runs driven over this engine's transport, separating
 	// the phases' frames on the shared connections.
 	seq uint64
+	// stopLatched makes the stop request sticky across barriers and runs.
+	stopLatched bool
 }
 
 // Run compiles g and executes the protocol (see RunSnapshot).
@@ -99,12 +114,13 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 		streams   [][]sim.OutMsg
 		round     int64
 		delivered int64
+		stop      bool
 	)
 	if ck == nil {
 		r.PlayInit()
-		off, total, streams, err = e.barrier(r, seq, 0, int64(c.N()))
+		off, total, streams, stop, err = e.barrier(r, seq, 0, int64(c.N()))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, decorateBarrier(err, 0)
 		}
 	} else {
 		// Reseed from the checkpoint: full state plane everywhere, the
@@ -137,8 +153,39 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 
 	spec := e.Checkpoint
 	for {
-		if spec != nil && round == spec.Round && ck == nil {
-			return nil, nil, e.checkpoint(r, c, seq, round, off, total)
+		// An armed crash fault is honoured first: the process abandons the
+		// run abruptly, tearing its connections down mid-protocol — the
+		// chaos tests' stand-in for a real crash.
+		if t.Faults != nil && t.Faults.crashAt(t.Self(), int64(seq), round) {
+			t.Close()
+			return nil, nil, &InjectedCrashError{Run: int64(seq), Round: round}
+		}
+		// A barrier-agreed stop outranks everything but quiescence: commit
+		// a final recovery point when checkpointing is armed, then stop
+		// cleanly on every process at this same barrier.
+		if stop && total > 0 {
+			if spec != nil {
+				if err := e.commit(r, c, seq, round, off, total); err != nil {
+					return nil, nil, decorateBarrier(err, round)
+				}
+			}
+			return nil, nil, sim.ErrStopped
+		}
+		if spec != nil && ck == nil {
+			if spec.Every > 0 {
+				// Periodic cadence: commit at every positive multiple of
+				// Every and keep running.
+				if round > 0 && round%spec.Every == 0 {
+					if err := e.commit(r, c, seq, round, off, total); err != nil {
+						return nil, nil, decorateBarrier(err, round)
+					}
+				}
+			} else if round == spec.Round {
+				if err := e.commit(r, c, seq, round, off, total); err != nil {
+					return nil, nil, decorateBarrier(err, round)
+				}
+				return nil, nil, sim.ErrCheckpointed
+			}
 		}
 		// The sharded cap predicate at barrier granularity: delivered and
 		// total are barrier-agreed values, so every process takes the same
@@ -152,12 +199,12 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 		round++
 		r.PlayRound(round, off, streams)
 		delivered += total
-		off, total, streams, err = e.barrier(r, seq, round, total)
+		off, total, streams, stop, err = e.barrier(r, seq, round, total)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, decorateBarrier(err, round)
 		}
 		// A checkpoint barrier reached by replaying past a resume must not
-		// re-freeze; only the original run's spec round fires above.
+		// re-commit; only barriers beyond the resume point fire above.
 		if ck != nil && round > ck.Round {
 			ck = nil
 		}
@@ -165,27 +212,47 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 	return e.finish(r, c, seq, round, start)
 }
 
-// barrier closes one phase: broadcast this process's rank counts and
-// per-peer delivery batches, collect every peer's, scatter all counts into
-// the rank slab and prefix-sum it into the next round's offsets. Returns
-// the offsets, the next round's delivery total and the key-sorted incoming
-// streams (the process's own loopback outbox, copied, plus one batch per
-// peer).
-func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int64) ([]int64, int64, [][]sim.OutMsg, error) {
+// decorateBarrier stamps a liveness failure with the last barrier the
+// local process completed, turning "peer down" into "peer down since
+// barrier r" for the operator.
+func decorateBarrier(err error, round int64) error {
+	var pd *PeerDownError
+	if errors.As(err, &pd) && pd.Barrier < 0 {
+		pd.Barrier = round
+	}
+	return err
+}
+
+// barrier closes one phase: broadcast this process's rank counts, control
+// flags and per-peer delivery batches, collect every peer's, scatter all
+// counts into the rank slab and prefix-sum it into the next round's
+// offsets. Returns the offsets, the next round's delivery total, the
+// key-sorted incoming streams (the process's own loopback outbox, copied,
+// plus one batch per peer) and the OR of the barrier's stop flags — the
+// same value on every process, so a graceful stop is a cluster-wide
+// agreement, not a race.
+func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int64) ([]int64, int64, [][]sim.OutMsg, bool, error) {
 	t := e.T
 	self := t.Self()
 	counts := r.Counts()
+	if e.Stop != nil && e.Stop() {
+		e.stopLatched = true
+	}
+	var flags uint64
+	if e.stopLatched {
+		flags |= roundFlagStop
+	}
 	for q := 0; q < t.Procs(); q++ {
 		if q == self {
 			continue
 		}
-		body := appendRoundMsg(nil, seq, round, counts, r.Outbox(q), t.Table())
+		body := appendRoundMsg(nil, seq, round, flags, counts, r.Outbox(q), t.Table())
 		if err := t.Send(q, frameRound, body); err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, false, err
 		}
 	}
 	if err := t.FlushAll(); err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, false, err
 	}
 
 	// The loopback stream must outlive the next PlayRound's outbox reset.
@@ -205,30 +272,32 @@ func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int
 		return nil
 	}
 	if err := scatter(counts); err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, false, err
 	}
+	stop := flags&roundFlagStop != 0
 	for q := 0; q < t.Procs(); q++ {
 		if q == self {
 			continue
 		}
 		m, err := e.recvRound(q, seq, round)
 		if err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, false, err
 		}
 		if err := scatter(m.counts); err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, false, err
 		}
+		stop = stop || m.flags&roundFlagStop != 0
 		streams = append(streams, m.batch)
 	}
 	if covered != rankSpace {
-		return nil, 0, nil, &FrameError{Type: frameRound, Reason: fmt.Sprintf("barrier covered %d of %d delivery ranks", covered, rankSpace)}
+		return nil, 0, nil, false, &FrameError{Type: frameRound, Reason: fmt.Sprintf("barrier covered %d of %d delivery ranks", covered, rankSpace)}
 	}
 	var total int64
 	for i, c := range cnt {
 		cnt[i] = total
 		total += c
 	}
-	return cnt, total, streams, nil
+	return cnt, total, streams, stop, nil
 }
 
 // recvRound reads the peer's round frame for (seq, round). Per-peer FIFO
@@ -335,14 +404,17 @@ func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 	return r.FinalProtos(), merged, nil
 }
 
-// checkpoint freezes the run at the just-closed barrier. Peers upload
-// their shard — counters, owned states and the key-sorted stream of all
-// deliveries they sent into the frozen round — to process 0, which decodes
-// the full state plane, merges the counters, reconstructs the global
-// pending slab by the canonical key merge, writes the file (byte-identical
-// to the in-process engines' by construction) and acknowledges the commit.
-// Everyone returns sim.ErrCheckpointed.
-func (e *DistEngine) checkpoint(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, off []int64, total int64) error {
+// commit runs the distributed checkpoint protocol at the just-closed
+// barrier. Peers upload their shard — counters, owned states and the
+// key-sorted stream of all deliveries they sent into the frozen round — to
+// process 0, which decodes the full state plane, merges the counters,
+// reconstructs the global pending slab by the canonical key merge, stores
+// the file (byte-identical to the in-process engines' by construction —
+// durably through the spec's Sink when set, else to its W) and
+// acknowledges the commit. Returns nil on success; the caller decides
+// whether the run stops (freeze, graceful stop) or continues (periodic
+// cadence).
+func (e *DistEngine) commit(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, off []int64, total int64) error {
 	t := e.T
 	self := t.Self()
 	// This process's complete send set, merged across its per-destination
@@ -377,10 +449,10 @@ func (e *DistEngine) checkpoint(r *sim.DistRunner, c *graph.CSR, seq uint64, rou
 		if ackSeq != seq || ackRound != round {
 			return &FrameError{Type: typ, Reason: fmt.Sprintf("checkpoint ack for run %d round %d, expected run %d round %d", ackSeq, ackRound, seq, round)}
 		}
-		return sim.ErrCheckpointed
+		return nil
 	}
 
-	if e.Checkpoint.W == nil {
+	if e.Checkpoint.Sink == nil && e.Checkpoint.W == nil {
 		return &sim.CheckpointError{Reason: "coordinator has no checkpoint writer"}
 	}
 	merged := sim.NewReport()
@@ -437,7 +509,11 @@ func (e *DistEngine) checkpoint(r *sim.DistRunner, c *graph.CSR, seq uint64, rou
 	if placed != total {
 		return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("checkpoint gathered %d of %d pending deliveries", placed, total)}
 	}
-	if err := ck.Write(e.Checkpoint.W); err != nil {
+	if sink := e.Checkpoint.Sink; sink != nil {
+		if err := sink.Commit(round, ck.Write); err != nil {
+			return err
+		}
+	} else if err := ck.Write(e.Checkpoint.W); err != nil {
 		return err
 	}
 	for q := 1; q < t.Procs(); q++ {
@@ -448,7 +524,7 @@ func (e *DistEngine) checkpoint(r *sim.DistRunner, c *graph.CSR, seq uint64, rou
 	if err := t.FlushAll(); err != nil {
 		return err
 	}
-	return sim.ErrCheckpointed
+	return nil
 }
 
 // collectOutboxes snapshots every per-destination outbox of the phase.

@@ -30,6 +30,7 @@ const (
 	frameFinal   = byte(3) // quiescence all-gather: report counters + owned states
 	frameCkpt    = byte(4) // checkpoint shard upload to the coordinator
 	frameCkptAck = byte(5) // coordinator's checkpoint commit acknowledgement
+	frameHeart   = byte(6) // liveness beacon: sender's data-frame count for this peer
 )
 
 // MaxFrameSize bounds a single frame's payload. Large runs batch many
@@ -104,7 +105,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, &FrameError{Reason: "truncated frame payload"}
 	}
 	typ := buf[0]
-	if typ < frameHello || typ > frameCkptAck {
+	if typ < frameHello || typ > frameHeart {
 		return 0, nil, &FrameError{Type: typ, Reason: "unknown frame type"}
 	}
 	return typ, buf[1:], nil

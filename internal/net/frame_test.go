@@ -143,12 +143,12 @@ func TestRoundMsgRoundTrip(t *testing.T) {
 	batch := []sim.OutMsg{
 		{Parent: 3, Pos: 1, From: 2, To: 9, Msg: wireSample(table, sampleIdx(table))},
 	}
-	payload := appendRoundMsg(nil, 11, 4, counts, batch, table)
+	payload := appendRoundMsg(nil, 11, 4, roundFlagStop, counts, batch, table)
 	m, err := parseRoundMsg(payload, table)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.seq != 11 || m.round != 4 {
+	if m.seq != 11 || m.round != 4 || m.flags != roundFlagStop {
 		t.Fatalf("header lost: %+v", m)
 	}
 	if len(m.counts) != 2 || m.counts[0] != counts[0] || m.counts[1] != counts[1] {
@@ -198,7 +198,7 @@ func FuzzFrameCodec(f *testing.F) {
 	states := []ownedState{{dense: 0, blob: []byte{1, 2, 3}}}
 
 	f.Add(appendFrame(nil, frameHello, appendHello(nil, 0, fp, table)))
-	f.Add(appendFrame(nil, frameRound, appendRoundMsg(nil, 1, 0, []sim.RankCount{{Rank: 0, Count: 1}}, batch, table)))
+	f.Add(appendFrame(nil, frameRound, appendRoundMsg(nil, 1, 0, 0, []sim.RankCount{{Rank: 0, Count: 1}}, batch, table)))
 	f.Add(appendFrame(nil, frameFinal, appendFinalMsg(nil, 1, counters, states, table)))
 	f.Add(appendFrame(nil, frameCkpt, appendCkptMsg(nil, 1, 2, counters, states, batch, table)))
 	f.Add(appendFrame(nil, frameCkptAck, appendCkptAck(nil, 1, 2)))

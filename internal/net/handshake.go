@@ -20,8 +20,10 @@ import (
 // wrong cluster, wrong graph) fails fast with a typed *HandshakeError
 // before any protocol traffic flows.
 
-// handshakeVersion is the plane's wire-protocol version.
-const handshakeVersion = 1
+// handshakeVersion is the plane's wire-protocol version. Version 2 added
+// a flags uvarint to round frames (the graceful-stop bit) and the
+// heartbeat frame type.
+const handshakeVersion = 2
 
 // handshakeMagic opens every hello payload.
 var handshakeMagic = [8]byte{'M', 'D', 'S', 'T', 'N', 'E', 'T', '1'}

@@ -7,6 +7,7 @@ import (
 	"io"
 	gonet "net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,9 +32,26 @@ type Transport struct {
 	ln    gonet.Listener
 	peers []*peerConn // indexed by process id; nil at self
 
+	// Heartbeat, when > 0, emits a liveness beacon to every peer at this
+	// interval once the mesh is established. Each beacon carries the
+	// sender's data-frame count for that peer, so the receiver can tell a
+	// quiet-but-alive peer from a link that lost frames. Set before
+	// Establish; off by default.
+	Heartbeat time.Duration
+	// Liveness, when > 0, bounds how long Recv blocks without evidence the
+	// peer is healthy: total silence for Liveness, or heartbeats claiming
+	// more frames than arrived while Recv starved for Liveness, yields a
+	// *PeerDownError instead of hanging. Set before Establish; off by
+	// default.
+	Liveness time.Duration
+	// Faults, when non-nil, arms deterministic send-side fault injection
+	// (chaos tests only). Set before Establish; nil by default.
+	Faults *FaultPlan
+
 	done      chan struct{}
 	closeOnce sync.Once
 	readers   sync.WaitGroup
+	hbeats    sync.WaitGroup
 }
 
 // ErrTransportClosed reports an operation on a transport whose Close has
@@ -58,6 +76,18 @@ type peerConn struct {
 	in   chan frame
 	mu   sync.Mutex
 	err  error
+
+	// wmu serialises the engine's buffered writes with heartbeat writes;
+	// uncontended when heartbeats are off.
+	wmu sync.Mutex
+	// faultSeq numbers outgoing data frames for the fault plan (engine
+	// goroutine only).
+	faultSeq int64
+
+	sent     atomic.Int64 // data frames sent (the heartbeat claim)
+	recvData atomic.Int64 // data frames received
+	claim    atomic.Int64 // peer's latest claimed sent count
+	lastRecv atomic.Int64 // unix nanos of the last frame of any type
 }
 
 func (p *peerConn) setErr(err error) {
@@ -119,13 +149,19 @@ func (t *Transport) Establish(timeout time.Duration) error {
 	if t.ln != nil {
 		t.ln.Close()
 	}
+	now := time.Now().UnixNano()
 	for id, p := range t.peers {
 		if p == nil {
 			continue
 		}
 		p.conn.SetDeadline(time.Time{})
+		p.lastRecv.Store(now)
 		t.readers.Add(1)
 		go t.readLoop(id, p)
+		if t.Heartbeat > 0 {
+			t.hbeats.Add(1)
+			go t.heartbeatLoop(p)
+		}
 	}
 	return nil
 }
@@ -135,7 +171,7 @@ func (t *Transport) establish(deadline time.Time) error {
 	// startup order: a dial succeeds as soon as the peer is bound, even
 	// before it calls Accept, so sequential dialing cannot deadlock.
 	for q := 0; q < t.self; q++ {
-		conn, err := dialRetry(t.addrs[q], deadline)
+		conn, err := t.dialRetry(t.addrs[q], deadline)
 		if err != nil {
 			return fmt.Errorf("net: dialing process %d at %s: %w", q, t.addrs[q], err)
 		}
@@ -209,23 +245,57 @@ func (t *Transport) register(id int, conn gonet.Conn) {
 	}
 }
 
-func dialRetry(addr string, deadline time.Time) (gonet.Conn, error) {
-	for {
-		conn, err := gonet.DialTimeout("tcp", addr, time.Until(deadline))
-		if err == nil {
-			return conn, nil
+// errDialRefused is an injected dial failure from the fault plan.
+var errDialRefused = errors.New("net: dial refused (injected)")
+
+// dialRetry dials addr until it succeeds or the overall deadline passes,
+// with capped exponential backoff plus deterministic jitter between
+// attempts. Every wait — including the dial's own timeout — is bounded by
+// the remaining budget, so Establish never overshoots the caller's
+// deadline no matter how many peers are slow.
+func (t *Transport) dialRetry(addr string, deadline time.Time) (gonet.Conn, error) {
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("deadline exceeded before first attempt")
+			}
+			return nil, fmt.Errorf("net: dial %s: deadline exceeded after %d attempts: %w", addr, attempt, lastErr)
 		}
-		if time.Now().After(deadline) {
-			return nil, err
+		if t.Faults != nil && t.Faults.refuseDial(attempt) {
+			lastErr = errDialRefused
+		} else {
+			conn, err := gonet.DialTimeout("tcp", addr, remaining)
+			if err == nil {
+				return conn, nil
+			}
+			lastErr = err
 		}
-		time.Sleep(20 * time.Millisecond)
+		// Jitter up to half the backoff, deterministic in (self, attempt) so
+		// two processes dialing one listener desynchronise without shared
+		// randomness.
+		sleep := backoff + time.Duration(splitmix64(uint64(t.self)<<32|uint64(uint32(attempt)))%uint64(backoff/2+1))
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+		if rem := time.Until(deadline); sleep > rem {
+			sleep = rem
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
 	}
 }
 
 // readLoop delivers one peer's frames in order until the connection or the
 // transport closes. A read failure (including the peer's clean EOF) is
-// recorded and the inbox closed so a pending Recv observes it; a transport
-// close simply exits, leaving Recv to observe done.
+// recorded as a *PeerDownError and the inbox closed so a pending Recv
+// observes it; a transport close simply exits, leaving Recv to observe
+// done. Heartbeat frames are consumed here — they feed the liveness
+// detector and never reach the engine.
 func (t *Transport) readLoop(id int, p *peerConn) {
 	defer t.readers.Done()
 	for {
@@ -234,10 +304,19 @@ func (t *Transport) readLoop(id int, p *peerConn) {
 			if err == io.EOF {
 				err = fmt.Errorf("net: process %d closed the connection", id)
 			}
-			p.setErr(err)
+			p.setErr(&PeerDownError{Peer: id, Barrier: -1, Cause: err})
 			close(p.in)
 			return
 		}
+		p.lastRecv.Store(time.Now().UnixNano())
+		if typ == frameHeart {
+			r := frameReader{typ: typ, buf: payload}
+			if claim, err := r.uvarint(); err == nil && int64(claim) > p.claim.Load() {
+				p.claim.Store(int64(claim))
+			}
+			continue
+		}
+		p.recvData.Add(1)
 		select {
 		case p.in <- frame{typ: typ, payload: payload}:
 		case <-t.done:
@@ -247,8 +326,39 @@ func (t *Transport) readLoop(id int, p *peerConn) {
 	}
 }
 
+// heartbeatLoop emits liveness beacons to one peer until the transport
+// closes or the connection dies (the readLoop owns surfacing that). The
+// claim is read and the beacon written under the peer's write mutex, so a
+// beacon never claims a frame that is not already ahead of it in the
+// stream.
+func (t *Transport) heartbeatLoop(p *peerConn) {
+	defer t.hbeats.Done()
+	tick := time.NewTicker(t.Heartbeat)
+	defer tick.Stop()
+	var body []byte
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+			p.wmu.Lock()
+			body = appendUvarint(body[:0], uint64(p.sent.Load()))
+			err := writeFrame(p.w, frameHeart, body)
+			if err == nil {
+				err = p.w.Flush()
+			}
+			p.wmu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
 // Send coalesces one frame into the peer's write buffer. Nothing reaches
-// the socket until Flush (or the buffer fills).
+// the socket until Flush (or the buffer fills). With a FaultPlan armed the
+// frame may be dropped, duplicated, truncated, delayed, or take the
+// connection down — deterministically in the plan's seed.
 func (t *Transport) Send(peer int, typ byte, body []byte) error {
 	p := t.peers[peer]
 	if p == nil {
@@ -259,7 +369,51 @@ func (t *Transport) Send(peer int, typ byte, body []byte) error {
 		return ErrTransportClosed
 	default:
 	}
-	return writeFrame(p.w, typ, body)
+	if f := t.Faults; f != nil && typ != frameHello {
+		p.faultSeq++
+		switch f.frameAction(t.self, peer, p.faultSeq) {
+		case faultDrop:
+			// The frame vanishes but the claim advances: that gap is exactly
+			// what the receiver's liveness detector looks for.
+			p.wmu.Lock()
+			p.sent.Add(1)
+			p.wmu.Unlock()
+			return nil
+		case faultDup:
+			p.wmu.Lock()
+			err := writeFrame(p.w, typ, body)
+			if err == nil {
+				err = writeFrame(p.w, typ, body)
+			}
+			p.sent.Add(1)
+			p.wmu.Unlock()
+			return err
+		case faultTrunc:
+			// A frame cut mid-payload: write the header and half the bytes,
+			// then kill the connection — the receiver sees a truncated-
+			// payload FrameError, never a silent parse of garbage.
+			p.wmu.Lock()
+			cut := appendFrame(nil, typ, body)
+			p.conn.Write(cut[:frameHeaderSize+1+len(body)/2])
+			p.conn.Close()
+			p.wmu.Unlock()
+			return nil
+		case faultDelay:
+			time.Sleep(f.delayFor(t.self, peer, p.faultSeq))
+		case faultKill:
+			p.wmu.Lock()
+			p.conn.Close()
+			p.wmu.Unlock()
+			return nil
+		}
+	}
+	p.wmu.Lock()
+	err := writeFrame(p.w, typ, body)
+	if err == nil {
+		p.sent.Add(1)
+	}
+	p.wmu.Unlock()
+	return err
 }
 
 // Flush pushes the peer's coalesced frames to the socket.
@@ -268,6 +422,8 @@ func (t *Transport) Flush(peer int) error {
 	if p == nil {
 		return fmt.Errorf("net: no connection to process %d", peer)
 	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
 	return p.w.Flush()
 }
 
@@ -277,7 +433,10 @@ func (t *Transport) FlushAll() error {
 		if p == nil {
 			continue
 		}
-		if err := p.w.Flush(); err != nil {
+		p.wmu.Lock()
+		err := p.w.Flush()
+		p.wmu.Unlock()
+		if err != nil {
 			return fmt.Errorf("net: flushing to process %d: %w", id, err)
 		}
 	}
@@ -285,28 +444,55 @@ func (t *Transport) FlushAll() error {
 }
 
 // Recv returns the next frame from the peer, blocking until one arrives,
-// the peer's connection fails, or the transport closes.
+// the peer's connection fails, or the transport closes. With Liveness set
+// the block is bounded: a peer silent for the whole window, or one whose
+// heartbeats claim frames that never arrived while Recv starved, yields a
+// *PeerDownError instead of a hang.
 func (t *Transport) Recv(peer int) (byte, []byte, error) {
 	p := t.peers[peer]
 	if p == nil {
 		return 0, nil, fmt.Errorf("net: no connection to process %d", peer)
 	}
-	select {
-	case f, ok := <-p.in:
-		if !ok {
-			return 0, nil, p.getErr()
+	var timeout <-chan time.Time
+	var start time.Time
+	if t.Liveness > 0 {
+		start = time.Now()
+		granularity := t.Liveness / 4
+		if granularity < time.Millisecond {
+			granularity = time.Millisecond
 		}
-		return f.typ, f.payload, nil
-	case <-t.done:
-		// Prefer a frame that raced the close: drain without blocking.
+		tick := time.NewTicker(granularity)
+		defer tick.Stop()
+		timeout = tick.C
+	}
+	for {
 		select {
 		case f, ok := <-p.in:
-			if ok {
-				return f.typ, f.payload, nil
+			if !ok {
+				return 0, nil, p.getErr()
 			}
-			return 0, nil, p.getErr()
-		default:
-			return 0, nil, ErrTransportClosed
+			return f.typ, f.payload, nil
+		case <-t.done:
+			// Prefer a frame that raced the close: drain without blocking.
+			select {
+			case f, ok := <-p.in:
+				if ok {
+					return f.typ, f.payload, nil
+				}
+				return 0, nil, p.getErr()
+			default:
+				return 0, nil, ErrTransportClosed
+			}
+		case <-timeout:
+			silent := time.Since(time.Unix(0, p.lastRecv.Load()))
+			if silent >= t.Liveness {
+				return 0, nil, &PeerDownError{Peer: peer, Barrier: -1,
+					Cause: fmt.Errorf("no frames or heartbeats for %v (liveness %v)", silent.Round(time.Millisecond), t.Liveness)}
+			}
+			if claim, got := p.claim.Load(), p.recvData.Load(); time.Since(start) >= t.Liveness && claim > got {
+				return 0, nil, &PeerDownError{Peer: peer, Barrier: -1,
+					Cause: fmt.Errorf("peer claims %d frames sent, %d arrived after %v (liveness %v)", claim, got, time.Since(start).Round(time.Millisecond), t.Liveness)}
+			}
 		}
 	}
 }
@@ -327,6 +513,7 @@ func (t *Transport) Close() error {
 			}
 		}
 		t.readers.Wait()
+		t.hbeats.Wait()
 	})
 	return nil
 }

@@ -35,18 +35,44 @@ type StateCodec interface {
 	DecodeState(d *StateDecoder) error
 }
 
-// CheckpointSpec arms barrier checkpointing on an engine: the run stops at
-// the barrier after round Round (0 = right after Init) and writes the
-// frozen run to W, returning ErrCheckpointed. If the run quiesces before
-// reaching the barrier it completes normally and no checkpoint is written.
+// CheckpointSpec arms barrier checkpointing on an engine in one of two
+// modes. Freeze mode (Every == 0): the run stops at the barrier after
+// round Round (0 = right after Init) and writes the frozen run to W,
+// returning ErrCheckpointed; if the run quiesces before reaching the
+// barrier it completes normally and no checkpoint is written. Periodic
+// mode (Every > 0): at every barrier whose round is a positive multiple of
+// Every the engine commits a checkpoint through Sink and keeps running —
+// there is always a recent recovery point, and the run finishes normally.
+// Round is ignored in periodic mode. A resumed run never re-commits the
+// barrier it resumed from; its later cadence barriers produce files
+// byte-identical to an uninterrupted run's.
 type CheckpointSpec struct {
 	Round int64
 	W     io.Writer
+	// Every switches to the periodic cadence when > 0.
+	Every int64
+	// Sink receives periodic commits (and, when set, takes precedence over
+	// W for stop-requested commits on the distributed engine).
+	Sink CheckpointSink
+}
+
+// CheckpointSink durably stores periodic checkpoints. Commit must make the
+// checkpoint either fully visible or not at all — a crash mid-commit must
+// never leave a recovery point that parses but lies (CheckpointDir uses
+// write-to-temp + rename). write streams the checkpoint's byte form.
+type CheckpointSink interface {
+	Commit(round int64, write func(io.Writer) error) error
 }
 
 // ErrCheckpointed is returned by a run that stopped at its armed barrier
 // after writing the checkpoint. It is a clean stop, not a failure.
 var ErrCheckpointed = errors.New("sim: run checkpointed at its round barrier")
+
+// ErrStopped is returned by a run that honoured a graceful stop request at
+// a round barrier (the distributed engine's cluster-wide stop agreement).
+// Like ErrCheckpointed it is a clean stop, not a failure; a final
+// checkpoint was committed first when one was armed.
+var ErrStopped = errors.New("sim: run stopped at a round barrier on request")
 
 // errCheckpointTier rejects checkpoint requests outside the unit-delay
 // round tiers, the only schedules with barriers to cut at.

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckpointDir is the durable CheckpointSink behind periodic checkpointing
+// (DESIGN.md §11): one directory holding the last few committed recovery
+// points of a run, each a complete §8 checkpoint file named by its round
+// barrier. Commits are atomic — the file is written to a temporary name in
+// the same directory, synced, then renamed — so a crash mid-commit leaves
+// either the previous set of recovery points or the new one, never a
+// truncated file, and Latest can always be trusted by a restarting
+// supervisor. Retention prunes the oldest files beyond Keep after each
+// successful commit; pruning failures are ignored (stale extra recovery
+// points are harmless).
+type CheckpointDir struct {
+	// Dir is the directory; it must exist.
+	Dir string
+	// Keep retains the newest Keep committed files (0 keeps all).
+	Keep int
+}
+
+const (
+	ckptFilePrefix = "ckpt-"
+	ckptFileSuffix = ".mdck"
+)
+
+// CheckpointFileName is the canonical file name of the recovery point
+// committed at a round barrier.
+func CheckpointFileName(round int64) string {
+	return fmt.Sprintf("%s%010d%s", ckptFilePrefix, round, ckptFileSuffix)
+}
+
+// Commit atomically stores the checkpoint committed at round.
+func (d *CheckpointDir) Commit(round int64, write func(io.Writer) error) error {
+	final := filepath.Join(d.Dir, CheckpointFileName(round))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d.prune()
+	return nil
+}
+
+// Rounds lists the committed recovery points' round barriers, ascending.
+// Files that merely resemble checkpoints (wrong name shape, leftover .tmp)
+// are ignored.
+func (d *CheckpointDir) Rounds() ([]int64, error) {
+	entries, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var rounds []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptFilePrefix) || !strings.HasSuffix(name, ckptFileSuffix) {
+			continue
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, ckptFilePrefix), ckptFileSuffix)
+		r, err := strconv.ParseInt(mid, 10, 64)
+		if err != nil {
+			continue
+		}
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	return rounds, nil
+}
+
+// Latest returns the newest committed recovery point's path and round, or
+// ok=false when the directory holds none.
+func (d *CheckpointDir) Latest() (path string, round int64, ok bool, err error) {
+	rounds, err := d.Rounds()
+	if err != nil || len(rounds) == 0 {
+		return "", 0, false, err
+	}
+	r := rounds[len(rounds)-1]
+	return filepath.Join(d.Dir, CheckpointFileName(r)), r, true, nil
+}
+
+// prune removes the oldest committed files beyond Keep.
+func (d *CheckpointDir) prune() {
+	if d.Keep <= 0 {
+		return
+	}
+	rounds, err := d.Rounds()
+	if err != nil {
+		return
+	}
+	for len(rounds) > d.Keep {
+		os.Remove(filepath.Join(d.Dir, CheckpointFileName(rounds[0])))
+		rounds = rounds[1:]
+	}
+}

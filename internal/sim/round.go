@@ -170,7 +170,7 @@ func (e *EventEngine) runRoundsFrom(c *graph.CSR, f Factory, maxMsgs int64, star
 		}
 	}
 	spec := e.Checkpoint
-	if spec != nil && spec.Round == 0 && ck == nil {
+	if spec != nil && spec.Every == 0 && spec.Round == 0 && ck == nil {
 		// Barrier 0: the state right after Init, before any delivery.
 		return nil, nil, e.writeRoundCheckpoint(rr, scratch.protos, c)
 	}
@@ -193,8 +193,24 @@ func (e *EventEngine) runRoundsFrom(c *graph.CSR, f Factory, maxMsgs int64, star
 			scratch.protos[d.toDense].Recv(&scratch.ctxs[d.toDense], d.from, d.msg)
 		}
 		scratch.next = rr.next
-		if spec != nil && rr.round == spec.Round {
-			return nil, nil, e.writeRoundCheckpoint(rr, scratch.protos, c)
+		if spec != nil {
+			if spec.Every > 0 {
+				// Periodic cadence: commit at every multiple of Every and keep
+				// running. A resumed run re-enters the loop at ck.Round+1, so
+				// the barrier it resumed from is never re-committed.
+				if rr.round%spec.Every == 0 {
+					if err := e.commitRoundCheckpoint(rr, scratch.protos, c); err != nil {
+						return nil, nil, err
+					}
+					// The capture folded the dense send counts into the
+					// report's map and detached the slab; re-arm it zeroed so
+					// recordFast keeps accumulating the delta on top.
+					clear(scratch.sent)
+					rr.report.adoptDenseSent(scratch.sent, ids)
+				}
+			} else if rr.round == spec.Round {
+				return nil, nil, e.writeRoundCheckpoint(rr, scratch.protos, c)
+			}
 		}
 	}
 	scratch.cur, scratch.next = rr.cur, rr.next
@@ -205,21 +221,40 @@ func (e *EventEngine) runRoundsFrom(c *graph.CSR, f Factory, maxMsgs int64, star
 	return append([]Protocol(nil), scratch.protos...), rr.report, nil
 }
 
-// writeRoundCheckpoint freezes the run at the current barrier — rr.cur
-// drained, rr.next holding round rr.round+1 in global send order — writes
-// it to the armed CheckpointSpec and returns ErrCheckpointed.
-func (e *EventEngine) writeRoundCheckpoint(rr *roundRun, protos []Protocol, c *graph.CSR) error {
+// captureRoundCheckpoint snapshots the run at the current barrier — rr.cur
+// drained, rr.next holding round rr.round+1 in global send order.
+func (e *EventEngine) captureRoundCheckpoint(rr *roundRun, protos []Protocol, c *graph.CSR) (*Checkpoint, error) {
 	ck := &Checkpoint{Round: rr.round, N: c.N(), HalfEdges: c.HalfEdges()}
 	ck.captureReport(rr.report)
 	if err := ck.encodeStates(protos); err != nil {
-		return err
+		return nil, err
 	}
 	ck.Pending = make([]PendingDelivery, len(rr.next))
 	for i, d := range rr.next {
 		ck.Pending[i] = PendingDelivery{From: d.fromDense, To: d.toDense, Msg: d.msg}
 	}
+	return ck, nil
+}
+
+// writeRoundCheckpoint freezes the run at the current barrier, writes it to
+// the armed CheckpointSpec and returns ErrCheckpointed.
+func (e *EventEngine) writeRoundCheckpoint(rr *roundRun, protos []Protocol, c *graph.CSR) error {
+	ck, err := e.captureRoundCheckpoint(rr, protos, c)
+	if err != nil {
+		return err
+	}
 	if err := ck.Write(e.Checkpoint.W); err != nil {
 		return err
 	}
 	return ErrCheckpointed
+}
+
+// commitRoundCheckpoint durably commits the current barrier through the
+// periodic Sink; the run keeps going.
+func (e *EventEngine) commitRoundCheckpoint(rr *roundRun, protos []Protocol, c *graph.CSR) error {
+	ck, err := e.captureRoundCheckpoint(rr, protos, c)
+	if err != nil {
+		return err
+	}
+	return e.Checkpoint.Sink.Commit(rr.round, ck.Write)
 }

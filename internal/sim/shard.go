@@ -833,7 +833,7 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		runPhase(phaseInit)
 		total = closeBarrier()
 		runPhase(phaseRank)
-		if spec != nil && spec.Round == 0 {
+		if spec != nil && spec.Every == 0 && spec.Round == 0 {
 			// Barrier 0: the state right after Init, before any delivery.
 			return nil, nil, e.writeShardedCheckpoint(run, c, total)
 		}
@@ -896,8 +896,19 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		delivered += total
 		total = closeBarrier()
 		runPhase(phaseRank)
-		if spec != nil && run.round == spec.Round {
-			return nil, nil, e.writeShardedCheckpoint(run, c, total)
+		if spec != nil {
+			if spec.Every > 0 {
+				// Periodic cadence: commit and keep running. A resumed run
+				// re-enters the loop at ck.Round+1, so the barrier it resumed
+				// from is never re-committed.
+				if run.round%spec.Every == 0 {
+					if err := e.commitShardedCheckpoint(run, c, total); err != nil {
+						return nil, nil, err
+					}
+				}
+			} else if run.round == spec.Round {
+				return nil, nil, e.writeShardedCheckpoint(run, c, total)
+			}
 		}
 	}
 
@@ -920,12 +931,13 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	return protos, rep, nil
 }
 
-// writeShardedCheckpoint freezes the run at the just-closed barrier: the
+// captureShardedCheckpoint freezes the run at the just-closed barrier: the
 // outboxes at read parity hold the next round's deliveries (total of
 // them) with their global ranks already materialised by the rank phase,
-// and the shard reports merge into the frozen counters. Writes to the
-// armed spec and returns ErrCheckpointed.
-func (e *ShardedEngine) writeShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) error {
+// and the shard reports merge into the frozen counters. The dense send
+// counters are debited per in-flight delivery (SentBy counts delivered
+// messages only); a caller that keeps the run going must credit them back.
+func (e *ShardedEngine) captureShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) (*Checkpoint, error) {
 	ck := &Checkpoint{Round: run.round, N: c.N(), HalfEdges: c.HalfEdges()}
 	ck.Pending = make([]PendingDelivery, total)
 	for si := range run.shards {
@@ -958,12 +970,36 @@ func (e *ShardedEngine) writeShardedCheckpoint(run *shardedRoundRun, c *graph.CS
 		}
 	}
 	if err := ck.encodeStates(protoView); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// writeShardedCheckpoint freezes the run at the just-closed barrier, writes
+// it to the armed spec and returns ErrCheckpointed.
+func (e *ShardedEngine) writeShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) error {
+	ck, err := e.captureShardedCheckpoint(run, c, total)
+	if err != nil {
 		return err
 	}
 	if err := ck.Write(e.Checkpoint.W); err != nil {
 		return err
 	}
 	return ErrCheckpointed
+}
+
+// commitShardedCheckpoint durably commits the just-closed barrier through
+// the periodic Sink; the run keeps going, so the in-flight debits of the
+// dense send counters are credited back after the capture.
+func (e *ShardedEngine) commitShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) error {
+	ck, err := e.captureShardedCheckpoint(run, c, total)
+	if err != nil {
+		return err
+	}
+	for _, p := range ck.Pending {
+		run.sent[p.From]++
+	}
+	return e.Checkpoint.Sink.Commit(run.round, ck.Write)
 }
 
 // runWorkerPhase executes worker w's slice of one phase. Shard phases use
