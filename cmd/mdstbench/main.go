@@ -23,6 +23,8 @@
 //	                            # shards×GOMAXPROCS scaling suite (BENCH_scale.json trajectory)
 //	mdstbench -scaling scale.json -procs 8 -compare BENCH_scale.json
 //	                            # ... gated against the recorded scaling baseline
+//	mdstbench -scaling scale.json -phases
+//	                            # ... with the sharded engine's per-phase time breakdown
 package main
 
 import (
@@ -53,6 +55,7 @@ type options struct {
 	perfOut    string
 	scaleOut   string
 	procs      int
+	phases     bool
 	compare    string
 	nsThresh   float64
 	shards     int
@@ -72,6 +75,7 @@ func parseFlags() options {
 	flag.StringVar(&o.perfOut, "perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
 	flag.StringVar(&o.scaleOut, "scaling", "", "run the shards×GOMAXPROCS scaling suite instead of the tables and write JSON here (\"-\" for stdout)")
 	flag.IntVar(&o.procs, "procs", 8, "with -scaling: GOMAXPROCS forced for the suite (the recorded axis)")
+	flag.BoolVar(&o.phases, "phases", false, "with -scaling: record the sharded engine's per-phase time breakdown in the report")
 	flag.StringVar(&o.compare, "compare", "", "with -perf or -scaling: diff the fresh suite against this recorded baseline (e.g. BENCH_wire.json, BENCH_scale.json) and exit non-zero on regression")
 	flag.Float64Var(&o.nsThresh, "threshold", 1.25, "with -compare: allowed ns/op growth factor before the gate fails")
 	flag.IntVar(&o.shards, "shards", 4, "with -perf: state shards for the sharded scaling entries (flood/grid-*/sharded-N)")
@@ -139,6 +143,9 @@ func run(o options) error {
 	if o.scaleOut == "" && o.procs != 8 {
 		return fmt.Errorf("-procs configures the -scaling suite's GOMAXPROCS axis")
 	}
+	if o.scaleOut == "" && o.phases {
+		return fmt.Errorf("-phases records the -scaling suite's phase breakdown")
+	}
 	if o.scaleOut != "" {
 		if o.which != "" || o.quick || o.seeds > 0 || o.scale > 0 || o.jsonOut != "" || o.progress || o.parallel != 0 {
 			return fmt.Errorf("-scaling runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -parallel, -json and -progress")
@@ -146,7 +153,7 @@ func run(o options) error {
 		if o.procs < 1 {
 			return fmt.Errorf("-procs must be at least 1")
 		}
-		fresh, err := runScale(o.scaleOut, o.procs)
+		fresh, err := runScale(o.scaleOut, o.procs, o.phases)
 		if err != nil {
 			return err
 		}

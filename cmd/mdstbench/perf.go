@@ -43,6 +43,12 @@ type perfReport struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Workloads  []perfEntry       `json:"workloads"`
 	Derived    map[string]string `json:"derived"`
+	// Phases carries the -scaling suite's per-phase breakdown when recorded
+	// with -phases: entry name -> PhaseStats accumulated over every measured
+	// iteration of that cell (divide by Rounds for per-round costs). Absent
+	// from the classic -perf suite and from baselines recorded without the
+	// flag; the compare gate ignores it.
+	Phases map[string]*sim.PhaseStats `json:"phases,omitempty"`
 }
 
 func benchToEntry(name string, r testing.BenchmarkResult) perfEntry {

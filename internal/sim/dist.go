@@ -25,6 +25,16 @@ import (
 //     deliveries it played, and everyone scatters them into a local slab
 //     and prefix-sums identically.
 //
+// The in-process sharded engine has since replaced its outbox/merge
+// delivery plane with the single-copy scatter of DESIGN.md §12 — senders
+// place each record directly at its final global position in the
+// destination shard's inbox. The distributed plane keeps the explicit
+// outboxes and the K-way key merge on purpose: deliveries arrive here as
+// one batch per peer over a socket, so there is no shared inbox memory to
+// scatter into, and merging the key-sorted batches *is* the minimal
+// reconstruction of the global order. The rank/key/prefix-sum contract
+// above is unchanged and still shared with the sharded engine.
+//
 // The runner deliberately holds protocol instances for every node, not
 // just owned ones: protocols implementing StateCodec let the processes
 // all-gather their owned nodes' encoded states at quiescence, so each

@@ -1,0 +1,52 @@
+package sim
+
+import "time"
+
+// PhaseStats breaks down where a sharded round run spends its wall time,
+// phase by phase (DESIGN.md §12). Arm it by setting ShardedEngine.Stats;
+// the engine accumulates across every run executed with the same instance,
+// so a benchmark loop aggregates naturally. All counters are written by
+// the coordinator goroutine (per-phase walls, at phase boundaries) or
+// folded once per run from per-worker padded clocks — arming stats adds
+// two clock reads per phase and nothing per message.
+//
+// The buckets mirror the round pipeline: Deliver is the inbox walk that
+// runs the protocol handlers and tallies send counts, Scan the barrier
+// prefix scan that turns counts into placements (serial or chunk-parallel
+// with its combine and shift), Scatter the single-copy placement of staged
+// sends into the destination inboxes. BarrierWait is the workers' idle
+// time at phase barriers — W × (sum of phase walls) − WorkerBusy — which
+// is where shard imbalance and handoff latency show up. WorkerParks and
+// CoordParks count how often a spin window expired and a waiter actually
+// parked on a futex: zero in a healthy steady state, climbing under
+// oversubscription or very long phases.
+type PhaseStats struct {
+	// Rounds counts closed round windows (Init's window excluded).
+	Rounds int64 `json:"rounds"`
+	// Init is the wall time of the Init phase.
+	Init time.Duration `json:"init_ns"`
+	// Deliver is the wall time of the delivery phases (inbox walks).
+	Deliver time.Duration `json:"deliver_ns"`
+	// Scan is the wall time of the barrier prefix scans (including the
+	// parallel scan's combine and shift).
+	Scan time.Duration `json:"scan_ns"`
+	// Scatter is the wall time of the scatter phases (staged sends placed
+	// into destination inboxes).
+	Scatter time.Duration `json:"scatter_ns"`
+	// BarrierWait is the workers' summed idle time at phase barriers.
+	BarrierWait time.Duration `json:"barrier_wait_ns"`
+	// WorkerBusy is the workers' summed in-phase busy time.
+	WorkerBusy time.Duration `json:"worker_busy_ns"`
+	// WorkerParks counts workers that outspun their budget and parked
+	// waiting for a phase; CoordParks the same for the coordinator
+	// waiting on phase completion.
+	WorkerParks int64 `json:"worker_parks"`
+	CoordParks  int64 `json:"coord_parks"`
+}
+
+// workerClock is one worker's busy-time accumulator, padded to a cache
+// line of its own so concurrent workers never share one.
+type workerClock struct {
+	ns int64
+	_  [56]byte
+}

@@ -5,27 +5,27 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdegst/internal/graph"
 )
 
-// The shard-partitioned runtime (DESIGN.md §7). ShardedEngine splits the
-// per-node state plane of a run — protocol instances, contexts, FIFO clamp
-// intervals, delivery queues — into shards that each own one slice of the
-// snapshot's dense node range, per a graph.Partition. The point is
+// The shard-partitioned runtime (DESIGN.md §7, §12). ShardedEngine splits
+// the per-node state plane of a run — protocol instances, contexts, FIFO
+// clamp intervals, delivery queues — into shards that each own one slice of
+// the snapshot's dense node range, per a graph.Partition. The point is
 // multi-core execution of a *single* run (the experiment harness already
 // parallelises across trials): under the paper's unit-delay model the
 // (0, 1] delay bound is a conservative lookahead-1 window, so all
 // deliveries of one round are mutually independent and shards can process
-// their own nodes concurrently, exchanging cross-shard messages through
-// per-(src, dst) outboxes that are merged in a canonical order at the
-// round barrier.
+// their own nodes concurrently, exchanging cross-shard messages through a
+// single-copy scatter computed at the round barrier.
 //
 // Determinism is exact, not statistical: an N-shard run is
 // delivery-trace-equivalent to the 1-shard engine (EventEngine) and to
 // ReferenceEngine — same per-node Recv sequences, same report, same final
-// protocol states — because the canonical merge order reconstructs the
+// protocol states — because the canonical order reconstructs the
 // single-engine global delivery order from data that does not depend on
 // goroutine scheduling:
 //
@@ -36,10 +36,14 @@ import (
 //     that handler call. The 1-shard engine appends sends in exactly
 //     (rank, position) order, so sorting round r+1 by key *is* the
 //     1-shard order.
-//   - Ranks for the next round come from a prefix sum over per-delivery
-//     send counts (each shard writes the counts of its own deliveries
-//     into a shared slice at disjoint indices), computed once per round
-//     at the barrier.
+//   - At the barrier one prefix scan over the per-delivery,
+//     per-destination send counts turns the keys into placements: the
+//     global rank of every queued message (off[parent] + pos) and its
+//     exact slot in its destination shard's inbox. Senders then scatter
+//     each record once, directly into place — every inbox is its shard's
+//     rank-sorted subsequence of the global order, so delivering a round
+//     is a sequential walk of shard-local memory. No K-way merge, no
+//     in-place rank rewrite, no second copy.
 //
 // Under randomised delays there is no positive lower bound on a delay, so
 // the model offers no lookahead and window-parallel execution cannot be
@@ -80,9 +84,8 @@ type ShardedEngine struct {
 	MaxMessages int64
 	// Trace, when non-nil, observes every delivery and Logf note in the
 	// exact global delivery order. Tracing forces the round path through
-	// its serial schedule (one goroutine walking the shards' merged
-	// streams in rank order) so events fire at their exact global
-	// positions.
+	// its serial schedule (one goroutine merging the shards' rank-sorted
+	// inboxes) so events fire at their exact global positions.
 	Trace func(TraceEvent)
 	// Checkpoint, when non-nil, arms barrier checkpointing exactly as on
 	// EventEngine: the sharded round path stops at the barrier after
@@ -90,24 +93,39 @@ type ShardedEngine struct {
 	// engine-agnostic — a sharded checkpoint resumes on the unsharded
 	// engine and vice versa).
 	Checkpoint *CheckpointSpec
+	// Stats, when non-nil, accumulates the per-phase wall-time breakdown
+	// of the unit-delay round path across the run (deliver/scan/scatter
+	// walls, barrier-wait imbalance, park counts — see PhaseStats). Nil
+	// keeps the hot path free of clock reads.
+	Stats *PhaseStats
+
+	// cache holds the last run's round-path scratch on the engine itself.
+	// The shared pool is a GC victim: a grid-1M run allocates enough to
+	// trigger a collection per run, which empties the pool and forces the
+	// next run to re-grow ~100MB of slabs — the engine-held reference
+	// survives collections for as long as the engine does, so replaying
+	// runs on one engine is allocation-free regardless of GC pressure.
+	// Swapped atomically: racing runs on one engine degrade to the pool,
+	// never to a shared scratch.
+	cache atomic.Pointer[shardedScratch]
 }
 
 // shardDelivery is one queued message of the sharded round path: a flat
-// record (rank, endpoints, WireMsg) with no pointers, so outboxes are plain
-// slabs — refilled by append, consumed by indexed reads, merged by rank
-// comparisons, and invisible to the GC.
+// record (rank, endpoints, WireMsg) with no pointers, so the staging and
+// inbox slabs are plain arenas — refilled by append, consumed by indexed
+// reads, invisible to the GC.
 //
-// rank is materialised in two steps. When the send is appended, rank holds
-// the global rank of the *sending* delivery (its dense node index during
-// Init) and pos the send's index within that handler call — the canonical
-// (parent rank, position) key. After the window barrier prefix-sums the
-// send counts, the rank phase rewrites rank in place to the delivery's own
-// global rank (off[parent] + pos). From then on ordering, delivery
-// accounting and checkpointing all read the single int64 — no per-message
-// offset-table lookup, no two-field key compare.
+// rank is materialised in two steps. When the send is appended to its
+// source shard's staging stream, rank holds the global rank of the
+// *sending* delivery (its dense node index during Init) and pos the send's
+// index within that handler call — the canonical (parent rank, position)
+// key. The scatter phase materialises the delivery's own global rank
+// (off[parent] + pos) into the record as it lands at its final slot in the
+// destination inbox; from then on ordering, delivery accounting and
+// checkpointing all read the single int64.
 type shardDelivery struct {
 	rank      int64
-	pos       int32 // index of this send within the sending handler call (dead after the rank phase)
+	pos       int32 // index of this send within the sending handler call (dead after the scatter)
 	fromDense int32
 	toLocal   int32 // index of the destination in its owner shard's node list
 	from      NodeID
@@ -115,9 +133,11 @@ type shardDelivery struct {
 }
 
 // shardRoundCtx is the Context handed to protocols on the sharded round
-// path. rank/sends mirror roundCtx's implicit position bookkeeping: rank is
-// the global rank of the delivery being processed (the dense node index
-// while Init runs), sends counts the handler's sends so far.
+// path. rank is the global rank of the delivery being processed (the dense
+// node index while Init runs), sends counts the handler's sends so far, and
+// row is the delivery's stride-S row of the shared count plane — Send
+// tallies each send under its destination shard there, which is everything
+// the barrier scan needs to place every message of the next round.
 type shardRoundCtx struct {
 	shard     *roundShard
 	id        NodeID
@@ -126,6 +146,7 @@ type shardRoundCtx struct {
 	nbrDense  []int32
 	rank      int64
 	sends     int32
+	row       []int32
 }
 
 func (c *shardRoundCtx) ID() NodeID          { return c.id }
@@ -140,8 +161,10 @@ func (c *shardRoundCtx) Send(to NodeID, m WireMsg) {
 	r := sh.run
 	toDense := c.nbrDense[ni]
 	loc := r.loc[toDense] // owner and local index in one load
-	r.sent[c.dense]++     // disjoint across shards: only c's owner writes c.dense
-	sh.out[r.writeParity][int32(loc>>32)] = append(sh.out[r.writeParity][int32(loc>>32)], shardDelivery{
+	dst := int32(loc >> 32)
+	r.sent[c.dense]++ // disjoint across shards: only c's owner writes c.dense
+	c.row[dst]++      // per-destination count at this delivery's rank
+	sh.stage[dst] = append(sh.stage[dst], shardDelivery{
 		rank:      c.rank,
 		pos:       c.sends,
 		fromDense: c.dense,
@@ -161,10 +184,14 @@ func (c *shardRoundCtx) Logf(format string, args ...any) {
 }
 
 // roundShard owns one slice of the node range on the unit-delay path: the
-// protocol instances and contexts of its nodes, its own report, its merged
-// current-round delivery stream, and one outbox per destination shard
-// (double-buffered by round parity, so a shard can refill outboxes while
-// destinations still read the previous round's).
+// protocol instances and contexts of its nodes, its own report, one staging
+// stream per destination shard (filled by its handlers' sends, key-sorted
+// by construction) and the inbox arena the next round's deliveries are
+// scattered into. The inbox is the shard's rank-sorted subsequence of the
+// global delivery order — senders place each record at its exact merged
+// position — so a round is delivered by walking it start to end. The arena
+// is sized (and so first-touched) by the worker that owns the shard and is
+// reused round over round: the steady state allocates nothing.
 type roundShard struct {
 	run    *shardedRoundRun
 	index  int32
@@ -172,202 +199,178 @@ type roundShard struct {
 	ctxs   []shardRoundCtx
 	protos []Protocol
 	report *Report
-	out    [2][][]shardDelivery // [parity][destination shard]
-	cur    []shardDelivery      // merged deliveries of the round in progress
-	heads  []int                // merge cursors, one per source shard
+	stage  [][]shardDelivery // [destination shard]: staged sends, key-sorted
+	inbox  []shardDelivery   // next/current round, rank-sorted, scatter-filled
 	// Pad shards apart: each is written by exactly one worker per phase
 	// (append cursors, report counters), and without padding two shards'
 	// hot words can share a cache line and ping-pong between cores.
 	_ [64]byte
 }
 
+// sizeInbox resizes the inbox arena for the next window. Growth
+// first-touches the new pages on the calling worker — sizeInboxes routes
+// each shard's resize to its owning worker — and once warm this is a pure
+// reslice. Growth doubles the capacity: a flood wavefront widens a little
+// every window, and exact-fit growth would reallocate the arena once per
+// window for the whole growing half of the wave (O(peak × windows) bytes
+// on a cold run) instead of O(peak).
+func (sh *roundShard) sizeInbox(need int64) {
+	if int64(cap(sh.inbox)) < need {
+		newCap := 2 * int64(cap(sh.inbox))
+		if newCap < need {
+			newCap = need
+		}
+		sh.inbox = make([]shardDelivery, need, newCap)
+	} else {
+		sh.inbox = sh.inbox[:need]
+	}
+}
+
 // shardedRoundRun is the state shared by all shards of one round-path run.
 // Everything here is either immutable during a phase (owner/local/ids,
-// off, parities, round) or written at disjoint indices (cnt), so the
-// parallel phases need no locks; the per-phase barrier publishes updates.
+// off, stride, round) or written at disjoint indices (cntv rows, inbox
+// slots, sent), so the parallel phases need no locks; the per-phase
+// barrier publishes updates.
 type shardedRoundRun struct {
-	shards      []roundShard
-	owner       []int32 // dense node -> shard
-	local       []int32 // dense node -> index in its shard's node list
-	loc         []int64 // dense node -> owner<<32 | local, one load on the send path
-	sent        []int64 // dense node -> messages sent, written only by the owner shard
-	ids         []NodeID
-	trace       func(TraceEvent)
-	round       int64
-	readParity  int
-	writeParity int
-	workers     int
+	shards  []roundShard
+	owner   []int32 // dense node -> shard
+	local   []int32 // dense node -> index in its shard's node list
+	loc     []int64 // dense node -> owner<<32 | local, one load on the send path
+	sent    []int64 // dense node -> messages sent, written only by the owner shard
+	ids     []NodeID
+	trace   func(TraceEvent)
+	round   int64
+	workers int
+	stride  int // shard count: the row width of the count plane
 	// off maps a queued delivery's (parent rank, pos) key to its global
-	// rank: rank = off[parent] + pos. cnt collects the send count of each
-	// current-round delivery at its rank; the barrier prefix-sums it into
-	// the next window's off, and the rank phase materialises the result
-	// into the outbox records so off is never read per message.
-	off []int64
-	cnt []int64
-	// chunkTot holds per-worker chunk totals of the parallel prefix scan.
+	// rank: rank = off[parent] + pos. cntv is the stride-S count plane:
+	// while a round plays, cntv[rank*S+d] collects how many sends delivery
+	// rank made to shard d (each row written only by the rank's owner);
+	// the barrier scan then rewrites the rows in place into
+	// per-destination exclusive prefixes — each parent's base slot in each
+	// destination inbox — computing off and the next inbox sizes (dstTot)
+	// in the same pass. Entries are 32-bit: a window beyond 2^31
+	// deliveries is unrepresentable anyway (its slabs alone would exceed
+	// 100 GB).
+	off    []int64
+	cntv   []int32
+	dstTot []int64
+	// chunkTot holds the per-chunk totals of the parallel scan, stride
+	// S+1: S per-destination totals plus the rank total.
 	chunkTot []int64
+	cursors  []int // serial-schedule merge cursors, one per shard
+	stats    *PhaseStats
+	clocks   []workerClock // per-worker busy ns, armed with stats
+	// statsWall0 snapshots the armed stats' phase-wall sum at run start so
+	// release can fold this run's barrier-wait delta without mixing in
+	// earlier runs accumulated on the same PhaseStats.
+	statsWall0 time.Duration
 }
 
-// gather merges the S source outboxes destined to this shard into cur,
-// ordered by materialised global rank — the canonical cross-shard merge
-// order. Each source list is already rank-sorted (sources process their
-// deliveries in rank order and append; the rank phase is monotone), so
-// this is an S-way sorted merge of flat records on one int64.
-func (sh *roundShard) gather(parity int) {
-	r := sh.run
-	srcs := r.shards
-	sh.cur = sh.cur[:0]
-	for s := range srcs {
-		sh.heads[s] = 0
-	}
-	for {
-		best := -1
-		bestRank := int64(0)
-		for s := range srcs {
-			q := srcs[s].out[parity][sh.index]
-			h := sh.heads[s]
-			if h >= len(q) {
-				continue
-			}
-			if best < 0 || q[h].rank < bestRank {
-				best, bestRank = s, q[h].rank
-			}
-		}
-		if best < 0 {
-			return
-		}
-		q := srcs[best].out[parity][sh.index]
-		sh.cur = append(sh.cur, q[sh.heads[best]])
-		sh.heads[best]++
-	}
-}
-
-// resetOut empties this shard's write-parity outboxes for refill. The
-// previous contents were consumed (and zeroed) by destination gathers two
-// phases ago.
-func (sh *roundShard) resetOut(parity int) {
-	for d := range sh.out[parity] {
-		sh.out[parity][d] = sh.out[parity][d][:0]
-	}
-}
-
-// playInit runs Init for this shard's nodes in ascending dense order and
-// records each node's send count under its dense index — the Init "rank".
-// Globally the keys (dense index, pos) sort to exactly the 1-shard Init
-// order, whatever the shard interleaving.
+// playInit runs Init for this shard's nodes in ascending dense order,
+// tallying each node's sends per destination under its dense index — the
+// Init "rank". Globally the keys (dense index, pos) sort to exactly the
+// 1-shard Init order, whatever the shard interleaving.
 func (sh *roundShard) playInit() {
 	r := sh.run
+	S := r.stride
 	for li := range sh.nodes {
 		ctx := &sh.ctxs[li]
 		ctx.rank = int64(sh.nodes[li])
 		ctx.sends = 0
+		base := int(ctx.rank) * S
+		row := r.cntv[base : base+S]
+		clear(row)
+		ctx.row = row
 		sh.protos[li].Init(ctx)
-		r.cnt[ctx.rank] = int64(ctx.sends)
 	}
 }
 
-// playRound processes this shard's share of the current round: refresh the
-// write outboxes, then deliver the S incoming rank-sorted streams in
-// merged order. The merge is fused with delivery and proceeds run by run:
-// pick the source with the minimal head rank, then drain it up to the
-// smallest head rank of the other sources — one int64 comparison per
-// message, a source tournament only at run boundaries. Runs are long when
-// traffic is shard-local (low cut fractions), and the fusion skips
-// materialising a merged buffer entirely. Ranks were materialised by the
-// rank phase, so delivery reads them straight off the record — no shared
-// offset-table lookup per message. Per-delivery accounting goes to the
-// shard's own report; the send count lands in the shared cnt slice at the
-// delivery's rank (disjoint across shards by construction).
+// playRound processes this shard's share of the current round: a
+// sequential walk of its own inbox, already in global rank order because
+// the scatter placed every record at its exact merged position. Per-
+// delivery accounting goes to the shard's own report; send counts land in
+// the delivery's row of the shared count plane (disjoint across shards by
+// construction — every rank has exactly one owner).
 func (sh *roundShard) playRound() {
 	r := sh.run
-	sh.resetOut(r.writeParity)
-	srcs := r.shards
-	heads := sh.heads
-	for s := range srcs {
-		heads[s] = 0
-	}
-	rp := r.readParity
-	for {
-		best := -1
-		bestRank := int64(0)
-		for s := range srcs {
-			q := srcs[s].out[rp][sh.index]
-			if heads[s] >= len(q) {
-				continue
-			}
-			if k := q[heads[s]].rank; best < 0 || k < bestRank {
-				best, bestRank = s, k
-			}
-		}
-		if best < 0 {
-			return
-		}
-		limit := int64(-1)
-		for s := range srcs {
-			if s == best || heads[s] >= len(srcs[s].out[rp][sh.index]) {
-				continue
-			}
-			if k := srcs[s].out[rp][sh.index][heads[s]].rank; limit < 0 || k < limit {
-				limit = k
-			}
-		}
-		q := srcs[best].out[rp][sh.index]
-		h := heads[best]
-		for h < len(q) && (limit < 0 || q[h].rank < limit) {
-			d := q[h]
-			h++
-			ctx := &sh.ctxs[d.toLocal]
-			ctx.rank = d.rank
-			ctx.sends = 0
-			sh.report.recordKR(d.msg, r.round)
-			sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
-			r.cnt[d.rank] = int64(ctx.sends)
-		}
-		heads[best] = h
+	S := r.stride
+	round := r.round
+	for i := range sh.inbox {
+		d := &sh.inbox[i]
+		ctx := &sh.ctxs[d.toLocal]
+		ctx.rank = d.rank
+		ctx.sends = 0
+		base := int(d.rank) * S
+		row := r.cntv[base : base+S]
+		clear(row)
+		ctx.row = row
+		sh.report.recordKR(d.msg, round)
+		sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
 	}
 }
 
-// rankify rewrites this shard's just-filled outboxes (now at read parity)
-// from (parent rank, pos) form to materialised global ranks using the
-// offsets the barrier computed — the per-shard scatter half of the
-// parallel prefix-sum merge. The rewrite is monotone, so each outbox stays
-// sorted, and every later consumer (merge, delivery, checkpoint) reads a
-// single int64.
-func (sh *roundShard) rankify() {
+// scatter drains this shard's staging streams into the destination
+// inboxes, writing each record once at its final merged position. For a
+// record with key (parent, pos) bound for shard d, the barrier scan left
+// the parent's base slot at cntv[parent*S+d]; the record's offset from
+// that base is its run index among the parent's sends to d, which the walk
+// derives for free because streams are key-sorted (a counter reset at
+// parent boundaries). The record's own global rank, off[parent] + pos, is
+// materialised as it lands. Writes from different sources never collide —
+// every parent rank has exactly one owner shard — so the scatter runs
+// source-parallel with no locks, and each stream is truncated once
+// drained, ready for the next round's sends.
+func (sh *roundShard) scatter() {
 	r := sh.run
+	S := r.stride
 	off := r.off
-	for d := range sh.out[r.readParity] {
-		q := sh.out[r.readParity][d]
-		for i := range q {
-			q[i].rank = off[q[i].rank] + int64(q[i].pos)
+	cntv := r.cntv
+	for d := range sh.stage {
+		q := sh.stage[d]
+		if len(q) == 0 {
+			continue
 		}
+		inbox := r.shards[d].inbox
+		parent := int64(-1)
+		at := 0
+		for i := range q {
+			rec := &q[i]
+			if rec.rank != parent {
+				parent = rec.rank
+				at = int(cntv[int(parent)*S+d])
+			}
+			out := &inbox[at]
+			*out = *rec
+			out.rank = off[parent] + int64(rec.pos)
+			at++
+		}
+		sh.stage[d] = q[:0]
 	}
 }
 
 // playRoundSerial is the traced schedule: one goroutine delivers the whole
-// round in global rank order across all shards, emitting each trace event
-// before the handler runs (trace callbacks must see the message before the
-// protocol recycles it). Results are identical to the parallel schedule —
-// only the wall-clock interleaving differs — because per-shard processing
-// order, keys and ranks are the same either way.
+// round in global rank order by merging the shards' rank-sorted inboxes,
+// emitting each trace event before the handler runs (trace callbacks must
+// see the message before the protocol recycles it). Results are identical
+// to the parallel schedule — only the wall-clock interleaving differs —
+// because keys, ranks and inbox contents are the same either way.
 func (r *shardedRoundRun) playRoundSerial() {
-	for si := range r.shards {
-		r.shards[si].resetOut(r.writeParity)
+	S := r.stride
+	cursors := r.cursors
+	for si := range cursors {
+		cursors[si] = 0
 	}
-	for si := range r.shards {
-		r.shards[si].gather(r.readParity)
-	}
-	cursors := make([]int, len(r.shards))
 	t := float64(r.round)
 	for {
 		best := -1
 		bestRank := int64(0)
 		for si := range r.shards {
-			cu := r.shards[si].cur
-			if cursors[si] >= len(cu) {
+			in := r.shards[si].inbox
+			if cursors[si] >= len(in) {
 				continue
 			}
-			if k := cu[cursors[si]].rank; best < 0 || k < bestRank {
+			if k := in[cursors[si]].rank; best < 0 || k < bestRank {
 				best, bestRank = si, k
 			}
 		}
@@ -375,88 +378,133 @@ func (r *shardedRoundRun) playRoundSerial() {
 			return
 		}
 		sh := &r.shards[best]
-		d := sh.cur[cursors[best]]
+		d := &sh.inbox[cursors[best]]
 		cursors[best]++
 		ctx := &sh.ctxs[d.toLocal]
 		ctx.rank = d.rank
 		ctx.sends = 0
+		base := int(d.rank) * S
+		row := r.cntv[base : base+S]
+		clear(row)
+		ctx.row = row
 		sh.report.recordKR(d.msg, r.round)
 		if r.trace != nil {
 			r.trace(TraceEvent{Time: t, Depth: r.round, From: d.from, To: ctx.id, Msg: d.msg})
 		}
 		sh.protos[d.toLocal].Recv(ctx, d.from, d.msg)
-		r.cnt[d.rank] = int64(ctx.sends)
 	}
 }
 
-// scanCnt exclusive-prefix-sums cnt in place (serially) and returns the
-// total — cnt[i] becomes the global rank offset of delivery i's sends.
-func (r *shardedRoundRun) scanCnt() int64 {
-	var total int64
-	for i, c := range r.cnt {
-		r.cnt[i] = total
-		total += c
+// scanWindow closes a window serially: off[rank] becomes the global-rank
+// base of delivery rank's sends, each count-plane row its per-destination
+// scatter bases, dstTot the next inbox sizes. Returns the next window's
+// delivery total.
+func (r *shardedRoundRun) scanWindow() int64 {
+	S := r.stride
+	clear(r.dstTot)
+	var tot int64
+	for rank := range r.off {
+		r.off[rank] = tot
+		row := r.cntv[rank*S : rank*S+S]
+		for d, v := range row {
+			row[d] = int32(r.dstTot[d])
+			r.dstTot[d] += int64(v)
+			tot += int64(v)
+		}
 	}
-	return total
+	return tot
 }
 
-// The parallel scan splits cnt into one contiguous chunk per worker:
-// scanChunk prefix-sums each chunk and records its total, combineChunks
-// exclusive-scans the W totals on the coordinator, shiftChunk adds each
-// chunk's base back in. Worth the two extra phase barriers only on wide
-// windows; parallelScanMin gates it (a variable so tests can force the
-// parallel path on small corpora).
+// The parallel scan splits the window's ranks into one contiguous chunk
+// per worker: scanChunk prefix-sums each chunk in place and records its
+// (per-destination + rank) total vector, combineChunks exclusive-scans the
+// W vectors on the coordinator, shiftChunk adds each chunk's bases back in
+// and sizes the inboxes its worker owns. Worth the two extra phase
+// barriers only on wide windows; parallelScanMin gates it (a variable so
+// tests can force the parallel path on small corpora).
 var parallelScanMin = 1 << 15
 
 func (r *shardedRoundRun) chunkBounds(w int) (lo, hi int) {
-	n := len(r.cnt)
+	n := len(r.off)
 	return w * n / r.workers, (w + 1) * n / r.workers
 }
 
 func (r *shardedRoundRun) scanChunk(w int) {
 	lo, hi := r.chunkBounds(w)
-	var t int64
-	for i := lo; i < hi; i++ {
-		v := r.cnt[i]
-		r.cnt[i] = t
-		t += v
-	}
-	r.chunkTot[w] = t
-}
-
-func (r *shardedRoundRun) combineChunks() int64 {
-	var base int64
-	for w := 0; w < r.workers; w++ {
-		t := r.chunkTot[w]
-		r.chunkTot[w] = base
-		base += t
-	}
-	return base
-}
-
-func (r *shardedRoundRun) shiftChunk(w int) {
-	if b := r.chunkTot[w]; b != 0 {
-		lo, hi := r.chunkBounds(w)
-		for i := lo; i < hi; i++ {
-			r.cnt[i] += b
+	S := r.stride
+	acc := r.chunkTot[w*(S+1) : (w+1)*(S+1)]
+	clear(acc)
+	for rank := lo; rank < hi; rank++ {
+		r.off[rank] = acc[S]
+		row := r.cntv[rank*S : rank*S+S]
+		for d, v := range row {
+			row[d] = int32(acc[d])
+			acc[d] += int64(v)
+			acc[S] += int64(v)
 		}
 	}
 }
 
-// finishBarrier completes a window barrier after cnt was prefix-summed:
-// swap the offsets in, size the next count slice, flip the outbox
-// parities, and return how many deliveries the next window holds.
-func (r *shardedRoundRun) finishBarrier(total int64) int64 {
-	r.off, r.cnt = r.cnt, r.off
-	if int64(cap(r.cnt)) < total {
-		r.cnt = make([]int64, total)
-	} else {
-		r.cnt = r.cnt[:total]
+func (r *shardedRoundRun) combineChunks() int64 {
+	S := r.stride
+	clear(r.dstTot)
+	var tot int64
+	for w := 0; w < r.workers; w++ {
+		acc := r.chunkTot[w*(S+1) : (w+1)*(S+1)]
+		for d := 0; d < S; d++ {
+			v := acc[d]
+			acc[d] = r.dstTot[d]
+			r.dstTot[d] += v
+		}
+		v := acc[S]
+		acc[S] = tot
+		tot += v
 	}
-	// No clearing needed: every rank in [0, total) is written by exactly
-	// one delivery next round.
-	r.readParity, r.writeParity = r.writeParity, r.readParity
-	return total
+	return tot
+}
+
+func (r *shardedRoundRun) shiftChunk(w int) {
+	lo, hi := r.chunkBounds(w)
+	S := r.stride
+	base := r.chunkTot[w*(S+1) : (w+1)*(S+1)]
+	// base[S] is the sum of the per-destination bases (counts are
+	// non-negative), so zero means the whole chunk is already final.
+	if base[S] != 0 {
+		for rank := lo; rank < hi; rank++ {
+			r.off[rank] += base[S]
+			row := r.cntv[rank*S : rank*S+S]
+			for d := range row {
+				row[d] += int32(base[d])
+			}
+		}
+	}
+	r.sizeInboxes(w)
+}
+
+// sizeInboxes resizes the inboxes of the shards worker w owns (w, w+W,
+// ...) to the next window's totals: arena growth is first-touched by the
+// worker that will scan the arena every round.
+func (r *shardedRoundRun) sizeInboxes(w int) {
+	for si := w; si < len(r.shards); si += r.workers {
+		r.shards[si].sizeInbox(r.dstTot[si])
+	}
+}
+
+// openWindow sizes the rank-indexed slabs for the next window's delivery
+// total. No clearing: every off entry is written by the next scan, every
+// count-plane row by exactly one delivery.
+func (r *shardedRoundRun) openWindow(total int64) {
+	if int64(cap(r.off)) < total {
+		r.off = make([]int64, total)
+	} else {
+		r.off = r.off[:total]
+	}
+	need := total * int64(r.stride)
+	if int64(cap(r.cntv)) < need {
+		r.cntv = make([]int32, need)
+	} else {
+		r.cntv = r.cntv[:need]
+	}
 }
 
 // shardedScratch pools the round-path state across runs, mirroring
@@ -491,11 +539,21 @@ func (s *shardedScratch) reset(c *graph.CSR, part *graph.Partition) {
 		s.ctxs = make([][]shardRoundCtx, S)
 	}
 	s.ctxs = s.ctxs[:S]
-	if cap(s.run.cnt) < n {
-		s.run.cnt = make([]int64, n)
+	s.run.stride = S
+	// The Init window: every node is a rank, so the rank-indexed slabs
+	// open at n and n*S.
+	if cap(s.run.off) < n {
+		s.run.off = make([]int64, n)
 	}
-	s.run.cnt = s.run.cnt[:n]
-	s.run.off = s.run.off[:0]
+	s.run.off = s.run.off[:n]
+	if cap(s.run.cntv) < n*S {
+		s.run.cntv = make([]int32, n*S)
+	}
+	s.run.cntv = s.run.cntv[:n*S]
+	if cap(s.run.dstTot) < S {
+		s.run.dstTot = make([]int64, S)
+	}
+	s.run.dstTot = s.run.dstTot[:S]
 	if cap(s.run.loc) < n {
 		s.run.loc = make([]int64, n)
 	}
@@ -505,14 +563,15 @@ func (s *shardedScratch) reset(c *graph.CSR, part *graph.Partition) {
 	}
 	s.run.sent = s.run.sent[:n]
 	clear(s.run.sent)
-	if cap(s.run.chunkTot) < S {
-		s.run.chunkTot = make([]int64, S)
+	if cap(s.run.chunkTot) < S*(S+1) {
+		s.run.chunkTot = make([]int64, S*(S+1))
 	}
-	s.run.chunkTot = s.run.chunkTot[:S]
+	s.run.chunkTot = s.run.chunkTot[:S*(S+1)]
+	if cap(s.run.cursors) < S {
+		s.run.cursors = make([]int, S)
+	}
+	s.run.cursors = s.run.cursors[:S]
 	s.run.round = 0
-	// Init writes parity 0; the first barrier swap makes round 1 read
-	// parity 0 and write parity 1.
-	s.run.readParity, s.run.writeParity = 1, 0
 	for si := range s.run.shards {
 		sh := &s.run.shards[si]
 		sh.run = &s.run
@@ -528,37 +587,46 @@ func (s *shardedScratch) reset(c *graph.CSR, part *graph.Partition) {
 		}
 		sh.protos = s.protos[si][:len(nodes)]
 		sh.report = newReport()
-		for p := range sh.out {
-			if cap(sh.out[p]) < S {
-				sh.out[p] = make([][]shardDelivery, S)
-			}
-			sh.out[p] = sh.out[p][:S]
-			for d := range sh.out[p] {
-				sh.out[p][d] = sh.out[p][d][:0]
-			}
+		if cap(sh.stage) < S {
+			sh.stage = make([][]shardDelivery, S)
 		}
-		sh.cur = sh.cur[:0]
-		if cap(sh.heads) < S {
-			sh.heads = make([]int, S)
+		sh.stage = sh.stage[:S]
+		for d := range sh.stage {
+			sh.stage[d] = sh.stage[d][:0]
 		}
-		sh.heads = sh.heads[:S]
+		sh.inbox = sh.inbox[:0]
 	}
 }
 
 // release zeroes everything that can pin protocol state or snapshot
-// arrays (abnormal exits leave live entries behind) and returns the
-// scratch to the pool. The delivery slabs are flat pointer-free records
-// and only need truncating — pooling them is what keeps sharded allocs
-// flat at any shard count.
+// arrays (abnormal exits leave live entries behind); the caller then
+// stashes the scratch on the engine's cache or returns it to the pool.
+// The delivery slabs are flat pointer-free records and only need
+// truncating — reusing them is what keeps sharded allocs flat at any
+// shard count. When stats are armed, this is also where the run's
+// worker-busy clocks fold into the PhaseStats (release always runs, so
+// instrumented runs account their workers even on error paths).
 func (s *shardedScratch) release() {
-	for si := range s.run.shards {
-		sh := &s.run.shards[si]
-		for p := range sh.out {
-			for d := range sh.out[p] {
-				sh.out[p][d] = sh.out[p][d][:0]
+	if st := s.run.stats; st != nil {
+		var busy time.Duration
+		for i := range s.run.clocks {
+			busy += time.Duration(s.run.clocks[i].ns)
+			s.run.clocks[i].ns = 0
+		}
+		st.WorkerBusy += busy
+		if s.run.workers > 1 {
+			wall := st.Init + st.Deliver + st.Scan + st.Scatter - s.run.statsWall0
+			if idle := wall*time.Duration(s.run.workers) - busy; idle > 0 {
+				st.BarrierWait += idle
 			}
 		}
-		sh.cur = sh.cur[:0]
+	}
+	for si := range s.run.shards {
+		sh := &s.run.shards[si]
+		for d := range sh.stage {
+			sh.stage[d] = sh.stage[d][:0]
+		}
+		sh.inbox = sh.inbox[:0]
 		for i := range sh.ctxs {
 			sh.ctxs[i] = shardRoundCtx{}
 		}
@@ -568,7 +636,7 @@ func (s *shardedScratch) release() {
 		sh.run = nil
 	}
 	s.run.owner, s.run.ids, s.run.trace = nil, nil, nil
-	shardedPool.Put(s)
+	s.run.stats = nil
 }
 
 // Run compiles g and executes the protocol over the snapshot.
@@ -653,9 +721,9 @@ func (e *ShardedEngine) Resume(g *graph.Graph, f Factory, ck *Checkpoint) (map[N
 
 // ResumeSnapshot continues a run frozen at a round barrier with the state
 // plane sharded: protocol states decode into their owner shards, the
-// pending slab reseeds the cross-shard outboxes in canonical rank order,
-// and the run proceeds window-parallel. Checkpoints are engine-agnostic:
-// any unit-delay engine resumes any barrier checkpoint to the identical
+// pending slab reseeds the shard inboxes in canonical rank order, and the
+// run proceeds window-parallel. Checkpoints are engine-agnostic: any
+// unit-delay engine resumes any barrier checkpoint to the identical
 // report, trace and final states.
 func (e *ShardedEngine) ResumeSnapshot(c *graph.CSR, f Factory, ck *Checkpoint) (protos map[NodeID]Protocol, rep *Report, err error) {
 	defer func() {
@@ -723,11 +791,12 @@ func (e *ShardedEngine) workerCount(shards int) int {
 type phaseKind uint8
 
 const (
-	phaseInit  phaseKind = iota // run Init over owned nodes
-	phaseRound                  // merge + deliver the window, refill outboxes
-	phaseRank                   // materialise global ranks into the outboxes
-	phaseScan                   // chunked prefix-sum of cnt (workers only)
-	phaseShift                  // add chunk bases after phaseScan (workers only)
+	phaseInit    phaseKind = iota // run Init over owned nodes
+	phaseRound                    // deliver each shard's inbox, tally sends
+	phaseScatter                  // place staged sends into destination inboxes
+	phaseScan                     // chunked prefix scan of the count plane (workers only)
+	phaseShift                    // add chunk bases, size inboxes (workers only)
+	phaseExit                     // release the workers
 )
 
 // runShardedRounds is the unit-delay fast path: rounds execute as barrier-
@@ -738,14 +807,30 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	n := c.N()
 	S := part.Shards()
 	ids := c.Index().IDs()
-	scratch := shardedPool.Get().(*shardedScratch)
-	defer scratch.release()
+	scratch := e.cache.Swap(nil)
+	if scratch == nil {
+		scratch = shardedPool.Get().(*shardedScratch)
+	}
+	defer func() {
+		scratch.release()
+		if !e.cache.CompareAndSwap(nil, scratch) {
+			shardedPool.Put(scratch)
+		}
+	}()
 	scratch.reset(c, part)
 	run := &scratch.run
 	run.ids = ids
 	run.trace = e.Trace
 	run.owner = part.Owners()
 	run.workers = e.workerCount(S)
+	run.stats = e.Stats
+	if st := run.stats; st != nil {
+		run.statsWall0 = st.Init + st.Deliver + st.Scan + st.Scatter
+		if cap(run.clocks) < run.workers {
+			run.clocks = make([]workerClock, run.workers)
+		}
+		run.clocks = run.clocks[:run.workers]
+	}
 	for si := range run.shards {
 		sh := &run.shards[si]
 		for li, v := range sh.nodes {
@@ -767,26 +852,29 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	parallelScan := false
 	switch {
 	case e.Trace != nil:
-		// Traced schedule: one goroutine walks the merged streams in
-		// global rank order so every event fires at its exact position.
+		// Traced schedule: one goroutine merges the inboxes in global rank
+		// order so every event fires at its exact position.
 		runPhase = func(k phaseKind) {
 			switch k {
 			case phaseInit:
 				// Global dense order so Init-time Logf notes trace in the
-				// 1-shard order; sends are rank-ordered regardless.
+				// 1-shard order; sends are key-ordered regardless.
 				for v := int32(0); int(v) < n; v++ {
 					sh := &run.shards[run.owner[v]]
 					ctx := &sh.ctxs[run.local[v]]
 					ctx.rank = int64(v)
 					ctx.sends = 0
+					base := int(v) * S
+					row := run.cntv[base : base+S]
+					clear(row)
+					ctx.row = row
 					sh.protos[run.local[v]].Init(ctx)
-					run.cnt[v] = int64(ctx.sends)
 				}
 			case phaseRound:
 				run.playRoundSerial()
-			case phaseRank:
+			case phaseScatter:
 				for si := range run.shards {
-					run.shards[si].rankify()
+					run.shards[si].scatter()
 				}
 			}
 		}
@@ -800,8 +888,8 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 					run.shards[si].playInit()
 				case phaseRound:
 					run.shards[si].playRound()
-				case phaseRank:
-					run.shards[si].rankify()
+				case phaseScatter:
+					run.shards[si].scatter()
 				}
 			}
 		}
@@ -811,20 +899,50 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		runPhase = phase
 		parallelScan = true
 	}
+	if st := run.stats; st != nil {
+		// Wrap the shard phases with coordinator walls; the scan is timed
+		// at the barrier close (its serial fallback bypasses runPhase).
+		inner := runPhase
+		runPhase = func(k phaseKind) {
+			t0 := time.Now()
+			inner(k)
+			d := time.Since(t0)
+			switch k {
+			case phaseInit:
+				st.Init += d
+			case phaseRound:
+				st.Deliver += d
+			case phaseScatter:
+				st.Scatter += d
+			case phaseScan, phaseShift:
+				st.Scan += d
+			}
+		}
+	}
 
-	// closeBarrier prefix-sums the window's send counts — chunk-parallel
+	// closeBarrier prefix-scans the window's count plane — chunk-parallel
 	// across the workers when the window is wide enough to amortise the
-	// two extra phase barriers — and flips the window state.
+	// two extra phase barriers — and sizes the next inboxes.
 	closeBarrier := func() int64 {
 		var total int64
-		if parallelScan && len(run.cnt) >= parallelScanMin {
+		if parallelScan && len(run.off) >= parallelScanMin {
 			runPhase(phaseScan)
 			total = run.combineChunks()
 			runPhase(phaseShift)
 		} else {
-			total = run.scanCnt()
+			var t0 time.Time
+			if run.stats != nil {
+				t0 = time.Now()
+			}
+			total = run.scanWindow()
+			for si := range run.shards {
+				run.shards[si].sizeInbox(run.dstTot[si])
+			}
+			if run.stats != nil {
+				run.stats.Scan += time.Since(t0)
+			}
 		}
-		return run.finishBarrier(total)
+		return total
 	}
 
 	spec := e.Checkpoint
@@ -832,7 +950,8 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 	if ck == nil {
 		runPhase(phaseInit)
 		total = closeBarrier()
-		runPhase(phaseRank)
+		runPhase(phaseScatter)
+		run.openWindow(total)
 		if spec != nil && spec.Every == 0 && spec.Round == 0 {
 			// Barrier 0: the state right after Init, before any delivery.
 			return nil, nil, e.writeShardedCheckpoint(run, c, total)
@@ -841,11 +960,12 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		// Reseed the post-barrier state from the checkpoint: protocol
 		// states decode in their owner shards, the report counters land in
 		// shard 0 (the merge sums them back), and the pending slab refills
-		// the cross-shard outboxes — delivery i arrives with its global
-		// rank i already materialised, so the canonical merge replays the
-		// slab in exactly its global send order. The dense send counters
-		// are credited per pending delivery: the checkpoint debited them
-		// when it froze the slab (SentBy counts delivered messages only).
+		// the shard inboxes directly — delivery i arrives with its global
+		// rank i, appended in rank order, so each inbox is its rank-sorted
+		// subsequence exactly as a scatter would have left it. The dense
+		// send counters are credited per pending delivery: the checkpoint
+		// debited them when it froze the slab (SentBy counts delivered
+		// messages only).
 		protoView := make([]Protocol, n)
 		for si := range run.shards {
 			sh := &run.shards[si]
@@ -858,17 +978,11 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 		}
 		ck.restoreReport(run.shards[0].report)
 		run.round = ck.Round
-		run.readParity, run.writeParity = 0, 1
-		if cap(run.cnt) < len(ck.Pending) {
-			run.cnt = make([]int64, len(ck.Pending))
-		}
-		run.cnt = run.cnt[:len(ck.Pending)]
 		ids := run.ids
 		for i, p := range ck.Pending {
 			run.sent[p.From]++
-			src := &run.shards[run.owner[p.From]]
-			dst := run.owner[p.To]
-			src.out[run.readParity][dst] = append(src.out[run.readParity][dst], shardDelivery{
+			dst := &run.shards[run.owner[p.To]]
+			dst.inbox = append(dst.inbox, shardDelivery{
 				rank:      int64(i),
 				fromDense: p.From,
 				from:      ids[p.From],
@@ -877,6 +991,7 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 			})
 		}
 		total = int64(len(ck.Pending))
+		run.openWindow(total)
 		delivered = run.shards[0].report.Messages
 	}
 	for {
@@ -892,10 +1007,14 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 			break
 		}
 		run.round++
+		if run.stats != nil {
+			run.stats.Rounds++
+		}
 		runPhase(phaseRound)
 		delivered += total
 		total = closeBarrier()
-		runPhase(phaseRank)
+		runPhase(phaseScatter)
+		run.openWindow(total)
 		if spec != nil {
 			if spec.Every > 0 {
 				// Periodic cadence: commit and keep running. A resumed run
@@ -932,27 +1051,26 @@ func (e *ShardedEngine) runShardedRounds(c *graph.CSR, part *graph.Partition, f 
 }
 
 // captureShardedCheckpoint freezes the run at the just-closed barrier: the
-// outboxes at read parity hold the next round's deliveries (total of
-// them) with their global ranks already materialised by the rank phase,
-// and the shard reports merge into the frozen counters. The dense send
-// counters are debited per in-flight delivery (SentBy counts delivered
-// messages only); a caller that keeps the run going must credit them back.
+// shard inboxes hold the next round's deliveries (total of them) with
+// their global ranks materialised by the scatter, and the shard reports
+// merge into the frozen counters. The dense send counters are debited per
+// in-flight delivery (SentBy counts delivered messages only); a caller
+// that keeps the run going must credit them back.
 func (e *ShardedEngine) captureShardedCheckpoint(run *shardedRoundRun, c *graph.CSR, total int64) (*Checkpoint, error) {
 	ck := &Checkpoint{Round: run.round, N: c.N(), HalfEdges: c.HalfEdges()}
 	ck.Pending = make([]PendingDelivery, total)
 	for si := range run.shards {
-		src := &run.shards[si]
-		for d := range src.out[run.readParity] {
-			for _, del := range src.out[run.readParity][d] {
-				// Debit the dense send counter: SentBy counts delivered
-				// messages, and this one is frozen in flight (resume
-				// credits it back when reseeding the slab).
-				run.sent[del.fromDense]--
-				ck.Pending[del.rank] = PendingDelivery{
-					From: del.fromDense,
-					To:   run.shards[d].nodes[del.toLocal],
-					Msg:  del.msg,
-				}
+		sh := &run.shards[si]
+		for i := range sh.inbox {
+			del := &sh.inbox[i]
+			// Debit the dense send counter: SentBy counts delivered
+			// messages, and this one is frozen in flight (resume credits
+			// it back when reseeding the slab).
+			run.sent[del.fromDense]--
+			ck.Pending[del.rank] = PendingDelivery{
+				From: del.fromDense,
+				To:   sh.nodes[del.toLocal],
+				Msg:  del.msg,
 			}
 		}
 	}
@@ -1006,9 +1124,13 @@ func (e *ShardedEngine) commitShardedCheckpoint(run *shardedRoundRun, c *graph.C
 // the static assignment w, w+W, w+2W, ... — which goroutine runs which
 // shard never depends on timing — and wrap protocol code in a recover so
 // panics surface deterministically (lowest shard first). The scan phases
-// split the cnt slice into per-worker chunks instead; they run no
+// split the count plane into per-worker chunks instead; they run no
 // protocol code.
 func (r *shardedRoundRun) runWorkerPhase(k phaseKind, w int, panics []any) {
+	var t0 time.Time
+	if r.stats != nil {
+		t0 = time.Now()
+	}
 	switch k {
 	case phaseScan:
 		r.scanChunk(w)
@@ -1028,65 +1150,176 @@ func (r *shardedRoundRun) runWorkerPhase(k phaseKind, w int, panics []any) {
 					r.shards[si].playInit()
 				case phaseRound:
 					r.shards[si].playRound()
-				case phaseRank:
-					r.shards[si].rankify()
+				case phaseScatter:
+					r.shards[si].scatter()
 				}
 			}()
 		}
 	}
+	if r.stats != nil {
+		r.clocks[w].ns += int64(time.Since(t0))
+	}
+}
+
+// Barrier tuning. A waiter spins on the atomic state — first pure loads,
+// then loads with a runtime.Gosched each pass so oversubscribed
+// configurations (more workers than GOMAXPROCS) always cede the processor
+// to whoever holds the work — and only parks on a condvar once the yield
+// budget is spent. Phases are microseconds apart, so the spin window
+// catches the steady state with zero futex traffic; the park bound keeps
+// stalled configurations (a preempted sibling, protocol work, page
+// faults) off the CPU.
+const (
+	barrierSpinPure  = 64
+	barrierSpinYield = 512
+)
+
+// phaseBarrier coordinates the persistent workers with the coordinator: a
+// sense-reversing barrier where the coordinator's atomic generation bump
+// is the publication (each worker's last-seen generation is its sense) and
+// an atomic remaining-count closes the phase. Both directions spin first
+// and park second, and a parking side registers before re-checking the
+// atomic under its mutex, so the waking side can skip the futex entirely
+// when nobody is parked — a steady-state round costs no syscalls at all.
+type phaseBarrier struct {
+	gen       atomic.Uint64
+	kind      phaseKind // published by the gen bump: written before the
+	// bump, read only after observing it (the atomic creates the
+	// happens-before), and never written again until every worker checked
+	// in — so the plain field is race-free.
+	remaining   atomic.Int32
+	waiters     atomic.Int32 // workers parked (or committing to park)
+	coordParked atomic.Bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	doneMu      sync.Mutex
+	doneCond    *sync.Cond
+	workerParks atomic.Int64
+	coordParks  atomic.Int64
+}
+
+func newPhaseBarrier() *phaseBarrier {
+	b := &phaseBarrier{}
+	b.cond = sync.NewCond(&b.mu)
+	b.doneCond = sync.NewCond(&b.doneMu)
+	return b
+}
+
+// post publishes the next phase to w workers. The remaining-count reset is
+// safe to reorder freely before the bump: no worker can be between phases
+// (awaitDone saw the previous count hit zero before post can run again).
+func (b *phaseBarrier) post(k phaseKind, w int32) {
+	b.kind = k
+	b.remaining.Store(w)
+	b.gen.Add(1)
+	if b.waiters.Load() > 0 {
+		// A worker registered in waiters either sees the new generation in
+		// its re-check (and never sleeps) or is inside Wait — taking the
+		// mutex here orders the broadcast after that re-check, so the
+		// wakeup cannot be lost.
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// awaitPhase blocks worker-side until a generation newer than seen is
+// published, returning the new generation and its phase kind.
+func (b *phaseBarrier) awaitPhase(seen uint64) (uint64, phaseKind) {
+	for i := 0; i < barrierSpinPure; i++ {
+		if g := b.gen.Load(); g != seen {
+			return g, b.kind
+		}
+	}
+	for i := 0; i < barrierSpinYield; i++ {
+		if g := b.gen.Load(); g != seen {
+			return g, b.kind
+		}
+		runtime.Gosched()
+	}
+	b.workerParks.Add(1)
+	b.mu.Lock()
+	b.waiters.Add(1)
+	for b.gen.Load() == seen {
+		b.cond.Wait()
+	}
+	b.waiters.Add(-1)
+	b.mu.Unlock()
+	// The generation is stable until this worker (among others) checks in,
+	// so the re-load pairs with the kind read exactly like the fast path.
+	return b.gen.Load(), b.kind
+}
+
+// done checks this worker in; the last one wakes the coordinator if it
+// parked. The decrement/park-flag pair is the mirror of awaitDone's
+// flag-set/re-check: one side always observes the other.
+func (b *phaseBarrier) done() {
+	if b.remaining.Add(-1) == 0 && b.coordParked.Load() {
+		b.doneMu.Lock()
+		b.doneCond.Signal()
+		b.doneMu.Unlock()
+	}
+}
+
+// awaitDone blocks coordinator-side until every worker checked in.
+func (b *phaseBarrier) awaitDone() {
+	for i := 0; i < barrierSpinPure; i++ {
+		if b.remaining.Load() == 0 {
+			return
+		}
+	}
+	for i := 0; i < barrierSpinYield; i++ {
+		if b.remaining.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.coordParks.Add(1)
+	b.doneMu.Lock()
+	b.coordParked.Store(true)
+	for b.remaining.Load() != 0 {
+		b.doneCond.Wait()
+	}
+	b.coordParked.Store(false)
+	b.doneMu.Unlock()
 }
 
 // startWorkers launches the persistent phase workers of the parallel
-// schedule. The coordinator publishes each phase with one generation bump
-// and a single condvar broadcast — W wakeups for one Broadcast instead of
-// W channel sends — and a WaitGroup closes the phase. The returned phase
-// function blocks until every worker finished and re-raises the first
-// (lowest-shard) protocol panic on the coordinator, where RunSnapshot's
-// recover converts it. stop must be called exactly once to release the
-// workers.
+// schedule. The coordinator publishes each phase through the spin-then-
+// park barrier — the steady state is handful-of-atomics cheap, with no
+// futex wake on either side — and the returned phase function blocks until
+// every worker finished, re-raising the first (lowest-shard) protocol
+// panic on the coordinator, where RunSnapshot's recover converts it. stop
+// must be called exactly once to release the workers.
 func (e *ShardedEngine) startWorkers(run *shardedRoundRun) (stop func(), phase func(phaseKind)) {
 	S := len(run.shards)
 	W := run.workers
-	const phaseExit = phaseKind(255)
-	var (
-		mu   sync.Mutex
-		cond = sync.NewCond(&mu)
-		gen  uint64
-		kind phaseKind
-		wg   sync.WaitGroup
-	)
+	b := newPhaseBarrier()
 	panics := make([]any, S)
 	for w := 0; w < W; w++ {
 		go func(w int) {
 			var seen uint64
 			for {
-				mu.Lock()
-				for gen == seen {
-					cond.Wait()
-				}
-				seen = gen
-				k := kind
-				mu.Unlock()
+				g, k := b.awaitPhase(seen)
+				seen = g
 				if k == phaseExit {
 					return
 				}
 				run.runWorkerPhase(k, w, panics)
-				wg.Done()
+				b.done()
 			}
 		}(w)
 	}
-	post := func(k phaseKind) {
-		mu.Lock()
-		kind = k
-		gen++
-		cond.Broadcast()
-		mu.Unlock()
+	stop = func() {
+		b.post(phaseExit, int32(W))
+		if st := run.stats; st != nil {
+			st.WorkerParks += b.workerParks.Load()
+			st.CoordParks += b.coordParks.Load()
+		}
 	}
-	stop = func() { post(phaseExit) }
 	phase = func(k phaseKind) {
-		wg.Add(W)
-		post(k)
-		wg.Wait()
+		b.post(k, int32(W))
+		b.awaitDone()
 		for si := range panics {
 			if p := panics[si]; p != nil {
 				panic(p)
@@ -1095,6 +1328,7 @@ func (e *ShardedEngine) startWorkers(run *shardedRoundRun) (stop func(), phase f
 	}
 	return stop, phase
 }
+
 
 // --- randomised-delay path: sharded state, global (time, seq) order ---
 
