@@ -25,6 +25,10 @@
 //	                            # ... gated against the recorded scaling baseline
 //	mdstbench -scaling scale.json -phases
 //	                            # ... with the sharded engine's per-phase time breakdown
+//	mdstbench -netbench net.json
+//	                            # loopback distributed-engine suite (BENCH_net.json trajectory)
+//	mdstbench -netbench net.json -compare BENCH_net.json
+//	                            # ... gated against the recorded loopback baseline
 package main
 
 import (
@@ -54,6 +58,7 @@ type options struct {
 	jsonOut    string
 	perfOut    string
 	scaleOut   string
+	netOut     string
 	procs      int
 	phases     bool
 	compare    string
@@ -74,6 +79,7 @@ func parseFlags() options {
 	flag.StringVar(&o.jsonOut, "json", "", "also write tables as JSON to this file (\"-\" for stdout)")
 	flag.StringVar(&o.perfOut, "perf", "", "run the perf suite instead of the tables and write JSON here (\"-\" for stdout)")
 	flag.StringVar(&o.scaleOut, "scaling", "", "run the shards×GOMAXPROCS scaling suite instead of the tables and write JSON here (\"-\" for stdout)")
+	flag.StringVar(&o.netOut, "netbench", "", "run the loopback distributed-engine suite instead of the tables and write JSON here (\"-\" for stdout)")
 	flag.IntVar(&o.procs, "procs", 8, "with -scaling: GOMAXPROCS forced for the suite (the recorded axis)")
 	flag.BoolVar(&o.phases, "phases", false, "with -scaling: record the sharded engine's per-phase time breakdown in the report")
 	flag.StringVar(&o.compare, "compare", "", "with -perf or -scaling: diff the fresh suite against this recorded baseline (e.g. BENCH_wire.json, BENCH_scale.json) and exit non-zero on regression")
@@ -131,11 +137,17 @@ func mainE() int {
 }
 
 func run(o options) error {
-	if o.compare != "" && o.perfOut == "" && o.scaleOut == "" {
-		return fmt.Errorf("-compare requires -perf or -scaling")
+	if o.compare != "" && o.perfOut == "" && o.scaleOut == "" && o.netOut == "" {
+		return fmt.Errorf("-compare requires -perf, -scaling or -netbench")
 	}
-	if o.perfOut != "" && o.scaleOut != "" {
-		return fmt.Errorf("-perf and -scaling are separate suites; run them separately")
+	suites := 0
+	for _, s := range []string{o.perfOut, o.scaleOut, o.netOut} {
+		if s != "" {
+			suites++
+		}
+	}
+	if suites > 1 {
+		return fmt.Errorf("-perf, -scaling and -netbench are separate suites; run them separately")
 	}
 	if o.perfOut == "" && o.shards != 4 {
 		return fmt.Errorf("-shards configures the -perf suite's sharded entries")
@@ -145,6 +157,26 @@ func run(o options) error {
 	}
 	if o.scaleOut == "" && o.phases {
 		return fmt.Errorf("-phases records the -scaling suite's phase breakdown")
+	}
+	if o.netOut != "" {
+		if o.which != "" || o.quick || o.seeds > 0 || o.scale > 0 || o.jsonOut != "" || o.progress || o.parallel != 0 || o.phases {
+			return fmt.Errorf("-netbench runs a fixed benchmark suite; it is incompatible with -exp, -quick, -seeds, -scale, -parallel, -json, -progress and -phases")
+		}
+		fresh, err := runNetbench(o.netOut)
+		if err != nil {
+			return err
+		}
+		if o.compare != "" {
+			baseline, err := loadPerf(o.compare)
+			if err != nil {
+				return err
+			}
+			if comparePerf(baseline, fresh, o.nsThresh) {
+				return fmt.Errorf("performance regressed against %s", o.compare)
+			}
+			fmt.Fprintf(os.Stderr, "mdstbench: no regression against %s\n", o.compare)
+		}
+		return nil
 	}
 	if o.scaleOut != "" {
 		if o.which != "" || o.quick || o.seeds > 0 || o.scale > 0 || o.jsonOut != "" || o.progress || o.parallel != 0 {

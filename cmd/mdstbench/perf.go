@@ -11,6 +11,7 @@ import (
 	"mdegst/internal/exp"
 	"mdegst/internal/graph"
 	"mdegst/internal/mdst"
+	mdnet "mdegst/internal/net"
 	"mdegst/internal/sim"
 	"mdegst/internal/spanning"
 	"mdegst/internal/workload"
@@ -49,6 +50,10 @@ type perfReport struct {
 	// from the classic -perf suite and from baselines recorded without the
 	// flag; the compare gate ignores it.
 	Phases map[string]*sim.PhaseStats `json:"phases,omitempty"`
+	// Net carries the -netbench suite's per-cell wire counters (entry name
+	// -> NetStats accumulated over every measured iteration). Absent from
+	// the other suites; the compare gate ignores it.
+	Net map[string]*mdnet.NetStats `json:"net,omitempty"`
 }
 
 func benchToEntry(name string, r testing.BenchmarkResult) perfEntry {

@@ -17,6 +17,7 @@
 //	mdstd -config cluster.json -id 0            # run as process 0
 //	mdstd -config cluster.json -launch          # spawn the whole cluster over loopback
 //	mdstd -config cluster.json -launch -json -  # ... and print the mdstrun-compatible JSON
+//	mdstd -config cluster.json -launch -phases  # ... with per-process wire/barrier counters on stderr
 //
 // Crash recovery (DESIGN.md §11): -checkpoint FILE -checkpoint-round R
 // freezes the improvement phase at round barrier R (process 0 writes FILE,
@@ -99,6 +100,7 @@ type runOptions struct {
 	liveness  time.Duration
 	timeout   time.Duration
 	restarts  int
+	phases    bool
 }
 
 func main() {
@@ -120,6 +122,7 @@ func main() {
 	flag.DurationVar(&opts.liveness, "liveness", 10*time.Second, "declare a peer down after this long without evidence of life (0 disables)")
 	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "mesh establishment deadline")
 	flag.IntVar(&opts.restarts, "restarts", 0, "supervisor mode: relaunch a failed cluster up to this many times from the latest recovery point")
+	flag.BoolVar(&opts.phases, "phases", false, "print this process's wire and barrier counters (frames, bytes, flushes, barrier wait) to stderr at exit")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -236,6 +239,9 @@ func runProcess(cfg *clusterConfig, id int, opts runOptions) error {
 
 	p := net.Pipeline{Mode: mode, Target: cfg.Target, MaxMessages: cfg.MaxMessages,
 		CheckpointRound: -1, Stop: stopFlag.Load}
+	if opts.phases {
+		p.Stats = &net.NetStats{}
+	}
 	var ckptFile *os.File
 	if opts.ckptOut != "" {
 		p.CheckpointRound = opts.ckptRnd
@@ -282,6 +288,9 @@ func runProcess(cfg *clusterConfig, id int, opts runOptions) error {
 	defer t.Close()
 
 	res, err := net.RunPipeline(t, c, owner, p)
+	if p.Stats != nil {
+		fmt.Fprintf(os.Stderr, "mdstd: process %d %s\n", id, p.Stats)
+	}
 	if ckptFile != nil {
 		if cerr := ckptFile.Close(); err == nil {
 			err = cerr
@@ -461,6 +470,9 @@ func launchOnce(cfg *clusterConfig, opts runOptions, stopRequested *atomic.Bool)
 		}
 		if opts.faults != "" {
 			args = append(args, "-faults", opts.faults)
+		}
+		if opts.phases {
+			args = append(args, "-phases")
 		}
 		if i == 0 && opts.jsonOut != "" {
 			args = append(args, "-json", opts.jsonOut)

@@ -53,6 +53,9 @@ type Pipeline struct {
 	// stop: the pipeline finishes the round in flight, commits a final
 	// checkpoint when checkpointing is armed, and returns with Stopped set.
 	Stop func() bool
+	// Stats, when non-nil, accumulates the engine's wire and barrier
+	// counters across both pipeline phases (mdstd -phases prints them).
+	Stats *NetStats
 }
 
 // PipelineResult is the outcome of one distributed pipeline run.
@@ -83,7 +86,7 @@ func RunPipeline(t *Transport, c *graph.CSR, owner []int32, p Pipeline) (*Pipeli
 	if p.CheckpointEvery > 0 && p.CheckpointRound >= 0 {
 		return nil, fmt.Errorf("net: pipeline cannot freeze and commit periodically at once")
 	}
-	eng := &DistEngine{T: t, Owner: owner, MaxMessages: p.MaxMessages, Stop: p.Stop}
+	eng := &DistEngine{T: t, Owner: owner, MaxMessages: p.MaxMessages, Stop: p.Stop, Stats: p.Stats}
 	root := c.Source().Nodes()[0]
 	initial, setup, err := spanning.BuildCompiled(eng, c, spanning.NewFloodFactory(root))
 	if errors.Is(err, sim.ErrStopped) {

@@ -59,12 +59,72 @@ type DistEngine struct {
 	// sim.ErrStopped at the same barrier everywhere — no process dies
 	// mid-barrier.
 	Stop func() bool
+	// Stats, when non-nil, accumulates per-run wire and barrier counters
+	// (frames, bytes, header share, flushes, barrier wait). Engine
+	// goroutine only; nil costs one branch per barrier.
+	Stats *NetStats
 
 	// seq numbers the runs driven over this engine's transport, separating
 	// the phases' frames on the shared connections.
 	seq uint64
 	// stopLatched makes the stop request sticky across barriers and runs.
 	stopLatched bool
+	// sc is the engine-instance round arena (DESIGN.md §13): every slab the
+	// barrier needs, grown by amortised doubling and reused across rounds
+	// and runs, so an unperturbed steady-state round allocates nothing.
+	sc roundScratch
+}
+
+// roundScratch is the persistent round arena. All slabs are engine-
+// goroutine-only and sized by the high-water mark of the rounds driven so
+// far.
+type roundScratch struct {
+	cnt   []int64      // rank slab: counts scattered, prefix-summed into offsets
+	base  []int64      // per-parent local placement cursors for the splice
+	inbox []sim.OutMsg // spliced global-order delivery plane handed to PlayRound
+	enc   [][]byte     // per-peer frame encode slabs
+	rx    [][]sim.OutMsg // per-peer decoded-batch slabs
+
+	states     []ownedState // owned-state headers for the all-gather / checkpoint
+	stateBytes []byte       // arena behind the states' blobs
+
+	runner sim.DistScratch // the runner's recycled slabs (protos, contexts, outboxes)
+}
+
+// slabs ensures the two rank-indexed slabs hold rankSpace entries (grown
+// by doubling, never shrunk) and the per-peer slab tables cover procs,
+// returning the zeroed cnt and base views for this barrier.
+func (s *roundScratch) slabs(procs int, rankSpace int64) (cnt, base []int64) {
+	if int64(cap(s.cnt)) < rankSpace {
+		grow := 2 * int64(cap(s.cnt))
+		if grow < rankSpace {
+			grow = rankSpace
+		}
+		s.cnt = make([]int64, grow)
+		s.base = make([]int64, grow)
+	}
+	if len(s.enc) < procs {
+		s.enc = make([][]byte, procs)
+		s.rx = make([][]sim.OutMsg, procs)
+	}
+	cnt, base = s.cnt[:rankSpace], s.base[:rankSpace]
+	for i := range cnt {
+		cnt[i] = 0
+		base[i] = 0
+	}
+	return cnt, base
+}
+
+// grownInbox returns an n-record view of the inbox slab.
+func (s *roundScratch) grownInbox(n int) []sim.OutMsg {
+	if cap(s.inbox) < n {
+		grow := 2 * cap(s.inbox)
+		if grow < n {
+			grow = n
+		}
+		s.inbox = make([]sim.OutMsg, grow)
+	}
+	return s.inbox[:n]
 }
 
 // Run compiles g and executes the protocol (see RunSnapshot).
@@ -74,7 +134,25 @@ func (e *DistEngine) Run(g *graph.Graph, f sim.Factory) (map[sim.NodeID]sim.Prot
 
 // RunSnapshot executes the protocol to quiescence across the mesh.
 func (e *DistEngine) RunSnapshot(c *graph.CSR, f sim.Factory) (map[sim.NodeID]sim.Protocol, *sim.Report, error) {
-	return e.run(c, f, nil)
+	r, rep, err := e.run(c, f, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.FinalProtos(), rep, nil
+}
+
+// RunSnapshotDense is RunSnapshot returning the final protocol instances
+// dense-indexed (sim.DenseSnapshotEngine): the runner already addresses
+// every node's state densely and the final all-gather writes peer states
+// into that same slice, so the dense result skips the identity-keyed map —
+// on a large workload the single biggest allocation of a quiesced
+// distributed run.
+func (e *DistEngine) RunSnapshotDense(c *graph.CSR, f sim.Factory) ([]sim.Protocol, *sim.Report, error) {
+	r, rep, err := e.run(c, f, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Protos(), rep, nil
 }
 
 // ResumeSnapshot continues a checkpointed run: every process decodes the
@@ -85,13 +163,17 @@ func (e *DistEngine) ResumeSnapshot(c *graph.CSR, f sim.Factory, ck *sim.Checkpo
 	if ck == nil {
 		return nil, nil, &sim.CheckpointError{Reason: "nil checkpoint"}
 	}
-	return e.run(c, f, ck)
+	r, rep, err := e.run(c, f, ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.FinalProtos(), rep, nil
 }
 
-func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (protos map[sim.NodeID]sim.Protocol, rep *sim.Report, err error) {
+func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (r *sim.DistRunner, rep *sim.Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			protos, rep = nil, nil
+			r, rep = nil, nil
 			err = fmt.Errorf("sim: protocol panic: %v", p)
 		}
 	}()
@@ -106,28 +188,33 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 	}
 	e.seq++
 	seq := e.seq
-	r := sim.NewDistRunner(c, e.Owner, t.Procs(), t.Self(), f)
+	r = sim.NewDistRunnerScratch(c, e.Owner, t.Procs(), t.Self(), f, &e.sc.runner)
+	// Harvest the runner's slabs for the next run once this one ends
+	// (bound to the runner now, so the recover path's r=nil cannot skip
+	// it). Results returned to the caller stay valid until that next run.
+	defer r.Release(&e.sc.runner)
 
 	var (
 		off       []int64
 		total     int64
-		streams   [][]sim.OutMsg
+		inbox     []sim.OutMsg
 		round     int64
 		delivered int64
 		stop      bool
 	)
 	if ck == nil {
 		r.PlayInit()
-		off, total, streams, stop, err = e.barrier(r, seq, 0, int64(c.N()))
+		off, total, inbox, stop, err = e.barrier(r, seq, 0, int64(c.N()))
 		if err != nil {
 			return nil, nil, decorateBarrier(err, 0)
 		}
 	} else {
 		// Reseed from the checkpoint: full state plane everywhere, the
 		// counters on process 0 only (the final merge sums them back), and
-		// the pending slab as one identity-keyed stream filtered to the
-		// deliveries this process owns — the same reseeding the sharded
-		// engine does, with processes for shards.
+		// the pending slab replayed as an already-spliced inbox — rank i is
+		// delivery i of the frozen round, so the offsets are the identity
+		// and the owned records carry their rank directly. The same
+		// reseeding the sharded engine does, with processes for shards.
 		if err := ck.ValidateAgainst(c); err != nil {
 			return nil, nil, err
 		}
@@ -141,14 +228,14 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 		delivered = ck.Messages
 		total = int64(len(ck.Pending))
 		off = make([]int64, len(ck.Pending))
-		var mine []sim.OutMsg
-		for i, p := range ck.Pending {
+		for i := range off {
 			off[i] = int64(i)
+		}
+		for i, p := range ck.Pending {
 			if e.Owner[p.To] == int32(t.Self()) {
-				mine = append(mine, sim.OutMsg{Parent: int64(i), From: p.From, To: p.To, Msg: p.Msg})
+				inbox = append(inbox, sim.OutMsg{Parent: int64(i), From: p.From, To: p.To, Msg: p.Msg})
 			}
 		}
-		streams = [][]sim.OutMsg{mine}
 	}
 
 	spec := e.Checkpoint
@@ -179,6 +266,10 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 					if err := e.commit(r, c, seq, round, off, total); err != nil {
 						return nil, nil, decorateBarrier(err, round)
 					}
+					// The commit's counter capture folded and detached the
+					// report's dense sender slab; the run continues, so
+					// re-arm it for the rounds after the recovery point.
+					r.RearmFast()
 				}
 			} else if round == spec.Round {
 				if err := e.commit(r, c, seq, round, off, total); err != nil {
@@ -197,9 +288,9 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 			break
 		}
 		round++
-		r.PlayRound(round, off, streams)
+		r.PlayRound(round, inbox)
 		delivered += total
-		off, total, streams, stop, err = e.barrier(r, seq, round, total)
+		off, total, inbox, stop, err = e.barrier(r, seq, round, total)
 		if err != nil {
 			return nil, nil, decorateBarrier(err, round)
 		}
@@ -209,7 +300,8 @@ func (e *DistEngine) run(c *graph.CSR, f sim.Factory, ck *sim.Checkpoint) (proto
 			ck = nil
 		}
 	}
-	return e.finish(r, c, seq, round, start)
+	rep, err = e.finish(r, c, seq, round, start)
+	return r, rep, err
 }
 
 // decorateBarrier stamps a liveness failure with the last barrier the
@@ -226,12 +318,26 @@ func decorateBarrier(err error, round int64) error {
 // barrier closes one phase: broadcast this process's rank counts, control
 // flags and per-peer delivery batches, collect every peer's, scatter all
 // counts into the rank slab and prefix-sum it into the next round's
-// offsets. Returns the offsets, the next round's delivery total, the
-// key-sorted incoming streams (the process's own loopback outbox, copied,
-// plus one batch per peer) and the OR of the barrier's stop flags — the
-// same value on every process, so a graceful stop is a cluster-wide
-// agreement, not a race.
-func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int64) ([]int64, int64, [][]sim.OutMsg, bool, error) {
+// offsets, then splice the incoming runs (the process's own loopback
+// outbox plus one decoded batch per peer) into the next round's inbox.
+//
+// The splice is a counting sort, not a merge (DESIGN.md §13): every
+// parent rank's deliveries are played by exactly one process, so all of a
+// parent's sends to this receiver arrive in exactly one run, already
+// ascending in Pos. Counting the local records per parent and
+// prefix-summing yields each parent's block start in the inbox; a second
+// pass places every record at its block cursor and materialises its
+// global rank (off[Parent] + Pos) into the Parent field. Block order
+// follows parent rank and within-parent order follows the run, so the
+// inbox is exactly the canonical (Parent, Pos) delivery order the old
+// K-way merge produced — in O(records + rankSpace) with zero comparisons
+// and, after warm-up, zero allocations.
+//
+// Returns the offsets, the next round's delivery total, the spliced inbox
+// (aliasing engine scratch — valid until the next barrier) and the OR of
+// the barrier's stop flags — the same value on every process, so a
+// graceful stop is a cluster-wide agreement, not a race.
+func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int64) ([]int64, int64, []sim.OutMsg, bool, error) {
 	t := e.T
 	self := t.Self()
 	counts := r.Counts()
@@ -242,11 +348,20 @@ func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int
 	if e.stopLatched {
 		flags |= roundFlagStop
 	}
+	cnt, base := e.sc.slabs(t.Procs(), rankSpace)
 	for q := 0; q < t.Procs(); q++ {
 		if q == self {
 			continue
 		}
-		body := appendRoundMsg(nil, seq, round, flags, counts, r.Outbox(q), t.Table())
+		body := appendRoundHeader(e.sc.enc[q][:0], seq, round, flags, counts)
+		hdr := len(body)
+		body = appendRoundBatch(body, r.Outbox(q), t.Table())
+		e.sc.enc[q] = body
+		if st := e.Stats; st != nil {
+			st.FramesSent++
+			st.BytesSent += int64(len(body))
+			st.HeaderBytes += int64(hdr)
+		}
 		if err := t.Send(q, frameRound, body); err != nil {
 			return nil, 0, nil, false, err
 		}
@@ -254,40 +369,31 @@ func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int
 	if err := t.FlushAll(); err != nil {
 		return nil, 0, nil, false, err
 	}
-
-	// The loopback stream must outlive the next PlayRound's outbox reset.
-	streams := make([][]sim.OutMsg, 0, t.Procs())
-	streams = append(streams, append([]sim.OutMsg(nil), r.Outbox(self)...))
-
-	cnt := make([]int64, rankSpace)
-	covered := int64(0)
-	scatter := func(cs []sim.RankCount) error {
-		for _, c := range cs {
-			if c.Rank < 0 || c.Rank >= rankSpace {
-				return &FrameError{Type: frameRound, Reason: fmt.Sprintf("rank %d outside the round's %d-delivery rank space", c.Rank, rankSpace)}
-			}
-			cnt[c.Rank] = c.Count
-		}
-		covered += int64(len(cs))
-		return nil
+	if st := e.Stats; st != nil {
+		st.Rounds++
+		st.Flushes++
 	}
-	if err := scatter(counts); err != nil {
-		return nil, 0, nil, false, err
+
+	// Scatter the local counts (trusted: ranks come from this process's own
+	// prefix sums), then each peer's — decodeRound scatters and
+	// bounds-checks while parsing, straight into the slab.
+	for _, c := range counts {
+		cnt[c.Rank] = c.Count
 	}
+	covered := int64(len(counts))
+	nrec := len(r.Outbox(self))
 	stop := flags&roundFlagStop != 0
 	for q := 0; q < t.Procs(); q++ {
 		if q == self {
 			continue
 		}
-		m, err := e.recvRound(q, seq, round)
+		h, cov, err := e.recvRound(q, seq, round, rankSpace, cnt, &e.sc.rx[q])
 		if err != nil {
 			return nil, 0, nil, false, err
 		}
-		if err := scatter(m.counts); err != nil {
-			return nil, 0, nil, false, err
-		}
-		stop = stop || m.flags&roundFlagStop != 0
-		streams = append(streams, m.batch)
+		stop = stop || h.flags&roundFlagStop != 0
+		covered += cov
+		nrec += len(e.sc.rx[q])
 	}
 	if covered != rankSpace {
 		return nil, 0, nil, false, &FrameError{Type: frameRound, Reason: fmt.Sprintf("barrier covered %d of %d delivery ranks", covered, rankSpace)}
@@ -297,43 +403,108 @@ func (e *DistEngine) barrier(r *sim.DistRunner, seq uint64, round, rankSpace int
 		cnt[i] = total
 		total += c
 	}
-	return cnt, total, streams, stop, nil
+
+	// Splice. First pass: local records per parent; exclusive prefix sum
+	// turns base into block cursors; second pass places each record and
+	// materialises its global rank. Peer records are ownership-checked here
+	// (their endpoints came off a socket); loopback records were routed by
+	// the local owner table.
+	for _, m := range r.Outbox(self) {
+		base[m.Parent]++
+	}
+	for q := 0; q < t.Procs(); q++ {
+		if q == self {
+			continue
+		}
+		for _, m := range e.sc.rx[q] {
+			base[m.Parent]++
+		}
+	}
+	var at int64
+	for i := range base {
+		c := base[i]
+		base[i] = at
+		at += c
+	}
+	inbox := e.sc.grownInbox(nrec)
+	place := func(m sim.OutMsg) {
+		slot := base[m.Parent]
+		base[m.Parent]++
+		m.Parent = cnt[m.Parent] + int64(m.Pos)
+		inbox[slot] = m
+	}
+	for _, m := range r.Outbox(self) {
+		place(m)
+	}
+	for q := 0; q < t.Procs(); q++ {
+		if q == self {
+			continue
+		}
+		for _, m := range e.sc.rx[q] {
+			if int(m.To) >= len(e.Owner) || e.Owner[m.To] != int32(self) || int(m.From) >= len(e.Owner) {
+				return nil, 0, nil, false, &FrameError{Type: frameRound, Reason: fmt.Sprintf(
+					"process %d sent a delivery %d->%d this process does not own", q, m.From, m.To)}
+			}
+			place(m)
+		}
+	}
+	return cnt, total, inbox, stop, nil
 }
 
-// recvRound reads the peer's round frame for (seq, round). Per-peer FIFO
-// delivery and the all-gather barrier between runs guarantee it is the
-// next frame on the connection; anything else is a protocol violation.
-func (e *DistEngine) recvRound(q int, seq uint64, round int64) (*roundMsg, error) {
+// recvRound reads and stream-decodes the peer's round frame for (seq,
+// round): counts scatter into cnt, the batch lands in the peer's reusable
+// slab. Per-peer FIFO delivery and the all-gather barrier between runs
+// guarantee it is the next frame on the connection; anything else is a
+// protocol violation. Returns the frame's header and its count-entry
+// total for the coverage cross-check.
+func (e *DistEngine) recvRound(q int, seq uint64, round, rankSpace int64, cnt []int64, dst *[]sim.OutMsg) (roundHeader, int64, error) {
+	var t0 time.Time
+	if e.Stats != nil {
+		t0 = time.Now()
+	}
 	typ, payload, err := e.T.Recv(q)
+	if st := e.Stats; st != nil {
+		st.BarrierWaitNs += int64(time.Since(t0))
+		if err == nil {
+			st.FramesRecv++
+			st.BytesRecv += int64(len(payload))
+		}
+	}
 	if err != nil {
-		return nil, err
+		return roundHeader{}, 0, err
 	}
 	if typ != frameRound {
-		return nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at a round barrier", q, typ)}
+		return roundHeader{}, 0, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at a round barrier", q, typ)}
 	}
-	m, err := parseRoundMsg(payload, e.T.Table())
+	h, covered, err := decodeRound(payload, e.T.Table(), rankSpace, cnt, dst)
 	if err != nil {
-		return nil, err
+		return h, 0, err
 	}
-	if m.seq != seq || m.round != round {
-		return nil, &FrameError{Type: typ, Reason: fmt.Sprintf(
-			"process %d is at run %d round %d, local barrier is run %d round %d", q, m.seq, m.round, seq, round)}
+	if h.seq != seq || h.round != round {
+		return h, 0, &FrameError{Type: typ, Reason: fmt.Sprintf(
+			"process %d is at run %d round %d, local barrier is run %d round %d", q, h.seq, h.round, seq, round)}
 	}
-	return m, nil
+	return h, covered, nil
 }
 
 // ownedStates encodes the states of the nodes this process owns with the
-// canonical wire table.
+// canonical wire table, into the engine's state arena (blobs alias
+// sc.stateBytes; valid until the next ownedStates call).
 func (e *DistEngine) ownedStates(r *sim.DistRunner) ([]ownedState, error) {
 	t := e.T
-	states := make([]ownedState, 0, len(r.Owned()))
+	states := e.sc.states[:0]
+	buf := e.sc.stateBytes[:0]
 	for _, v := range r.Owned() {
-		blob, err := r.EncodeOwnedState(v, t.Table().Enc)
+		n0 := len(buf)
+		var err error
+		buf, err = r.AppendOwnedState(buf, v, t.Table().Enc)
 		if err != nil {
 			return nil, err
 		}
-		states = append(states, ownedState{dense: v, blob: blob})
+		states = append(states, ownedState{dense: v, blob: buf[n0:len(buf):len(buf)]})
 	}
+	e.sc.states = states
+	e.sc.stateBytes = buf
 	return states, nil
 }
 
@@ -343,12 +514,12 @@ func (e *DistEngine) ownedStates(r *sim.DistRunner) ([]ownedState, error) {
 // single-process engines, the merged report carries Shards=1 (the
 // distribution is a deployment detail, not a different execution) and
 // VirtualTime = the final round.
-func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, start time.Time) (map[sim.NodeID]sim.Protocol, *sim.Report, error) {
+func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, start time.Time) (*sim.Report, error) {
 	t := e.T
 	self := t.Self()
 	states, err := e.ownedStates(r)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var cb sim.Checkpoint
 	cb.CaptureCounters(r.Report())
@@ -358,11 +529,11 @@ func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 		}
 		body := appendFinalMsg(nil, seq, &cb, states, t.Table())
 		if err := t.Send(q, frameFinal, body); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	if err := t.FlushAll(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	merged := sim.NewReport()
@@ -373,27 +544,27 @@ func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 		}
 		typ, payload, err := t.Recv(q)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if typ != frameFinal {
-			return nil, nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at the final all-gather", q, typ)}
+			return nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent frame type %d at the final all-gather", q, typ)}
 		}
 		m, err := parseFinalMsg(payload, t.Table())
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if m.seq != seq {
-			return nil, nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d finished run %d, local run is %d", q, m.seq, seq)}
+			return nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d finished run %d, local run is %d", q, m.seq, seq)}
 		}
 		peerRep := sim.NewReport()
 		m.counters.RestoreCounters(peerRep)
 		merged.MergeParallel(peerRep)
 		for _, s := range m.states {
 			if int(s.dense) >= c.N() || e.Owner[s.dense] != int32(q) {
-				return nil, nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent the state of node %d it does not own", q, s.dense)}
+				return nil, &FrameError{Type: typ, Reason: fmt.Sprintf("process %d sent the state of node %d it does not own", q, s.dense)}
 			}
 			if err := r.DecodeStateInto(s.dense, s.blob, t.Table().Dec); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 	}
@@ -401,14 +572,16 @@ func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 	merged.VirtualTime = float64(round)
 	merged.Finalize()
 	merged.Wall = time.Since(start)
-	return r.FinalProtos(), merged, nil
+	return merged, nil
 }
 
 // commit runs the distributed checkpoint protocol at the just-closed
 // barrier. Peers upload their shard — counters, owned states and the
 // key-sorted stream of all deliveries they sent into the frozen round — to
 // process 0, which decodes the full state plane, merges the counters,
-// reconstructs the global pending slab by the canonical key merge, stores
+// reconstructs the global pending slab by placing every record directly
+// at its global rank (each record's final slot is off[Parent] + Pos — the
+// same arithmetic as the round splice, so no key merge is needed), stores
 // the file (byte-identical to the in-process engines' by construction —
 // durably through the spec's Sink when set, else to its W) and
 // acknowledges the commit. Returns nil on success; the caller decides
@@ -417,11 +590,13 @@ func (e *DistEngine) finish(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 func (e *DistEngine) commit(r *sim.DistRunner, c *graph.CSR, seq uint64, round int64, off []int64, total int64) error {
 	t := e.T
 	self := t.Self()
-	// This process's complete send set, merged across its per-destination
-	// outboxes into one key-sorted stream.
-	own := mergeByKey(collectOutboxes(r, t.Procs()))
 
 	if self != 0 {
+		// The upload's delivery run must be one key-sorted stream (the
+		// delta batch encoding requires it), so the peer merges its
+		// per-destination outboxes here — the one surviving use of the
+		// K-way merge, off the round path.
+		own := mergeByKey(collectOutboxes(r, t.Procs()))
 		states, err := e.ownedStates(r)
 		if err != nil {
 			return err
@@ -457,8 +632,9 @@ func (e *DistEngine) commit(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 	}
 	merged := sim.NewReport()
 	merged.MergeParallel(r.Report())
-	streams := make([][]sim.OutMsg, 0, t.Procs())
-	streams = append(streams, own)
+	// The coordinator's own send set goes in unmerged: each per-destination
+	// outbox is placed independently by rank below.
+	streams := collectOutboxes(r, t.Procs())
 	for q := 1; q < t.Procs(); q++ {
 		typ, payload, err := t.Recv(q)
 		if err != nil {
@@ -498,13 +674,18 @@ func (e *DistEngine) commit(r *sim.DistRunner, c *graph.CSR, seq uint64, round i
 	}
 	ck.Pending = make([]sim.PendingDelivery, total)
 	placed := int64(0)
-	for _, m := range mergeByKey(streams) {
-		rank := off[m.Parent] + int64(m.Pos)
-		if rank < 0 || rank >= total {
-			return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("pending delivery rank %d outside [0, %d)", rank, total)}
+	for _, s := range streams {
+		for _, m := range s {
+			if m.Parent < 0 || m.Parent >= int64(len(off)) {
+				return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("pending delivery parent rank %d outside the %d-rank space", m.Parent, len(off))}
+			}
+			rank := off[m.Parent] + int64(m.Pos)
+			if rank < 0 || rank >= total {
+				return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("pending delivery rank %d outside [0, %d)", rank, total)}
+			}
+			ck.Pending[rank] = sim.PendingDelivery{From: m.From, To: m.To, Msg: m.Msg}
+			placed++
 		}
-		ck.Pending[rank] = sim.PendingDelivery{From: m.From, To: m.To, Msg: m.Msg}
-		placed++
 	}
 	if placed != total {
 		return &FrameError{Type: frameCkpt, Reason: fmt.Sprintf("checkpoint gathered %d of %d pending deliveries", placed, total)}

@@ -64,17 +64,25 @@ func appendFrame(b []byte, typ byte, body []byte) []byte {
 	return append(b, body...)
 }
 
-// writeFrame writes one frame to w.
+// writeFrame writes one frame to w. Allocates its header on the heap (a
+// stack array would escape through the io.Writer call) — the handshake
+// path, where frames are rare; the send loop uses writeFrameScratch.
 func writeFrame(w io.Writer, typ byte, body []byte) error {
+	var hdr [frameHeaderSize + 1]byte
+	return writeFrameScratch(w, &hdr, typ, body)
+}
+
+// writeFrameScratch is writeFrame over a caller-owned header buffer, so
+// the steady-state send path performs zero allocations per frame. The
+// caller must serialise uses of one scratch (the transport holds it under
+// the peer's write mutex).
+func writeFrameScratch(w io.Writer, hdr *[frameHeaderSize + 1]byte, typ byte, body []byte) error {
 	if len(body)+1 > MaxFrameSize {
 		return &FrameError{Type: typ, Reason: fmt.Sprintf("payload %d bytes exceeds MaxFrameSize", len(body)+1)}
 	}
-	var hdr [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)+1))
+	binary.LittleEndian.PutUint32(hdr[:frameHeaderSize], uint32(len(body)+1))
+	hdr[frameHeaderSize] = typ
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write([]byte{typ}); err != nil {
 		return err
 	}
 	_, err := w.Write(body)
@@ -84,31 +92,55 @@ func writeFrame(w io.Writer, typ byte, body []byte) error {
 // readFrame reads one frame from r, returning the type and payload body
 // (without the type byte). io.EOF is returned untouched at a clean frame
 // boundary so callers can distinguish orderly shutdown from truncation;
-// any other byte-level violation is a *FrameError.
+// any other byte-level violation is a *FrameError. Allocates a fresh
+// buffer per frame — the handshake path, where frames are rare.
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var buf []byte
+	return readFrameReuse(r, &buf)
+}
+
+// readFrameReuse is readFrame over a caller-owned buffer: the payload is
+// read into *buf, growing it only when a frame outsizes every previous
+// occupant (the grown buffer is stored back for next time), so the
+// steady-state read loop recycles one buffer per ring slot instead of
+// allocating per frame. The returned payload aliases *buf and is valid
+// until the caller reuses the slot.
+func readFrameReuse(r io.Reader, buf *[]byte) (byte, []byte, error) {
+	// The header is read into the reusable buffer too — a stack array
+	// would escape through the io.Reader call and cost an allocation per
+	// frame.
+	b := *buf
+	if cap(b) < frameHeaderSize {
+		b = make([]byte, frameHeaderSize, 64)
+		*buf = b
+	}
+	b = b[:frameHeaderSize]
+	if _, err := io.ReadFull(r, b); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, &FrameError{Reason: "truncated frame header"}
 	}
-	size := binary.LittleEndian.Uint32(hdr[:])
+	size := binary.LittleEndian.Uint32(b)
 	if size == 0 {
 		return 0, nil, &FrameError{Reason: "empty frame"}
 	}
 	if size > MaxFrameSize {
 		return 0, nil, &FrameError{Reason: fmt.Sprintf("frame of %d bytes exceeds MaxFrameSize", size)}
 	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if uint32(cap(b)) < size {
+		b = make([]byte, size)
+		*buf = b
+	}
+	b = b[:size]
+	if _, err := io.ReadFull(r, b); err != nil {
 		return 0, nil, &FrameError{Reason: "truncated frame payload"}
 	}
-	typ := buf[0]
+	typ := b[0]
 	if typ < frameHello || typ > frameHeart {
 		return 0, nil, &FrameError{Type: typ, Reason: "unknown frame type"}
 	}
-	return typ, buf[1:], nil
+	return typ, b[1:], nil
 }
 
 // frameReader is a cursor over a frame payload with typed-error truncation

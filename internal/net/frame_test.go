@@ -159,6 +159,111 @@ func TestRoundMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func uvarintLen(v uint64) int { return len(appendUvarint(nil, v)) }
+
+// TestRoundHeaderDeltaSizeBound pins the point of the delta header: a
+// barrier's (rank, count) pairs are strictly ascending and usually
+// consecutive, so after the absolute first entry every further entry
+// costs one byte of rank delta plus the count — two bytes in the common
+// case — regardless of how large the absolute ranks have grown. The
+// absolute encoding the deltas replaced pays the full rank width on
+// every entry.
+func TestRoundHeaderDeltaSizeBound(t *testing.T) {
+	const n = 512
+	base := int64(1) << 40 // deep into a long run: absolute ranks cost 6 bytes
+	counts := make([]sim.RankCount, n)
+	for i := range counts {
+		counts[i] = sim.RankCount{Rank: base + int64(i), Count: int64(i % 3)}
+	}
+	empty := len(appendRoundHeader(nil, 7, 9, 0, nil))
+	hdr := len(appendRoundHeader(nil, 7, 9, 0, counts)) - empty
+	// First entry absolute, every later consecutive entry 1 rank byte +
+	// 1 count byte, plus the larger length prefix.
+	bound := uvarintLen(uint64(base)) + 1 + (n-1)*2 + uvarintLen(n) - uvarintLen(0)
+	if hdr > bound {
+		t.Errorf("delta header for %d consecutive ranks is %d bytes, want <= %d", n, hdr, bound)
+	}
+	absolute := 0
+	for _, c := range counts {
+		absolute += uvarintLen(uint64(c.Rank)) + uvarintLen(uint64(c.Count))
+	}
+	if hdr*2 > absolute {
+		t.Errorf("delta header %d bytes does not halve the absolute encoding's %d", hdr, absolute)
+	}
+	// And the compressed form round-trips unchanged.
+	m, err := parseRoundMsg(appendRoundMsg(nil, 7, 9, 0, counts, nil, CanonicalTable()), CanonicalTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.counts {
+		if c != counts[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, c, counts[i])
+		}
+	}
+}
+
+// badRoundPayloads are hand-crafted round frames violating the pre-ranked
+// run invariants the decoders must enforce: both the materializing parser
+// and the engine's streaming decoder reject each with a *FrameError —
+// never a panic, never a silent mis-splice.
+func badRoundPayloads(table *WireTable) map[string][]byte {
+	wm := wireSample(table, sampleIdx(table))
+	rec := func(b []byte, key ...uint64) []byte {
+		for _, v := range key {
+			b = appendUvarint(b, v)
+		}
+		b = appendUvarint(b, 0) // from
+		b = appendUvarint(b, 1) // to
+		return sim.AppendWire(b, wm, table.Enc)
+	}
+	prefix := func(ncounts uint64) []byte {
+		b := appendUvarint(nil, 1) // seq
+		b = appendVarint(b, 0)     // round
+		b = appendUvarint(b, 0)    // flags
+		return appendUvarint(b, ncounts)
+	}
+	dupRank := prefix(2)
+	dupRank = appendUvarint(dupRank, 5) // rank 5, count 1
+	dupRank = appendUvarint(dupRank, 1)
+	dupRank = appendUvarint(dupRank, 0) // zero delta: rank 5 again
+	dupRank = appendUvarint(dupRank, 1)
+	dupRank = appendUvarint(dupRank, 0) // empty batch
+
+	hugeRank := prefix(1)
+	hugeRank = appendUvarint(hugeRank, uint64(limitRank)) // rank at the bound
+	hugeRank = appendUvarint(hugeRank, 1)
+	hugeRank = appendUvarint(hugeRank, 0)
+
+	dupKey := appendUvarint(prefix(0), 2) // two batch records
+	dupKey = rec(dupKey, 1, 0)            // (parent 1, pos 0)
+	dupKey = rec(dupKey, 0, 0)            // same parent, zero pos delta: same key
+
+	return map[string][]byte{
+		"duplicate rank in counts": dupRank,
+		"rank at the bound":        hugeRank,
+		"duplicate batch key":      dupKey,
+	}
+}
+
+func TestRoundMsgSortedRunViolations(t *testing.T) {
+	table := CanonicalTable()
+	for name, payload := range badRoundPayloads(table) {
+		t.Run(name, func(t *testing.T) {
+			_, err := parseRoundMsg(payload, table)
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Errorf("parseRoundMsg: got %v, want *FrameError", err)
+			}
+			cnt := make([]int64, 64)
+			var batch []sim.OutMsg
+			_, _, err = decodeRound(payload, table, 64, cnt, &batch)
+			if !errors.As(err, &fe) {
+				t.Errorf("decodeRound: got %v, want *FrameError", err)
+			}
+		})
+	}
+}
+
 func TestCkptAckRoundTrip(t *testing.T) {
 	seq, round, err := parseCkptAck(appendCkptAck(nil, 9, -3))
 	if err != nil || seq != 9 || round != -3 {
@@ -205,6 +310,11 @@ func FuzzFrameCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
 	f.Add(bytes.Repeat([]byte{0x80}, 32))
+	// Pre-ranked run violations: non-ascending rank headers and
+	// non-strictly-sorted batch keys must fail typed, never mis-splice.
+	for _, payload := range badRoundPayloads(table) {
+		f.Add(appendFrame(nil, frameRound, payload))
+	}
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		r := bytes.NewReader(b)

@@ -22,8 +22,12 @@ import (
 
 // handshakeVersion is the plane's wire-protocol version. Version 2 added
 // a flags uvarint to round frames (the graceful-stop bit) and the
-// heartbeat frame type.
-const handshakeVersion = 2
+// heartbeat frame type. Version 3 switched round and checkpoint delivery
+// runs to the pre-ranked delta encoding (strictly-ascending rank headers
+// and (Parent, Pos) batch keys carried as deltas, DESIGN.md §13) — the
+// same byte streams parsed as version 2 would mis-accumulate keys, so
+// the version gates it.
+const handshakeVersion = 3
 
 // handshakeMagic opens every hello payload.
 var handshakeMagic = [8]byte{'M', 'D', 'S', 'T', 'N', 'E', 'T', '1'}

@@ -64,6 +64,14 @@ var ErrTransportClosed = errors.New("net: transport closed")
 // TCP backpressure.
 const inboxDepth = 128
 
+// ringSlots is the per-peer count of reusable payload buffers backing the
+// inbox: one per buffered frame, plus one for the frame a Recv may still
+// hold (payloads are valid until the next Recv from the peer) and one for
+// the frame the reader is filling. The reader reuses slot w%ringSlots for
+// frame w only once the consumer has completed Recv number w-ringSlots+2,
+// so a live payload is never scribbled over.
+const ringSlots = inboxDepth + 2
+
 type frame struct {
 	typ     byte
 	payload []byte
@@ -76,10 +84,20 @@ type peerConn struct {
 	in   chan frame
 	mu   sync.Mutex
 	err  error
+	live *time.Ticker // lazily built liveness ticker (under mu); stopped in Close
+
+	// slots is the reader's payload ring (reader goroutine only); recvRet
+	// counts completed Recvs, releasing slots, with released as the cap-1
+	// wakeup the reader waits on when the ring is momentarily full.
+	slots    [ringSlots][]byte
+	recvRet  atomic.Int64
+	released chan struct{}
 
 	// wmu serialises the engine's buffered writes with heartbeat writes;
-	// uncontended when heartbeats are off.
-	wmu sync.Mutex
+	// uncontended when heartbeats are off. whdr is the frame-header
+	// scratch shared by every write under it.
+	wmu  sync.Mutex
+	whdr [frameHeaderSize + 1]byte
 	// faultSeq numbers outgoing data frames for the fault plan (engine
 	// goroutine only).
 	faultSeq int64
@@ -88,6 +106,16 @@ type peerConn struct {
 	recvData atomic.Int64 // data frames received
 	claim    atomic.Int64 // peer's latest claimed sent count
 	lastRecv atomic.Int64 // unix nanos of the last frame of any type
+}
+
+// release records one completed Recv and wakes the reader if it is
+// waiting on a ring slot.
+func (p *peerConn) release() {
+	p.recvRet.Add(1)
+	select {
+	case p.released <- struct{}{}:
+	default:
+	}
 }
 
 func (p *peerConn) setErr(err error) {
@@ -238,10 +266,11 @@ func (t *Transport) readHello(conn gonet.Conn) (*hello, error) {
 
 func (t *Transport) register(id int, conn gonet.Conn) {
 	t.peers[id] = &peerConn{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 1<<16),
-		w:    bufio.NewWriterSize(conn, 1<<16),
-		in:   make(chan frame, inboxDepth),
+		conn:     conn,
+		r:        bufio.NewReaderSize(conn, 1<<16),
+		w:        bufio.NewWriterSize(conn, 1<<16),
+		in:       make(chan frame, inboxDepth),
+		released: make(chan struct{}, 1),
 	}
 }
 
@@ -296,10 +325,27 @@ func (t *Transport) dialRetry(addr string, deadline time.Time) (gonet.Conn, erro
 // observes it; a transport close simply exits, leaving Recv to observe
 // done. Heartbeat frames are consumed here — they feed the liveness
 // detector and never reach the engine.
+//
+// Payloads live in the peer's slot ring: frame w is read into slot
+// w%ringSlots once the consumer's completed-Recv count shows the slot's
+// previous occupant can no longer be referenced. In steady state the ring
+// never grows and no per-frame buffers are allocated. A reader stalled on
+// a slot implies at least inboxDepth undelivered frames, so the
+// consumer's next Recv both succeeds and releases it — the wait cannot
+// deadlock. Heartbeats reuse the current slot in place without advancing
+// the ring.
 func (t *Transport) readLoop(id int, p *peerConn) {
 	defer t.readers.Done()
+	var w int64 // data frames read into the ring
 	for {
-		typ, payload, err := readFrame(p.r)
+		for w >= ringSlots && p.recvRet.Load() < w-ringSlots+2 {
+			select {
+			case <-p.released:
+			case <-t.done:
+				return
+			}
+		}
+		typ, payload, err := readFrameReuse(p.r, &p.slots[w%ringSlots])
 		if err != nil {
 			if err == io.EOF {
 				err = fmt.Errorf("net: process %d closed the connection", id)
@@ -316,6 +362,7 @@ func (t *Transport) readLoop(id int, p *peerConn) {
 			}
 			continue
 		}
+		w++
 		p.recvData.Add(1)
 		select {
 		case p.in <- frame{typ: typ, payload: payload}:
@@ -343,7 +390,7 @@ func (t *Transport) heartbeatLoop(p *peerConn) {
 		case <-tick.C:
 			p.wmu.Lock()
 			body = appendUvarint(body[:0], uint64(p.sent.Load()))
-			err := writeFrame(p.w, frameHeart, body)
+			err := writeFrameScratch(p.w, &p.whdr, frameHeart, body)
 			if err == nil {
 				err = p.w.Flush()
 			}
@@ -381,9 +428,9 @@ func (t *Transport) Send(peer int, typ byte, body []byte) error {
 			return nil
 		case faultDup:
 			p.wmu.Lock()
-			err := writeFrame(p.w, typ, body)
+			err := writeFrameScratch(p.w, &p.whdr, typ, body)
 			if err == nil {
-				err = writeFrame(p.w, typ, body)
+				err = writeFrameScratch(p.w, &p.whdr, typ, body)
 			}
 			p.sent.Add(1)
 			p.wmu.Unlock()
@@ -408,7 +455,7 @@ func (t *Transport) Send(peer int, typ byte, body []byte) error {
 		}
 	}
 	p.wmu.Lock()
-	err := writeFrame(p.w, typ, body)
+	err := writeFrameScratch(p.w, &p.whdr, typ, body)
 	if err == nil {
 		p.sent.Add(1)
 	}
@@ -448,6 +495,10 @@ func (t *Transport) FlushAll() error {
 // the block is bounded: a peer silent for the whole window, or one whose
 // heartbeats claim frames that never arrived while Recv starved, yields a
 // *PeerDownError instead of a hang.
+//
+// The payload aliases a reusable transport buffer and is valid only until
+// the next Recv from the same peer — consumers decode or copy before
+// asking for the peer's next frame (the engine's streaming decode does).
 func (t *Transport) Recv(peer int) (byte, []byte, error) {
 	p := t.peers[peer]
 	if p == nil {
@@ -457,13 +508,19 @@ func (t *Transport) Recv(peer int) (byte, []byte, error) {
 	var start time.Time
 	if t.Liveness > 0 {
 		start = time.Now()
-		granularity := t.Liveness / 4
-		if granularity < time.Millisecond {
-			granularity = time.Millisecond
+		// The ticker persists across Recvs (built lazily, stopped in Close)
+		// so the steady-state round loop never allocates one. A stale tick
+		// pending from a previous Recv only triggers a harmless re-check.
+		p.mu.Lock()
+		if p.live == nil {
+			granularity := t.Liveness / 4
+			if granularity < time.Millisecond {
+				granularity = time.Millisecond
+			}
+			p.live = time.NewTicker(granularity)
 		}
-		tick := time.NewTicker(granularity)
-		defer tick.Stop()
-		timeout = tick.C
+		timeout = p.live.C
+		p.mu.Unlock()
 	}
 	for {
 		select {
@@ -471,12 +528,14 @@ func (t *Transport) Recv(peer int) (byte, []byte, error) {
 			if !ok {
 				return 0, nil, p.getErr()
 			}
+			p.release()
 			return f.typ, f.payload, nil
 		case <-t.done:
 			// Prefer a frame that raced the close: drain without blocking.
 			select {
 			case f, ok := <-p.in:
 				if ok {
+					p.release()
 					return f.typ, f.payload, nil
 				}
 				return 0, nil, p.getErr()
@@ -510,6 +569,11 @@ func (t *Transport) Close() error {
 		for _, p := range t.peers {
 			if p != nil {
 				p.conn.Close()
+				p.mu.Lock()
+				if p.live != nil {
+					p.live.Stop()
+				}
+				p.mu.Unlock()
 			}
 		}
 		t.readers.Wait()

@@ -25,15 +25,15 @@ import (
 //     deliveries it played, and everyone scatters them into a local slab
 //     and prefix-sums identically.
 //
-// The in-process sharded engine has since replaced its outbox/merge
-// delivery plane with the single-copy scatter of DESIGN.md §12 — senders
-// place each record directly at its final global position in the
-// destination shard's inbox. The distributed plane keeps the explicit
-// outboxes and the K-way key merge on purpose: deliveries arrive here as
-// one batch per peer over a socket, so there is no shared inbox memory to
-// scatter into, and merging the key-sorted batches *is* the minimal
-// reconstruction of the global order. The rank/key/prefix-sum contract
-// above is unchanged and still shared with the sharded engine.
+// The delivery plane mirrors the in-process sharded engine's single-copy
+// scatter (DESIGN.md §12) across the socket boundary (§13): every batch a
+// process sends is already one key-sorted run, and each parent rank's
+// deliveries are played by exactly one process, so all of a parent's sends
+// to one receiver arrive in exactly one run. The engine therefore splices
+// the K runs by rank arithmetic — a counting sort over parent ranks, no
+// merge tournament — and hands PlayRound a single inbox already in global
+// delivery order with ranks materialised. The rank/key/prefix-sum
+// contract above is unchanged and still shared with the sharded engine.
 //
 // The runner deliberately holds protocol instances for every node, not
 // just owned ones: protocols implementing StateCodec let the processes
@@ -127,7 +127,25 @@ type DistRunner struct {
 	local  []int32    // dense -> index into owned/ctxs (-1 if not owned)
 	out    [][]OutMsg // per destination process, refilled each phase
 	counts []RankCount
+	sent   []int64 // dense sender slab lent to the report's fast path
 	report *Report
+}
+
+// DistScratch recycles a runner's slabs across one engine's sequential
+// runs — the distributed counterpart of the sharded engine's pooled
+// arenas. The transport engine owns one, seeds each run's runner from it
+// with NewDistRunnerScratch, and harvests it back with Release when the
+// run ends; the outbox capacities grown during one run then serve the
+// next, so a live mesh's steady state appends into full-size slabs
+// instead of re-growing them from nil every run. Zero value is ready.
+type DistScratch struct {
+	protos []Protocol
+	local  []int32
+	owned  []int32
+	ctxs   []distCtx
+	out    [][]OutMsg
+	counts []RankCount
+	sent   []int64
 }
 
 // NewDistRunner builds the process's share of a run: protocol instances
@@ -135,18 +153,38 @@ type DistRunner struct {
 // all-gathered final states), contexts and outboxes for the owned range.
 // owner maps every dense node to its owning process in [0, nprocs).
 func NewDistRunner(c *graph.CSR, owner []int32, nprocs, self int, f Factory) *DistRunner {
+	return NewDistRunnerScratch(c, owner, nprocs, self, f, nil)
+}
+
+// NewDistRunnerScratch is NewDistRunner seeded from recycled slabs (nil
+// sc allocates fresh ones). Every harvested slab is rewritten in full
+// before use, so runs stay independent; only capacity carries over.
+func NewDistRunnerScratch(c *graph.CSR, owner []int32, nprocs, self int, f Factory, sc *DistScratch) *DistRunner {
 	n := c.N()
 	ids := c.Index().IDs()
+	if sc == nil {
+		sc = &DistScratch{}
+	}
 	r := &DistRunner{
 		c:      c,
 		owner:  owner,
 		self:   int32(self),
 		nprocs: nprocs,
 		ids:    ids,
-		protos: make([]Protocol, n),
-		local:  make([]int32, n),
-		out:    make([][]OutMsg, nprocs),
+		protos: growCap(sc.protos, n),
+		local:  growCap(sc.local, n),
+		owned:  sc.owned[:0],
+		counts: sc.counts[:0],
 		report: newReport(),
+	}
+	if cap(sc.out) >= nprocs {
+		r.out = sc.out[:nprocs]
+		for d := range r.out {
+			r.out[d] = r.out[d][:0]
+		}
+	} else {
+		r.out = make([][]OutMsg, nprocs)
+		copy(r.out, sc.out) // keep whatever per-destination capacity exists
 	}
 	for v := 0; v < n; v++ {
 		r.local[v] = -1
@@ -155,7 +193,7 @@ func NewDistRunner(c *graph.CSR, owner []int32, nprocs, self int, f Factory) *Di
 			r.owned = append(r.owned, int32(v))
 		}
 	}
-	r.ctxs = make([]distCtx, len(r.owned))
+	r.ctxs = growCap(sc.ctxs, len(r.owned))
 	for li, v := range r.owned {
 		r.local[v] = int32(li)
 		r.ctxs[li] = distCtx{
@@ -166,7 +204,50 @@ func NewDistRunner(c *graph.CSR, owner []int32, nprocs, self int, f Factory) *Di
 			nbrDense:  c.Neighbors(v),
 		}
 	}
+	// Arm the report's dense sender slab: PlayRound records through the
+	// same memoised scalar + dense-slab path the sharded engine uses
+	// (recordFast), so the per-delivery map ops of record() never run.
+	// The folds at capture/merge points reconstruct identical maps.
+	r.sent = growCap(sc.sent, n)
+	for i := range r.sent {
+		r.sent[i] = 0
+	}
+	r.report.adoptDenseSent(r.sent, ids)
 	return r
+}
+
+// growCap returns s resized to length n, reallocating only when the
+// recycled capacity is short. Contents are unspecified; callers rewrite.
+func growCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Release hands the runner's slabs back to sc for the engine's next run.
+// The protocol slice is harvested too: results that alias it (Protos)
+// stay intact until the next run constructs a runner from sc, which is
+// exactly the validity window the dense snapshot contract gives them.
+func (r *DistRunner) Release(sc *DistScratch) {
+	sc.protos = r.protos
+	sc.local = r.local
+	sc.owned = r.owned
+	sc.ctxs = r.ctxs
+	sc.out = r.out
+	sc.counts = r.counts
+	sc.sent = r.sent
+}
+
+// RearmFast re-arms the report's dense sender slab after a mid-run
+// counter capture folded and detached it (the periodic checkpoint
+// cadence): the folded counts live on in the SentBy map, so the slab
+// restarts at zero and accumulates only the deliveries since the commit.
+func (r *DistRunner) RearmFast() {
+	for i := range r.sent {
+		r.sent[i] = 0
+	}
+	r.report.adoptDenseSent(r.sent, r.ids)
 }
 
 // N returns the node count of the snapshot.
@@ -218,40 +299,27 @@ func (r *DistRunner) PlayInit() {
 	}
 }
 
-// PlayRound delivers one round to the owned nodes: the incoming streams
-// (each sorted by key — a process's own loopback outbox plus one batch per
-// peer) merge in canonical key order, each delivery's global rank is
-// off[Parent] + Pos, and the handler's sends refill the outboxes keyed by
-// that rank. round is the global round number (depth accounting).
-func (r *DistRunner) PlayRound(round int64, off []int64, streams [][]OutMsg) {
+// PlayRound delivers one round to the owned nodes. The engine hands one
+// spliced inbox — already in canonical global delivery order, with each
+// record's Parent field materialised to the delivery's global rank
+// (off[Parent] + Pos, computed during the splice) — so delivery is a
+// single sequential walk, and the handler's sends refill the outboxes
+// keyed by that rank. round is the global round number (depth
+// accounting). The inbox is consumed before the phase's outboxes reset,
+// so the engine may alias it to reusable scratch.
+func (r *DistRunner) PlayRound(round int64, inbox []OutMsg) {
 	r.resetPhase()
-	heads := make([]int, len(streams))
-	for {
-		best := -1
-		for s, q := range streams {
-			if heads[s] >= len(q) {
-				continue
-			}
-			if best < 0 || q[heads[s]].KeyLess(streams[best][heads[best]]) {
-				best = s
-			}
-		}
-		if best < 0 {
-			return
-		}
-		d := streams[best][heads[best]]
-		heads[best]++
-		rank := off[d.Parent] + int64(d.Pos)
+	for _, d := range inbox {
 		li := r.local[d.To]
 		if li < 0 {
 			panic(fmt.Sprintf("sim: delivery for dense node %d not owned by process %d", d.To, r.self))
 		}
 		ctx := &r.ctxs[li]
-		ctx.rank = rank
+		ctx.rank = d.Parent
 		ctx.sends = 0
-		r.report.record(r.ids[d.From], d.Msg, round)
+		r.report.recordFast(d.From, d.Msg, round)
 		r.protos[d.To].Recv(ctx, r.ids[d.From], d.Msg)
-		r.counts = append(r.counts, RankCount{Rank: rank, Count: int64(ctx.sends)})
+		r.counts = append(r.counts, RankCount{Rank: d.Parent, Count: int64(ctx.sends)})
 	}
 }
 
@@ -273,6 +341,13 @@ func (r *DistRunner) EncodeOwnedState(v int32, enc func(Op) uint64) ([]byte, err
 	return EncodeProtocolState(r.protos[v], enc)
 }
 
+// AppendOwnedState is EncodeOwnedState into a caller-owned arena: the
+// state bytes append to buf and the grown buffer returns, so the engine's
+// all-gather encodes every owned state into one reusable slab.
+func (r *DistRunner) AppendOwnedState(buf []byte, v int32, enc func(Op) uint64) ([]byte, error) {
+	return AppendProtocolState(buf, r.protos[v], enc)
+}
+
 // DecodeStateInto decodes a peer's state blob into dense node v's
 // instance — the receiving half of the final-state all-gather and of
 // checkpoint assembly.
@@ -284,11 +359,17 @@ func (r *DistRunner) DecodeStateInto(v int32, blob []byte, dec func(uint64) (Op,
 // stream using the given opcode encoder (nil keeps process-local opcodes).
 // The protocol must implement StateCodec.
 func EncodeProtocolState(p Protocol, enc func(Op) uint64) ([]byte, error) {
+	return AppendProtocolState(nil, p, enc)
+}
+
+// AppendProtocolState is EncodeProtocolState appending to buf, so callers
+// encoding many states can amortise into one arena.
+func AppendProtocolState(buf []byte, p Protocol, enc func(Op) uint64) ([]byte, error) {
 	sc, ok := p.(StateCodec)
 	if !ok {
 		return nil, &CheckpointError{Reason: fmt.Sprintf("protocol %T does not implement StateCodec", p)}
 	}
-	e := StateEncoder{opEnc: enc}
+	e := StateEncoder{opEnc: enc, buf: buf}
 	sc.EncodeState(&e)
 	return e.buf, nil
 }
